@@ -1,0 +1,46 @@
+"""FIG-1 — Figure 1: tree vs cyclic classification of the paper's three schemas.
+
+Paper statement: ``(ab, bc, cd)`` is a tree schema, ``(ab, bc, ac)`` is cyclic
+(its only qual graph is the triangle), and ``(abc, cde, ace, afe)`` is a tree
+schema with qual tree ``abc - ace - aef`` and ``cde`` attached to ``ace``.
+
+The benchmark regenerates the figure's classification column (asserted) and
+measures the cost of the GYO-based classification plus qual-tree construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures import FIGURE_1_CASES
+from repro.hypergraph import find_qual_tree, gyo_reduce, is_tree_schema
+
+
+@pytest.mark.parametrize("schema, expected_tree", FIGURE_1_CASES, ids=["chain", "triangle", "four-relations"])
+def test_figure1_classification(benchmark, schema, expected_tree):
+    result = benchmark(lambda: is_tree_schema(schema))
+    assert result == expected_tree
+
+
+@pytest.mark.parametrize(
+    "schema, expected_tree", FIGURE_1_CASES, ids=["chain", "triangle", "four-relations"]
+)
+def test_figure1_qual_tree_construction(benchmark, schema, expected_tree):
+    tree = benchmark(lambda: find_qual_tree(schema))
+    assert (tree is not None) == expected_tree
+    if tree is not None:
+        assert tree.is_qual_tree()
+
+
+def test_figure1_report():
+    """Print the regenerated figure rows (schema, classification, qual tree)."""
+    print()
+    print("Figure 1 — tree vs cyclic schemas")
+    print(f"{'schema':<24}{'type':<10}{'qual tree edges'}")
+    for schema, _ in FIGURE_1_CASES:
+        tree = find_qual_tree(schema)
+        kind = "tree" if tree is not None else "cyclic"
+        edges = tree.to_edge_notation() if tree is not None else "-"
+        print(f"{schema.to_notation():<24}{kind:<10}{edges}")
+        trace = gyo_reduce(schema)
+        print(f"{'':<24}GYO steps: {len(trace.steps)}, residue: {trace.result.to_notation() or '(empty)'}")

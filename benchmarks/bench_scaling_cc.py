@@ -1,0 +1,59 @@
+"""SCALE-2 / THM-3.3 — canonical connections vs GYO reductions at scale.
+
+Theorem 3.3 says ``CC(D, X) <= GR(D, X)`` with equality on tree schemas.  The
+practical reading is that the cheap GYO reduction can replace expensive
+tableau minimization exactly when the schema is a tree; this benchmark
+measures both routes on growing chains and rings and asserts the theorem's
+relationship on every instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import RelationSchema, aring, chain_schema, gyo_reduction
+from repro.tableau import canonical_connection
+
+SIZES = (4, 6, 8)
+
+
+def _chain_case(size):
+    schema = chain_schema(size)
+    target = RelationSchema({"x0", f"x{size}"})
+    return schema, target
+
+
+def _ring_case(size):
+    schema = aring(size)
+    attrs = schema.attributes.sorted_attributes()
+    target = RelationSchema({attrs[0], attrs[size // 2]})
+    return schema, target
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_cc_on_chain(benchmark, size):
+    schema, target = _chain_case(size)
+    connection = benchmark(lambda: canonical_connection(schema, target))
+    assert connection == gyo_reduction(schema, target).reduction()
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gr_on_chain(benchmark, size):
+    schema, target = _chain_case(size)
+    reduction = benchmark(lambda: gyo_reduction(schema, target))
+    assert reduction.covers(canonical_connection(schema, target))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_cc_on_ring(benchmark, size):
+    schema, target = _ring_case(size)
+    connection = benchmark(lambda: canonical_connection(schema, target))
+    reduction = gyo_reduction(schema, target)
+    assert reduction.covers(connection)  # Theorem 3.3(i)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gr_on_ring(benchmark, size):
+    schema, target = _ring_case(size)
+    reduction = benchmark(lambda: gyo_reduction(schema, target))
+    assert reduction == schema  # rings are GYO-reduced once targets are inside

@@ -1,0 +1,43 @@
+"""SCALE-1 — GYO-reduction scaling on the workload families.
+
+There is no table in the paper for this (1983 hardware), but every result in
+Sections 3–5 leans on the GYO reduction being cheap; this benchmark records
+how the implementation scales on chains, stars, Arings and random tree
+schemas so regressions in the reduction engine are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import aring, chain_schema, gyo_reduce, random_tree_schema, star_schema
+
+SIZES = (25, 100, 400)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gyo_chain(benchmark, size):
+    schema = chain_schema(size)
+    trace = benchmark(lambda: gyo_reduce(schema))
+    assert trace.is_fully_reduced_to_empty
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gyo_star(benchmark, size):
+    schema = star_schema(size)
+    trace = benchmark(lambda: gyo_reduce(schema))
+    assert trace.is_fully_reduced_to_empty
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gyo_aring(benchmark, size):
+    schema = aring(size)
+    trace = benchmark(lambda: gyo_reduce(schema))
+    assert not trace.is_fully_reduced_to_empty  # rings are cyclic
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gyo_random_tree(benchmark, size):
+    schema = random_tree_schema(size, rng=size)
+    trace = benchmark(lambda: gyo_reduce(schema))
+    assert trace.is_fully_reduced_to_empty

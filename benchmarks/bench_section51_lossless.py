@@ -1,0 +1,82 @@
+"""THM-5.1 / COR-5.1 / COR-5.2 + in-text example — lossless joins.
+
+Paper statements:
+
+* ``⋈D ⊨ ⋈D'`` iff ``CC(D, U(D')) ⊆ D'`` (Theorem 5.1 / Corollary 5.1);
+* for tree schemas, iff ``D'`` is a subtree (Corollary 5.2);
+* the in-text counterexample: ``D = (abc, ab, bc)``, ``D' = (ab, bc)`` —
+  ``⋈D ⊭ ⋈D'`` and ``D'`` is not a subtree of ``D``.
+
+The benchmark times the syntactic criterion against the semantic randomized
+counterexample search, and also exercises the UJR experiments (Section 5.1's
+discussion of [11]): UR databases over tree schemas are UJR, while the
+triangle admits a UR database that is not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import is_ujr, jd_implies, lossless_for_tree_schema
+from repro.figures import SECTION_5_1_SCHEMA, SECTION_5_1_SUBSCHEMA
+from repro.hypergraph import aring, parse_schema
+from repro.relational import (
+    Relation,
+    random_ur_database,
+    search_implication_counterexample,
+    universal_database,
+)
+
+CASES = [
+    ("paper-counterexample", SECTION_5_1_SCHEMA, SECTION_5_1_SUBSCHEMA, False),
+    ("chain-subtree", parse_schema("ab,bc,cd"), parse_schema("ab,bc"), True),
+    ("chain-disconnected", parse_schema("ab,bc,cd"), parse_schema("ab,cd"), False),
+    ("ring-path", aring(4), aring(4).sub_schema([0, 1, 2]), False),
+    ("whole-ring", aring(4), aring(4), True),
+]
+
+
+@pytest.mark.parametrize("label, schema, sub, expected", CASES, ids=[c[0] for c in CASES])
+def test_syntactic_criterion(benchmark, label, schema, sub, expected):
+    result = benchmark(lambda: jd_implies(schema, sub))
+    assert result == expected
+
+
+@pytest.mark.parametrize("label, schema, sub, expected", CASES, ids=[c[0] for c in CASES])
+def test_semantic_search_agrees(benchmark, label, schema, sub, expected):
+    witness = benchmark(
+        lambda: search_implication_counterexample(schema, sub, trials=20, rng=0)
+    )
+    if expected:
+        assert witness is None
+    else:
+        assert witness is not None
+
+
+def test_corollary_5_2_subtree_criterion(benchmark):
+    result = benchmark(
+        lambda: lossless_for_tree_schema(SECTION_5_1_SCHEMA, SECTION_5_1_SUBSCHEMA)
+    )
+    assert result is False
+
+
+def test_ujr_tree_schema(benchmark):
+    schema = parse_schema("ab,bc,cd")
+    state = random_ur_database(schema, tuple_count=10, domain_size=2, rng=51)
+    assert benchmark(lambda: is_ujr(state))
+
+
+def test_ujr_triangle_counterexample(benchmark):
+    triangle = parse_schema("ab,bc,ac")
+    state = universal_database(triangle, Relation("abc", [(0, 0, 0), (1, 0, 1)]))
+    assert not benchmark(lambda: is_ujr(state))
+
+
+def test_section51_report():
+    print()
+    print("Section 5.1 — lossless joins (Theorem 5.1 / Corollaries 5.1, 5.2)")
+    print(f"{'case':<22}{'jd_implies':>11}{'counterexample found':>22}")
+    for label, schema, sub, expected in CASES:
+        witness = search_implication_counterexample(schema, sub, trials=20, rng=0)
+        print(f"{label:<22}{str(jd_implies(schema, sub)):>11}{str(witness is not None):>22}")
+    print("UJR: tree-schema UR databases are UJR; the triangle has a UR database that is not.")

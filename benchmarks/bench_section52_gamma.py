@@ -1,0 +1,73 @@
+"""THM-5.3 / COR-5.3' / FIG-7 — γ-acyclicity and its characterizations.
+
+Paper statements: the three characterizations of γ-acyclicity (no weak
+γ-cycle; pair-disconnection; tree schema + all connected subsets are
+subtrees) coincide, and γ-acyclicity is exactly the condition under which
+every connected sub-schema has a lossless join (Fagin's (*), Corollary 5.3').
+Figure 7 illustrates why Aring/Aclique-based schemas fail the
+pair-disconnection test.
+
+The benchmark times the polynomial pair-disconnection test against the
+γ-cycle search and the exponential subtree/lossless enumerations on a ladder
+of schemas, asserting all four verdicts agree on every instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_gamma_equivalences
+from repro.hypergraph import (
+    aclique,
+    aring,
+    chain_schema,
+    find_weak_gamma_cycle,
+    is_gamma_acyclic,
+    parse_schema,
+    star_schema,
+    violating_pair,
+)
+
+SCHEMAS = [
+    ("chain-4", chain_schema(4), True),
+    ("star-4", star_schema(4), True),
+    ("triangle", parse_schema("ab,bc,ac"), False),
+    ("aring-5", aring(5), False),
+    ("aclique-4", aclique(4), False),
+    ("abc-ab-bc", parse_schema("abc,ab,bc"), False),
+    ("figure1-tree", parse_schema("abc,cde,ace,afe"), False),
+]
+
+
+@pytest.mark.parametrize("label, schema, expected", SCHEMAS, ids=[s[0] for s in SCHEMAS])
+def test_pair_disconnection_test(benchmark, label, schema, expected):
+    result = benchmark(lambda: violating_pair(schema) is None)
+    assert result == expected
+
+
+@pytest.mark.parametrize("label, schema, expected", SCHEMAS, ids=[s[0] for s in SCHEMAS])
+def test_gamma_cycle_search(benchmark, label, schema, expected):
+    result = benchmark(lambda: find_weak_gamma_cycle(schema) is None)
+    assert result == expected
+
+
+@pytest.mark.parametrize("label, schema, expected", SCHEMAS, ids=[s[0] for s in SCHEMAS])
+def test_corollary_5_3_equivalences(benchmark, label, schema, expected):
+    report = benchmark(lambda: check_gamma_equivalences(schema))
+    assert report.all_agree
+    assert report.gamma_acyclic == expected
+
+
+def test_section52_report():
+    print()
+    print("Theorem 5.3 / Corollary 5.3' — gamma-acyclicity characterizations")
+    print(f"{'schema':<14}{'gamma':>7}{'no-cycle':>10}{'pairs':>7}{'GR-cond':>9}{'CC-cond':>9}{'lossless':>10}")
+    for label, schema, _ in SCHEMAS:
+        report = check_gamma_equivalences(schema)
+        print(
+            f"{label:<14}{str(report.gamma_acyclic):>7}"
+            f"{str(find_weak_gamma_cycle(schema) is None):>10}"
+            f"{str(violating_pair(schema) is None):>7}"
+            f"{str(report.gr_condition):>9}{str(report.cc_condition):>9}"
+            f"{str(report.lossless_condition):>10}"
+        )

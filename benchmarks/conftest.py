@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Adds the ``src`` layout to ``sys.path`` as a fallback (same as the test
+suite) so ``pytest benchmarks/ --benchmark-only`` works even without the
+editable install.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)

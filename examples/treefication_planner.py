@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Treefication planning: turning cyclic schemas into tree schemas.
+
+Run with ``python examples/treefication_planner.py``.
+
+Section 4 of the paper proposes a strategy for cyclic queries: add one or
+more relation schemas to make the schema a tree, materialize their states
+with joins, then use the tree-schema machinery.  The paper pins down both
+ends of the trade-off:
+
+* adding a *single* relation — the unique best choice is ``U(GR(D))``
+  (Corollary 3.2);
+* adding *several bounded-size* relations — Fixed Treefication — is
+  NP-complete (Theorem 4.2, by reduction from Bin Packing).
+
+The example plans treefications for a few cyclic schemas and then walks
+through the Theorem 4.2 reduction on a small Bin Packing instance, solving it
+exactly and with the first-fit-decreasing heuristic.
+"""
+
+from __future__ import annotations
+
+from repro import parse_schema
+from repro.hypergraph import aring, grid_schema, is_tree_schema
+from repro.treefication import (
+    BinPackingInstance,
+    FixedTreeficationInstance,
+    first_fit_decreasing,
+    reduction_from_bin_packing,
+    single_relation_treefication,
+    solve_bin_packing_exact,
+    solve_fixed_treefication_exact,
+    treefication_from_packing,
+)
+
+
+def plan_single_relation_treefications() -> None:
+    print("=" * 72)
+    print("single-relation treefication (Corollary 3.2)")
+    print("=" * 72)
+    schemas = {
+        "triangle": parse_schema("ab,bc,ac"),
+        "Aring of size 6": aring(6),
+        "2x3 grid": grid_schema(2, 3),
+        "ring with a tail": parse_schema("ab,bc,ac,cd,de"),
+    }
+    for label, schema in schemas.items():
+        result = single_relation_treefication(schema)
+        print(f"  {label:<18} add {result.added_relation.to_notation():<14} "
+              f"-> tree schema: {is_tree_schema(result.treefied)}")
+    print()
+
+
+def plan_fixed_treefication() -> None:
+    print("=" * 72)
+    print("fixed treefication via Bin Packing (Theorem 4.2)")
+    print("=" * 72)
+    packing = BinPackingInstance(sizes=(3, 3, 4, 5), bin_capacity=8, bin_count=2)
+    print(f"  bin packing instance: sizes={packing.sizes}, B={packing.bin_capacity}, K={packing.bin_count}")
+
+    reduced = reduction_from_bin_packing(packing)
+    print(f"  reduced schema: {len(reduced.schema)} relations over "
+          f"{len(reduced.schema.attributes)} attributes "
+          f"({len(reduced.schema.connected_components())} disjoint Acliques)")
+
+    exact_packing = solve_bin_packing_exact(packing)
+    print(f"  exact bin packing feasible: {exact_packing is not None}, "
+          f"bins used: {len(exact_packing.bins)} with loads {exact_packing.bin_loads()}")
+
+    treefication = treefication_from_packing(exact_packing)
+    print(f"  induced treefication adds {len(treefication.added_relations)} relations "
+          f"of sizes {[len(r) for r in treefication.added_relations]}")
+    print(f"  D ∪ added is a tree schema: {is_tree_schema(treefication.treefied_schema())}")
+
+    direct = solve_fixed_treefication_exact(reduced)
+    print(f"  solving the treefication side directly agrees: {direct is not None}")
+
+    heuristic = first_fit_decreasing(packing)
+    print(f"  first-fit-decreasing heuristic also packs it: {heuristic is not None}")
+
+    infeasible = BinPackingInstance(sizes=(5, 5, 5), bin_capacity=8, bin_count=1)
+    reduced_infeasible = reduction_from_bin_packing(infeasible)
+    print(f"  infeasible instance {infeasible.sizes} with K=1, B=8: "
+          f"packing={solve_bin_packing_exact(infeasible) is not None}, "
+          f"treefication={solve_fixed_treefication_exact(reduced_infeasible) is not None}")
+    print()
+
+
+def plan_against_arity_budget() -> None:
+    print("=" * 72)
+    print("how the arity budget B changes feasibility (triangle example)")
+    print("=" * 72)
+    triangle = parse_schema("ab,bc,ac")
+    for max_arity in (2, 3):
+        instance = FixedTreeficationInstance(triangle, max_relations=1, max_arity=max_arity)
+        solution = solve_fixed_treefication_exact(instance)
+        print(f"  K=1, B={max_arity}: feasible={solution is not None}"
+              + (f", add {[r.to_notation() for r in solution.added_relations]}" if solution else ""))
+
+
+def main() -> None:
+    plan_single_relation_treefications()
+    plan_fixed_treefication()
+    plan_against_arity_budget()
+
+
+if __name__ == "__main__":
+    main()

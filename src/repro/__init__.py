@@ -1,0 +1,160 @@
+"""repro — a reproduction of Goodman, Shmueli & Tay (PODS 1983 / JCSS 1984):
+*GYO Reductions, Canonical Connections, Tree and Cyclic Schemas, and Tree
+Projections*.
+
+The package is organized by substrate:
+
+* :mod:`repro.hypergraph` — database schemas as hypergraphs, qual graphs and
+  qual trees, the GYO reduction, Arings/Acliques, α/β/γ-acyclicity, schema
+  generators;
+* :mod:`repro.tableau` — standard tableaux, containment mappings,
+  minimization, canonical schemas and canonical connections;
+* :mod:`repro.relational` — relation states, relational algebra, UR
+  databases, join dependencies, full reducers, Yannakakis' algorithm, and
+  Section 6 join/project/semijoin programs;
+* :mod:`repro.treeproj` — tree projections and the Section 6 theorems;
+* :mod:`repro.treefication` — single-relation treefication (Corollary 3.2),
+  Fixed Treefication, Bin Packing and the Theorem 4.2 reduction;
+* :mod:`repro.core` — the paper's headline results as a query-planning /
+  lossless-join API plus executable checkers for every numbered claim;
+* :mod:`repro.figures` — the paper's concrete examples;
+* :mod:`repro.workloads` — benchmark workload suites.
+
+The most commonly used names are re-exported here so that
+``from repro import parse_schema, gyo_reduce, canonical_connection`` works for
+quick interactive use; the subpackages remain the canonical import points.
+"""
+
+from .exceptions import (
+    GYOError,
+    NotASubSchemaError,
+    NotATreeSchemaError,
+    ParseError,
+    ProgramError,
+    QualGraphError,
+    RelationError,
+    ReproError,
+    SchemaError,
+    SearchBudgetExceeded,
+    TableauError,
+    TreeficationError,
+    TreeProjectionError,
+)
+from .hypergraph import (
+    DatabaseSchema,
+    RelationSchema,
+    aclique,
+    aring,
+    find_qual_tree,
+    format_schema,
+    gyo_reduce,
+    gyo_reduction,
+    is_cyclic_schema,
+    is_gamma_acyclic,
+    is_subtree,
+    is_tree_schema,
+    parse_relation,
+    parse_schema,
+)
+from .tableau import (
+    canonical_connection,
+    canonical_connection_result,
+    minimize_tableau,
+    standard_tableau,
+    tableaux_equivalent,
+)
+from .relational import (
+    DatabaseState,
+    NaturalJoinQuery,
+    Program,
+    Relation,
+    naive_join_project,
+    random_universal_relation,
+    random_ur_database,
+    universal_database,
+    yannakakis,
+)
+from .treeproj import find_tree_projection, is_tree_projection, solve_with_tree_projection
+from .treefication import (
+    BinPackingInstance,
+    reduction_from_bin_packing,
+    single_relation_treefication,
+    treefying_relation,
+)
+from .core import (
+    can_solve_with_joins,
+    check_gamma_equivalences,
+    jd_implies,
+    lossless_for_tree_schema,
+    minimal_join_subschema,
+    plan_join_query,
+    queries_weakly_equivalent,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "SchemaError",
+    "ParseError",
+    "NotATreeSchemaError",
+    "NotASubSchemaError",
+    "QualGraphError",
+    "GYOError",
+    "TableauError",
+    "RelationError",
+    "ProgramError",
+    "TreeProjectionError",
+    "TreeficationError",
+    "SearchBudgetExceeded",
+    # hypergraph
+    "RelationSchema",
+    "DatabaseSchema",
+    "parse_relation",
+    "parse_schema",
+    "format_schema",
+    "gyo_reduce",
+    "gyo_reduction",
+    "is_tree_schema",
+    "is_cyclic_schema",
+    "is_gamma_acyclic",
+    "is_subtree",
+    "find_qual_tree",
+    "aring",
+    "aclique",
+    # tableau
+    "standard_tableau",
+    "tableaux_equivalent",
+    "minimize_tableau",
+    "canonical_connection",
+    "canonical_connection_result",
+    # relational
+    "Relation",
+    "DatabaseState",
+    "NaturalJoinQuery",
+    "Program",
+    "universal_database",
+    "random_universal_relation",
+    "random_ur_database",
+    "yannakakis",
+    "naive_join_project",
+    # tree projections
+    "is_tree_projection",
+    "find_tree_projection",
+    "solve_with_tree_projection",
+    # treefication
+    "treefying_relation",
+    "single_relation_treefication",
+    "BinPackingInstance",
+    "reduction_from_bin_packing",
+    # core
+    "can_solve_with_joins",
+    "minimal_join_subschema",
+    "plan_join_query",
+    "queries_weakly_equivalent",
+    "jd_implies",
+    "lossless_for_tree_schema",
+    "check_gamma_equivalences",
+]

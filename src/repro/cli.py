@@ -1,0 +1,154 @@
+"""Command-line interface: schema analysis from the shell.
+
+Usage (after ``pip install -e .`` or with ``python -m repro``):
+
+.. code-block:: console
+
+   $ python -m repro analyze "ab,bc,ac"
+   $ python -m repro cc "abg,bcg,acf,ad,de,ea" abc
+   $ python -m repro lossless "abc,ab,bc" "ab,bc"
+   $ python -m repro treefy "ab,bc,cd,da"
+
+Schemas are written in the paper's notation (relations separated by commas,
+single-character attributes concatenated); multi-character attribute names
+can be used by passing ``--attribute-separator``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import jd_implies, plan_join_query
+from .hypergraph import (
+    find_qual_tree,
+    gyo_reduce,
+    is_beta_acyclic,
+    is_berge_acyclic,
+    is_gamma_acyclic,
+    is_tree_schema,
+    parse_schema,
+)
+from .tableau import canonical_connection
+from .treefication import single_relation_treefication
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Analyze database schemas with the tools of Goodman, Shmueli & Tay: "
+            "GYO reductions, canonical connections, tree/cyclic classification, "
+            "lossless joins and treefication."
+        ),
+    )
+    parser.add_argument(
+        "--attribute-separator",
+        default=None,
+        help="separator between attribute names inside a relation "
+        "(default: none, every character is one attribute)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="classify a schema and print its structure")
+    analyze.add_argument("schema", help='database schema, e.g. "ab,bc,ac"')
+
+    connection = commands.add_parser("cc", help="compute the canonical connection CC(D, X)")
+    connection.add_argument("schema", help="database schema D")
+    connection.add_argument("target", help="query target X, e.g. abc")
+
+    lossless = commands.add_parser("lossless", help="check whether ⋈D implies ⋈D'")
+    lossless.add_argument("schema", help="database schema D")
+    lossless.add_argument("subschema", help="sub-schema D' (each relation contained in some relation of D)")
+
+    treefy = commands.add_parser("treefy", help="single-relation treefication (Corollary 3.2)")
+    treefy.add_argument("schema", help="database schema D")
+
+    return parser
+
+
+def _analyze(schema_text: str, attribute_separator: Optional[str]) -> int:
+    schema = parse_schema(schema_text, attribute_separator=attribute_separator)
+    trace = gyo_reduce(schema)
+    tree = find_qual_tree(schema)
+    print(f"schema: {schema}")
+    print(f"relations: {len(schema)}, attributes: {len(schema.attributes)}")
+    print(f"tree schema (alpha-acyclic): {is_tree_schema(schema)}")
+    print(f"gamma-acyclic: {is_gamma_acyclic(schema)}")
+    print(f"beta-acyclic: {is_beta_acyclic(schema)}")
+    print(f"Berge-acyclic: {is_berge_acyclic(schema)}")
+    print(f"GYO residue GR(D): {trace.result.to_notation() or '(empty)'}")
+    if tree is not None:
+        print(f"qual tree: {tree.to_edge_notation()}")
+    else:
+        treefied = single_relation_treefication(schema)
+        print(
+            "cyclic; smallest treefying relation (Corollary 3.2): "
+            f"{treefied.added_relation.to_notation()}"
+        )
+    return 0
+
+
+def _canonical_connection(
+    schema_text: str, target_text: str, attribute_separator: Optional[str]
+) -> int:
+    schema = parse_schema(schema_text, attribute_separator=attribute_separator)
+    target = parse_schema(target_text, attribute_separator=attribute_separator)
+    target_relation = target.attributes
+    connection = canonical_connection(schema, target_relation)
+    plan = plan_join_query(schema, target_relation)
+    print(f"D  = {schema}")
+    print(f"X  = {target_relation.to_notation()}")
+    print(f"CC(D, X) = {connection}")
+    irrelevant = [schema[index].to_notation() for index in plan.irrelevant_relations]
+    print(f"irrelevant relations: {irrelevant or 'none'}")
+    return 0
+
+
+def _lossless(
+    schema_text: str, subschema_text: str, attribute_separator: Optional[str]
+) -> int:
+    schema = parse_schema(schema_text, attribute_separator=attribute_separator)
+    subschema = parse_schema(subschema_text, attribute_separator=attribute_separator)
+    implied = jd_implies(schema, subschema)
+    print(f"D  = {schema}")
+    print(f"D' = {subschema}")
+    print(f"⋈D implies that D' has a lossless join: {implied}")
+    return 0 if implied else 1
+
+
+def _treefy(schema_text: str, attribute_separator: Optional[str]) -> int:
+    schema = parse_schema(schema_text, attribute_separator=attribute_separator)
+    result = single_relation_treefication(schema)
+    print(f"D = {schema}")
+    if result.was_already_tree:
+        print("already a tree schema; nothing to add")
+    else:
+        print(f"add U(GR(D)) = {result.added_relation.to_notation()}")
+        print(f"treefied schema: {result.treefied}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    separator = arguments.attribute_separator
+    if arguments.command == "analyze":
+        return _analyze(arguments.schema, separator)
+    if arguments.command == "cc":
+        return _canonical_connection(arguments.schema, arguments.target, separator)
+    if arguments.command == "lossless":
+        return _lossless(arguments.schema, arguments.subschema, separator)
+    if arguments.command == "treefy":
+        return _treefy(arguments.schema, separator)
+    parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Core theory API: query planning with joins (Section 4), lossless joins
+(Section 5), γ-acyclicity equivalences, the UJR property, and executable
+checkers for every numbered claim of the paper."""
+
+from .query_planning import (
+    JoinPlan,
+    can_solve_with_joins,
+    execute_join_plan,
+    minimal_join_subschema,
+    plan_join_query,
+    queries_weakly_equivalent,
+)
+from .lossless import (
+    jd_implies,
+    lossless_for_tree_schema,
+    lossless_subschemas,
+    minimum_equivalent_subschema_is_lossless,
+)
+from .gamma import (
+    GammaEquivalenceReport,
+    all_connected_subschemas_lossless,
+    cc_condition_holds_for_all_connected,
+    check_gamma_equivalences,
+    gr_condition_holds_for_all_connected,
+)
+from .ujr import (
+    connected_node_subsets,
+    find_ujr_violation,
+    is_ujr,
+    minimum_qual_graphs,
+)
+from .theorems import (
+    check_corollary_3_1,
+    check_corollary_3_2,
+    check_corollary_5_2,
+    check_corollary_5_3_gamma,
+    check_lemma_3_1,
+    check_lemma_3_2,
+    check_lemma_3_5,
+    check_theorem_3_1_subtree,
+    check_theorem_3_2,
+    check_theorem_3_3,
+    check_theorem_4_1,
+    check_theorem_5_1,
+    check_theorem_5_2,
+    check_theorem_5_3,
+)
+
+__all__ = [
+    "can_solve_with_joins",
+    "minimal_join_subschema",
+    "queries_weakly_equivalent",
+    "JoinPlan",
+    "plan_join_query",
+    "execute_join_plan",
+    "jd_implies",
+    "lossless_subschemas",
+    "lossless_for_tree_schema",
+    "minimum_equivalent_subschema_is_lossless",
+    "gr_condition_holds_for_all_connected",
+    "cc_condition_holds_for_all_connected",
+    "all_connected_subschemas_lossless",
+    "GammaEquivalenceReport",
+    "check_gamma_equivalences",
+    "minimum_qual_graphs",
+    "connected_node_subsets",
+    "is_ujr",
+    "find_ujr_violation",
+    "check_lemma_3_1",
+    "check_lemma_3_2",
+    "check_lemma_3_5",
+    "check_theorem_3_1_subtree",
+    "check_theorem_3_2",
+    "check_corollary_3_1",
+    "check_corollary_3_2",
+    "check_theorem_3_3",
+    "check_theorem_4_1",
+    "check_theorem_5_1",
+    "check_corollary_5_2",
+    "check_theorem_5_2",
+    "check_theorem_5_3",
+    "check_corollary_5_3_gamma",
+]

@@ -1,0 +1,180 @@
+"""Solving queries with joins followed by a single projection (Section 4).
+
+Theorem 4.1: for ``D' <= D`` the following are equivalent —
+
+(i)   ``CC(D, X) <= D'``;
+(ii)  ``(D, X) ≡ (D', X)`` over universal-relation databases;
+(iii) ``CC(D, X) = CC(D', X)``.
+
+Corollary 4.1 reads this as a query-planning criterion: to solve ``(D, X)``
+by joining the relations of ``D'`` and projecting onto ``X``, it is necessary
+and sufficient that ``CC(D, X) <= D'``.  The canonical connection itself is
+therefore the *minimum* sub-schema one can join (Theorem 5.2 makes the
+minimality precise), and for tree schemas it coincides with the GYO reduction
+``GR(D, X)`` (Theorem 3.3(ii), the Hull/Yannakakis special case).
+
+This module packages those statements as a small planning API plus an
+executable plan (project the relevant base relations, join, project onto
+``X``) whose answers the tests compare against the naive evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..exceptions import NotASubSchemaError, SchemaError
+from ..hypergraph.gyo import gyo_reduction, is_tree_schema
+from ..hypergraph.schema import Attribute, DatabaseSchema, RelationSchema
+from ..relational.algebra import join_all
+from ..relational.database import DatabaseState
+from ..relational.query import NaturalJoinQuery
+from ..relational.relation import Relation
+from ..tableau.canonical import canonical_connection
+from ..tableau.containment import tableaux_equivalent
+from ..tableau.tableau import standard_tableau
+
+__all__ = [
+    "can_solve_with_joins",
+    "minimal_join_subschema",
+    "queries_weakly_equivalent",
+    "JoinPlan",
+    "plan_join_query",
+    "execute_join_plan",
+]
+
+
+def _require_subordinate(schema: DatabaseSchema, sub: DatabaseSchema) -> None:
+    if not schema.covers(sub):
+        raise NotASubSchemaError(
+            f"expected D' <= D, but {sub} is not covered by {schema}"
+        )
+
+
+def can_solve_with_joins(
+    schema: DatabaseSchema,
+    target: Union[RelationSchema, Iterable[Attribute]],
+    sub_schema: DatabaseSchema,
+) -> bool:
+    """Corollary 4.1: ``(D, X)`` is solvable by joining ``D'`` and projecting
+    iff ``CC(D, X) <= D'`` (requires ``D' <= D``)."""
+    _require_subordinate(schema, sub_schema)
+    connection = canonical_connection(schema, target)
+    return sub_schema.covers(connection)
+
+
+def minimal_join_subschema(
+    schema: DatabaseSchema, target: Union[RelationSchema, Iterable[Attribute]]
+) -> DatabaseSchema:
+    """The minimum sub-schema whose join solves ``(D, X)``: ``CC(D, X)``.
+
+    For tree schemas this equals ``GR(D, X)`` (Theorem 3.3(ii)); the general
+    statement is Theorem 4.1 combined with Theorem 5.2.
+    """
+    return canonical_connection(schema, target)
+
+
+def queries_weakly_equivalent(
+    first: DatabaseSchema,
+    second: DatabaseSchema,
+    target: Union[RelationSchema, Iterable[Attribute]],
+    *,
+    method: str = "canonical-connection",
+) -> bool:
+    """Decide ``(D, X) ≡ (D', X)`` over UR databases.
+
+    ``method`` is ``"canonical-connection"`` (Lemma 3.5: compare
+    ``CC(D, X)`` and ``CC(D', X)``) or ``"tableau"`` (Lemma 3.2: compare the
+    standard tableaux directly via containment mappings).  Both are exact; the
+    tableau route skips minimization and is the reference implementation used
+    to validate the canonical-connection route in the tests.
+    """
+    target_schema = (
+        target if isinstance(target, RelationSchema) else RelationSchema(target)
+    )
+    if method == "canonical-connection":
+        universe = first.attributes.union(second.attributes).union(target_schema)
+        return canonical_connection(
+            first, target_schema, universe=universe
+        ) == canonical_connection(second, target_schema, universe=universe)
+    if method == "tableau":
+        universe = first.attributes.union(second.attributes).union(target_schema)
+        first_tab = standard_tableau(first, target_schema, universe=universe)
+        second_tab = standard_tableau(second, target_schema, universe=universe)
+        return tableaux_equivalent(first_tab, second_tab)
+    raise ValueError(f"unknown equivalence method: {method!r}")
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An executable join-then-project plan for ``(D, X)``.
+
+    ``sub_schema`` lists the relation schemas actually joined (by Theorem 4.1
+    any ``D'`` covering ``CC(D, X)`` works; the planner uses ``CC(D, X)``
+    itself).  ``irrelevant_relations`` are the indices of base relations whose
+    state the plan never touches — the paper's Section 6 example observes that
+    for ``D = (abg, bcg, acf, ad, de, ea)`` and ``X = abc`` the relations
+    ``ad``, ``de`` and ``ea`` are irrelevant and the ``f`` column of ``acf``
+    can be projected away.
+    """
+
+    schema: DatabaseSchema
+    target: RelationSchema
+    sub_schema: DatabaseSchema
+    irrelevant_relations: Tuple[int, ...]
+
+    @property
+    def relevant_relations(self) -> Tuple[int, ...]:
+        """Indices of base relations that contribute to some joined relation."""
+        return tuple(
+            index
+            for index in range(len(self.schema))
+            if index not in self.irrelevant_relations
+        )
+
+
+def plan_join_query(
+    schema: DatabaseSchema, target: Union[RelationSchema, Iterable[Attribute]]
+) -> JoinPlan:
+    """Build the minimal join plan for ``(D, X)`` from its canonical connection."""
+    target_schema = (
+        target if isinstance(target, RelationSchema) else RelationSchema(target)
+    )
+    connection = canonical_connection(schema, target_schema)
+    used: List[int] = []
+    for relation in connection.relations:
+        for index, base in enumerate(schema.relations):
+            if relation <= base:
+                used.append(index)
+                break
+    irrelevant = tuple(
+        index for index in range(len(schema)) if index not in set(used)
+    )
+    return JoinPlan(
+        schema=schema,
+        target=target_schema,
+        sub_schema=connection,
+        irrelevant_relations=irrelevant,
+    )
+
+
+def execute_join_plan(plan: JoinPlan, state: DatabaseState) -> Relation:
+    """Execute a join plan over a UR database state for the plan's schema.
+
+    Every relation of the plan's sub-schema is materialized by projecting a
+    covering base relation, all of them are joined, and the result is
+    projected onto the target — exactly the "joins followed by a single
+    project" strategy of Section 4.
+    """
+    if state.schema != plan.schema:
+        raise SchemaError("the state is for a different schema than the plan")
+    derived = state.state_for(plan.sub_schema) if len(plan.sub_schema) else None
+    if derived is None or len(plan.sub_schema) == 0:
+        joined = Relation.nullary_true()
+    else:
+        joined = join_all(derived.relations)
+    if not plan.target <= joined.schema:
+        # The degenerate case CC(D, X) = (X') with X' ⊂ X cannot occur when
+        # X ⊆ U(D); guard to fail loudly rather than return a wrong schema.
+        raise SchemaError("the join plan does not produce every target attribute")
+    return joined.project(plan.target)

@@ -1,0 +1,116 @@
+"""Ultra join reduction (UJR) — the Section 5.1 discussion of [11].
+
+A database state ``D`` for schema ``D`` is *UJR* when, for every minimum-size
+qual graph ``G`` for ``D`` and every connected subgraph of ``G`` with nodes
+``r_1, ..., r_k`` corresponding to ``R_1, ..., R_k``, the join of the
+sub-database equals the projection of the full join onto its attributes:
+
+``⋈_{i=1..k} R_i  =  π_{U({R_1..R_k})}( ⋈_{R ∈ D} R )``
+
+i.e. joining any connected sub-database produces no tuples beyond what the
+whole database supports.  Goodman & Shmueli proved that for tree schemas every
+UR database is UJR, while for every cyclic schema some UR database is not —
+and the paper explains both facts through Corollary 5.2 and Theorem 5.1.
+
+Minimum-size qual graphs are expensive to enumerate in general (for a tree
+schema they are exactly the qual trees); :func:`minimum_qual_graphs`
+enumerates them exhaustively for small schemas, and :func:`is_ujr` checks the
+UJR condition for a given state against the supplied (or enumerated) graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import SearchBudgetExceeded
+from ..hypergraph.qual_graph import QualGraph
+from ..hypergraph.schema import DatabaseSchema
+from ..relational.algebra import join_all
+from ..relational.database import DatabaseState
+
+__all__ = [
+    "minimum_qual_graphs",
+    "connected_node_subsets",
+    "is_ujr",
+    "find_ujr_violation",
+]
+
+
+def minimum_qual_graphs(
+    schema: DatabaseSchema, *, budget: int = 500_000
+) -> Tuple[QualGraph, ...]:
+    """All qual graphs for ``schema`` with the minimum number of edges.
+
+    Edge subsets of the complete graph are enumerated by increasing size; the
+    first size admitting a valid qual graph is the minimum and every valid
+    graph of that size is returned.  Exponential in the number of relations —
+    intended for the small schemas of the UJR experiments.
+    """
+    n = len(schema)
+    if n <= 1:
+        return (QualGraph(schema, []),)
+    all_edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    examined = 0
+    for edge_count in range(0, len(all_edges) + 1):
+        winners: List[QualGraph] = []
+        for chosen in combinations(all_edges, edge_count):
+            examined += 1
+            if examined > budget:
+                raise SearchBudgetExceeded(
+                    f"minimum qual graph enumeration exceeded budget of {budget}"
+                )
+            graph = QualGraph(schema, chosen)
+            if graph.is_valid():
+                winners.append(graph)
+        if winners:
+            return tuple(winners)
+    return ()
+
+
+def connected_node_subsets(graph: QualGraph) -> Tuple[Tuple[int, ...], ...]:
+    """All non-empty node subsets inducing a connected subgraph of ``graph``."""
+    nodes = graph.nodes
+    results: List[Tuple[int, ...]] = []
+    for size in range(1, len(nodes) + 1):
+        for subset in combinations(nodes, size):
+            if graph.induces_connected_subgraph(subset):
+                results.append(subset)
+    return tuple(results)
+
+
+def _ujr_holds_for_subset(state: DatabaseState, subset: Sequence[int]) -> bool:
+    sub_join = join_all([state[index] for index in subset])
+    full_join = state.join()
+    return sub_join == full_join.project(sub_join.schema)
+
+
+def is_ujr(
+    state: DatabaseState,
+    *,
+    graphs: Optional[Iterable[QualGraph]] = None,
+    budget: int = 500_000,
+) -> bool:
+    """Check the UJR property of a database state.
+
+    ``graphs`` defaults to every minimum-size qual graph of the state's schema
+    (enumerated exhaustively); supplying a specific graph restricts the check
+    to it, which is how the tree-schema experiments use a single qual tree.
+    """
+    return find_ujr_violation(state, graphs=graphs, budget=budget) is None
+
+
+def find_ujr_violation(
+    state: DatabaseState,
+    *,
+    graphs: Optional[Iterable[QualGraph]] = None,
+    budget: int = 500_000,
+) -> Optional[Tuple[QualGraph, Tuple[int, ...]]]:
+    """Find a ``(qual graph, connected node subset)`` violating UJR, if any."""
+    if graphs is None:
+        graphs = minimum_qual_graphs(state.schema, budget=budget)
+    for graph in graphs:
+        for subset in connected_node_subsets(graph):
+            if not _ujr_holds_for_subset(state, subset):
+                return (graph, subset)
+    return None

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a relation or database schema is malformed or misused."""
+
+
+class ParseError(SchemaError):
+    """Raised when the textual schema notation cannot be parsed."""
+
+
+class NotATreeSchemaError(SchemaError):
+    """Raised when an operation requires a tree (acyclic) schema but the
+    supplied schema is cyclic."""
+
+
+class NotASubSchemaError(SchemaError):
+    """Raised when an operation requires ``D' <= D`` (every relation schema of
+    ``D'`` contained in some relation schema of ``D``) and the condition fails."""
+
+
+class QualGraphError(ReproError):
+    """Raised when a graph is not a valid qual graph for a schema."""
+
+
+class GYOError(ReproError):
+    """Raised when an invalid GYO operation is attempted (e.g. deleting a
+    sacred attribute, or eliminating a relation that is not a subset)."""
+
+
+class TableauError(ReproError):
+    """Raised for malformed tableaux or invalid containment mappings."""
+
+
+class RelationError(ReproError):
+    """Raised for malformed relation states or invalid algebra operations."""
+
+
+class ProgramError(ReproError):
+    """Raised when a join/project/semijoin program is malformed or references
+    unknown relations."""
+
+
+class TreeProjectionError(ReproError):
+    """Raised when tree-projection search is invoked on invalid inputs."""
+
+
+class TreeficationError(ReproError):
+    """Raised for invalid treefication problem instances."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """Raised when a worst-case-exponential search exceeds its explicit budget.
+
+    The library keeps exponential searches (Lemma 3.1 witnesses, weak
+    gamma-cycle enumeration, exact tree-projection search, exact Fixed
+    Treefication) behind explicit budgets so that callers never hit a silent
+    blow-up.  Catching this exception and retrying with a larger budget is
+    always safe.
+    """

@@ -1,0 +1,130 @@
+"""Hypergraph substrate: schemas, qual graphs, GYO reductions, acyclicity.
+
+This package implements Sections 2, 3.1 and 3.3 of the paper (plus the
+γ-acyclicity machinery of Section 5.2): relation/database schemas as
+hypergraphs, qual graphs and qual trees, the GYO reduction, Arings and
+Acliques, acyclicity tests and schema generators.
+"""
+
+from .schema import Attribute, DatabaseSchema, RelationSchema, attributes_of
+from .parsing import format_relation, format_schema, parse_relation, parse_schema
+from .gyo import (
+    AttributeDeletion,
+    GYOReduction,
+    GYOStep,
+    GYOTrace,
+    SubsetElimination,
+    gyo_reduce,
+    gyo_reduction,
+    is_cyclic_schema,
+    is_partial_gyo_reduction,
+    is_tree_schema,
+)
+from .qual_graph import QualGraph, enumerate_qual_trees, is_qual_graph
+from .join_tree import (
+    find_qual_tree,
+    is_subtree,
+    is_subtree_semantic,
+    join_tree_from_gyo,
+    join_tree_from_spanning_tree,
+    subtree_witness,
+)
+from .cycles import (
+    CyclicCoreWitness,
+    aclique,
+    aring,
+    default_attribute_names,
+    find_aring_or_aclique_witness,
+    is_aclique,
+    is_aring,
+    verify_lemma_3_1,
+)
+from .acyclicity import (
+    WeakGammaCycle,
+    find_weak_gamma_cycle,
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_beta_acyclic_bruteforce,
+    is_gamma_acyclic,
+    is_gamma_acyclic_via_subtrees,
+    violating_pair,
+)
+from .berge import find_berge_cycle, is_berge_acyclic
+from .isomorphism import are_isomorphic, attribute_profile, find_isomorphism
+from .generators import (
+    chain_schema,
+    clique_of_rings,
+    fan_schema,
+    grid_schema,
+    random_cyclic_schema,
+    random_schema,
+    random_tree_schema,
+    star_schema,
+)
+
+__all__ = [
+    # schema
+    "Attribute",
+    "RelationSchema",
+    "DatabaseSchema",
+    "attributes_of",
+    # parsing
+    "parse_relation",
+    "parse_schema",
+    "format_relation",
+    "format_schema",
+    # gyo
+    "AttributeDeletion",
+    "SubsetElimination",
+    "GYOStep",
+    "GYOTrace",
+    "GYOReduction",
+    "gyo_reduce",
+    "gyo_reduction",
+    "is_tree_schema",
+    "is_cyclic_schema",
+    "is_partial_gyo_reduction",
+    # qual graphs / join trees
+    "QualGraph",
+    "is_qual_graph",
+    "enumerate_qual_trees",
+    "join_tree_from_gyo",
+    "join_tree_from_spanning_tree",
+    "find_qual_tree",
+    "is_subtree",
+    "is_subtree_semantic",
+    "subtree_witness",
+    # cycles
+    "aring",
+    "aclique",
+    "default_attribute_names",
+    "is_aring",
+    "is_aclique",
+    "CyclicCoreWitness",
+    "find_aring_or_aclique_witness",
+    "verify_lemma_3_1",
+    # acyclicity
+    "is_alpha_acyclic",
+    "WeakGammaCycle",
+    "find_weak_gamma_cycle",
+    "violating_pair",
+    "is_gamma_acyclic",
+    "is_gamma_acyclic_via_subtrees",
+    "is_beta_acyclic",
+    "is_beta_acyclic_bruteforce",
+    "is_berge_acyclic",
+    "find_berge_cycle",
+    # isomorphism
+    "are_isomorphic",
+    "find_isomorphism",
+    "attribute_profile",
+    # generators
+    "chain_schema",
+    "star_schema",
+    "fan_schema",
+    "grid_schema",
+    "clique_of_rings",
+    "random_tree_schema",
+    "random_cyclic_schema",
+    "random_schema",
+]

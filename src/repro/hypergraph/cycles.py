@@ -1,0 +1,213 @@
+"""Arings, Acliques and Lemma 3.1 (the building blocks of cyclic schemas).
+
+Section 3.1 of the paper defines, for a universe ``U = {A_1, ..., A_n}`` with
+``n > 2``:
+
+* the **Aring** of size ``n``:  ``({A_1,A_2}, {A_2,A_3}, ..., {A_{n-1},A_n},
+  {A_n,A_1})`` — a cycle of binary relation schemas;
+* the **Aclique** of size ``n``:  ``(U - {A_1}, U - {A_2}, ..., U - {A_n})`` —
+  all ``(n-1)``-element subsets of ``U``.
+
+Any schema isomorphic to one of these (i.e. equal to one after renaming
+attributes) is also called an Aring / Aclique.
+
+**Lemma 3.1** — Schema ``D`` is cyclic iff there exists ``X ⊆ U(D)`` such that
+eliminating subset and duplicate relation schemas from ``(R - X | R ∈ D)``
+results in an Aring or an Aclique.  :func:`find_aring_or_aclique_witness`
+searches for such an ``X`` (exponential in ``|U(D)|``, guarded by a budget);
+:func:`verify_lemma_3_1` checks the equivalence on a given schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from string import ascii_lowercase
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import SchemaError, SearchBudgetExceeded
+from .gyo import is_cyclic_schema
+from .schema import Attribute, DatabaseSchema, RelationSchema
+
+__all__ = [
+    "aring",
+    "aclique",
+    "default_attribute_names",
+    "is_aring",
+    "is_aclique",
+    "CyclicCoreWitness",
+    "find_aring_or_aclique_witness",
+    "verify_lemma_3_1",
+]
+
+
+def default_attribute_names(count: int) -> Tuple[Attribute, ...]:
+    """Generate ``count`` attribute names: ``a..z`` then ``a1, b1, ...``.
+
+    Single letters are used while possible so the paper's compact notation
+    stays readable in reprs and error messages.
+    """
+    if count < 0:
+        raise SchemaError("attribute count must be non-negative")
+    names: List[Attribute] = []
+    round_number = 0
+    while len(names) < count:
+        suffix = "" if round_number == 0 else str(round_number)
+        for letter in ascii_lowercase:
+            names.append(letter + suffix)
+            if len(names) == count:
+                break
+        round_number += 1
+    return tuple(names)
+
+
+def _resolve_universe(
+    size: int, attributes: Optional[Sequence[Attribute]]
+) -> Tuple[Attribute, ...]:
+    if size < 3:
+        raise SchemaError("Arings and Acliques require size n > 2")
+    if attributes is None:
+        return default_attribute_names(size)
+    attrs = tuple(attributes)
+    if len(attrs) != size:
+        raise SchemaError(
+            f"expected {size} attribute names, got {len(attrs)}"
+        )
+    if len(set(attrs)) != size:
+        raise SchemaError("attribute names must be distinct")
+    return attrs
+
+
+def aring(size: int, attributes: Optional[Sequence[Attribute]] = None) -> DatabaseSchema:
+    """The Aring of the given size (optionally over the given attribute names).
+
+    >>> aring(4)
+    DatabaseSchema('ab,bc,cd,ad')
+    """
+    attrs = _resolve_universe(size, attributes)
+    relations = [
+        RelationSchema({attrs[i], attrs[(i + 1) % size]}) for i in range(size)
+    ]
+    return DatabaseSchema(relations)
+
+
+def aclique(size: int, attributes: Optional[Sequence[Attribute]] = None) -> DatabaseSchema:
+    """The Aclique of the given size (optionally over the given attribute names).
+
+    >>> aclique(3)
+    DatabaseSchema('bc,ac,ab')
+    """
+    attrs = _resolve_universe(size, attributes)
+    universe = set(attrs)
+    relations = [RelationSchema(universe - {attr}) for attr in attrs]
+    return DatabaseSchema(relations)
+
+
+def is_aring(schema: DatabaseSchema) -> bool:
+    """Recognize schemas isomorphic to an Aring.
+
+    A schema is an Aring of size ``n`` iff it has ``n >= 3`` distinct binary
+    relation schemas over ``n`` attributes, every attribute occurs in exactly
+    two relation schemas, and the schema is connected — these conditions force
+    the relation/attribute incidence structure to be a single cycle.
+    """
+    n = len(schema)
+    if n < 3:
+        return False
+    relations = schema.relations
+    if len(set(relations)) != n:
+        return False
+    if any(len(relation) != 2 for relation in relations):
+        return False
+    universe = schema.attributes
+    if len(universe) != n:
+        return False
+    occurrences = schema.attribute_occurrences()
+    if any(len(indices) != 2 for indices in occurrences.values()):
+        return False
+    return schema.is_connected()
+
+
+def is_aclique(schema: DatabaseSchema) -> bool:
+    """Recognize schemas isomorphic to an Aclique.
+
+    A schema is an Aclique of size ``n`` iff it consists of ``n >= 3``
+    distinct relation schemas of cardinality ``n - 1`` over a universe of
+    ``n`` attributes (it then necessarily contains *every* such subset).
+    """
+    n = len(schema)
+    if n < 3:
+        return False
+    relations = schema.relations
+    if len(set(relations)) != n:
+        return False
+    universe = schema.attributes
+    if len(universe) != n:
+        return False
+    return all(len(relation) == n - 1 for relation in relations)
+
+
+@dataclass(frozen=True)
+class CyclicCoreWitness:
+    """A witness for Lemma 3.1: deleting ``deleted_attributes`` from the schema
+    and eliminating subsets/duplicates yields ``core`` of the stated ``kind``."""
+
+    deleted_attributes: RelationSchema
+    core: DatabaseSchema
+    kind: str  # "aring" or "aclique"
+
+    def describe(self) -> str:
+        """Human readable description of the witness."""
+        return (
+            f"delete X = {self.deleted_attributes.to_notation()} "
+            f"and eliminate subsets -> {self.kind} {self.core}"
+        )
+
+
+def _core_after_deleting(
+    schema: DatabaseSchema, deleted: Iterable[Attribute]
+) -> DatabaseSchema:
+    """``(R - X | R ∈ D)`` with subset and duplicate elimination applied."""
+    return schema.delete_attributes(deleted).reduction().without_empty_relations()
+
+
+def find_aring_or_aclique_witness(
+    schema: DatabaseSchema, *, budget: int = 1_000_000
+) -> Optional[CyclicCoreWitness]:
+    """Search for the ``X`` of Lemma 3.1.
+
+    Subsets of ``U(D)`` are tried in order of increasing size, so the returned
+    witness deletes as few attributes as possible.  The search is exponential
+    in ``|U(D)|``; ``budget`` bounds the number of candidate subsets examined
+    and :class:`~repro.exceptions.SearchBudgetExceeded` is raised beyond it.
+
+    Returns ``None`` when no witness exists — by Lemma 3.1 this happens
+    exactly when the schema is a tree schema.
+    """
+    universe = schema.attributes.sorted_attributes()
+    examined = 0
+    for size in range(0, len(universe) + 1):
+        for subset in combinations(universe, size):
+            examined += 1
+            if examined > budget:
+                raise SearchBudgetExceeded(
+                    f"Lemma 3.1 witness search exceeded budget of {budget} subsets"
+                )
+            core = _core_after_deleting(schema, subset)
+            if is_aring(core):
+                return CyclicCoreWitness(
+                    deleted_attributes=RelationSchema(subset), core=core, kind="aring"
+                )
+            if is_aclique(core):
+                return CyclicCoreWitness(
+                    deleted_attributes=RelationSchema(subset),
+                    core=core,
+                    kind="aclique",
+                )
+    return None
+
+
+def verify_lemma_3_1(schema: DatabaseSchema, *, budget: int = 1_000_000) -> bool:
+    """Check Lemma 3.1 on one schema: cyclic ⟺ an Aring/Aclique witness exists."""
+    witness = find_aring_or_aclique_witness(schema, budget=budget)
+    return is_cyclic_schema(schema) == (witness is not None)

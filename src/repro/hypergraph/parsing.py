@@ -1,0 +1,123 @@
+"""Parsing and formatting of the paper's compact schema notation.
+
+The paper writes database schemas as ``(ab, bc, cd)`` where attributes are
+single letters and relation schemas are concatenations of letters.  This
+module converts between that notation and :class:`~repro.hypergraph.schema`
+objects, and also supports multi-character attribute names via explicit
+separators.
+
+Examples
+--------
+>>> parse_schema("ab,bc,cd")
+DatabaseSchema('ab,bc,cd')
+>>> parse_schema("emp_id dept | dept mgr", relation_separator="|", attribute_separator=" ")
+DatabaseSchema('dept,emp_id;dept,mgr')  # doctest: +SKIP
+>>> format_schema(parse_schema("abc,cde,ace,afe"))
+'(abc, ace, aef, cde)'
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..exceptions import ParseError
+from .schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    "parse_relation",
+    "parse_schema",
+    "format_relation",
+    "format_schema",
+]
+
+
+def parse_relation(
+    text: str, attribute_separator: Optional[str] = None
+) -> RelationSchema:
+    """Parse a single relation schema.
+
+    Without a separator each character is one attribute (paper notation).
+    With a separator the text is split on it and whitespace is stripped.
+
+    >>> parse_relation("abc")
+    RelationSchema('abc')
+    >>> parse_relation("emp_id;dept", attribute_separator=";").sorted_attributes()
+    ('dept', 'emp_id')
+    """
+    text = text.strip()
+    if text in ("", "{}", "()"):
+        return RelationSchema()
+    if attribute_separator is None:
+        return RelationSchema(text)
+    attributes = [part.strip() for part in text.split(attribute_separator)]
+    attributes = [part for part in attributes if part]
+    if not attributes:
+        return RelationSchema()
+    return RelationSchema(attributes)
+
+
+def parse_schema(
+    text: str,
+    relation_separator: str = ",",
+    attribute_separator: Optional[str] = None,
+) -> DatabaseSchema:
+    """Parse a database schema written in the paper's notation.
+
+    >>> parse_schema("ab, bc, cd").relations
+    (RelationSchema('ab'), RelationSchema('bc'), RelationSchema('cd'))
+
+    Surrounding parentheses or braces are tolerated:
+
+    >>> parse_schema("(ab, bc, ac)") == parse_schema("ab,bc,ac")
+    True
+    """
+    if not isinstance(text, str):
+        raise ParseError(f"expected a string, got {type(text).__name__}")
+    stripped = text.strip()
+    for opener, closer in (("(", ")"), ("{", "}"), ("[", "]")):
+        if stripped.startswith(opener) and stripped.endswith(closer):
+            stripped = stripped[1:-1].strip()
+            break
+    if not stripped:
+        return DatabaseSchema()
+    if relation_separator == attribute_separator:
+        raise ParseError(
+            "relation_separator and attribute_separator must be different"
+        )
+    pieces = stripped.split(relation_separator)
+    relations = [
+        parse_relation(piece, attribute_separator=attribute_separator)
+        for piece in pieces
+        if piece.strip() != ""
+    ]
+    return DatabaseSchema(relations)
+
+
+def format_relation(
+    relation: RelationSchema, attribute_separator: Optional[str] = None
+) -> str:
+    """Format a relation schema; inverse of :func:`parse_relation`."""
+    return relation.to_notation(attribute_separator)
+
+
+def format_schema(
+    schema: DatabaseSchema,
+    relation_separator: str = ", ",
+    attribute_separator: Optional[str] = None,
+    parenthesize: bool = True,
+) -> str:
+    """Format a database schema; inverse of :func:`parse_schema`.
+
+    Relations are emitted in a deterministic (sorted) order so formatted
+    output is stable across runs regardless of construction order.
+    """
+    body = schema.sorted().to_notation(
+        relation_separator=relation_separator,
+        attribute_separator=attribute_separator,
+    )
+    return f"({body})" if parenthesize else body
+
+
+def schemas_from_notations(notations: Iterable[str]) -> list:
+    """Parse several schemas at once (convenience for tests and benchmarks)."""
+    return [parse_schema(notation) for notation in notations]

@@ -1,0 +1,307 @@
+"""Qual graphs and qual trees (Section 3.1).
+
+A *qual graph* for a database schema ``D`` is an undirected graph whose nodes
+are in one-to-one correspondence with the relation schemas of ``D`` such that
+for each attribute ``A ∈ U(D)`` the subgraph induced by the nodes whose
+relation schemas contain ``A`` is connected.  ``D`` is a *tree schema* if some
+qual graph for it is a tree, else ``D`` is a *cyclic schema*.
+
+Qual trees are also known as *join trees*; the tree-schema property is
+α-acyclicity in the hypergraph literature.
+
+The useful fact stated in the paper ("attribute connectivity") — if ``T`` is a
+qual tree, ``r`` and ``s`` nodes of ``T`` and ``p`` a node on the path from
+``r`` to ``s``, then ``A ∈ R ∩ S`` implies ``A ∈ P`` — is exposed as
+:meth:`QualGraph.check_attribute_connectivity`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import combinations
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..exceptions import QualGraphError, SearchBudgetExceeded
+from .schema import Attribute, DatabaseSchema, RelationSchema
+
+__all__ = [
+    "QualGraph",
+    "is_qual_graph",
+    "enumerate_qual_trees",
+]
+
+Edge = Tuple[int, int]
+
+
+def _normalize_edge(a: int, b: int) -> Edge:
+    return (a, b) if a <= b else (b, a)
+
+
+class QualGraph:
+    """An undirected graph over the relation indices of a database schema.
+
+    The graph does not have to be a valid qual graph; use :meth:`is_valid`
+    to check the qual-graph condition and :meth:`is_qual_tree` for the
+    tree-schema condition.
+    """
+
+    def __init__(self, schema: DatabaseSchema, edges: Iterable[Edge] = ()) -> None:
+        self._schema = schema
+        self._nodes = tuple(range(len(schema)))
+        self._edges: Set[Edge] = set()
+        for a, b in edges:
+            self.add_edge(a, b)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Add the undirected edge ``{a, b}``; self-loops are rejected."""
+        if a == b:
+            raise QualGraphError("qual graphs have no self-loops")
+        for node in (a, b):
+            if not 0 <= node < len(self._schema):
+                raise QualGraphError(f"node {node} is not a relation index")
+        self._edges.add(_normalize_edge(a, b))
+
+    def remove_edge(self, a: int, b: int) -> None:
+        """Remove the undirected edge ``{a, b}`` if present."""
+        self._edges.discard(_normalize_edge(a, b))
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The schema whose relations are the nodes of this graph."""
+        return self._schema
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """All relation indices (every relation is a node, even if isolated)."""
+        return self._nodes
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The undirected edges as normalized ``(min, max)`` pairs."""
+        return frozenset(self._edges)
+
+    def relation(self, node: int) -> RelationSchema:
+        """The relation schema corresponding to ``node``."""
+        return self._schema[node]
+
+    def neighbours(self, node: int) -> Tuple[int, ...]:
+        """Nodes adjacent to ``node``."""
+        result = []
+        for a, b in self._edges:
+            if a == node:
+                result.append(b)
+            elif b == node:
+                result.append(a)
+        return tuple(sorted(result))
+
+    def degree(self, node: int) -> int:
+        """Number of edges incident to ``node``."""
+        return len(self.neighbours(node))
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Adjacency mapping for all nodes."""
+        adjacency: Dict[int, Set[int]] = {node: set() for node in self._nodes}
+        for a, b in self._edges:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return adjacency
+
+    # -- graph-theoretic predicates ------------------------------------------------
+
+    def is_connected(self, restrict_to: Optional[Iterable[int]] = None) -> bool:
+        """Connectivity of the whole graph, or of the induced subgraph on
+        ``restrict_to`` when given."""
+        nodes = set(self._nodes if restrict_to is None else restrict_to)
+        if not nodes:
+            return True
+        adjacency = self.adjacency()
+        start = next(iter(nodes))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbour in adjacency[node]:
+                if neighbour in nodes and neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        return seen == nodes
+
+    def is_tree(self) -> bool:
+        """True when the graph is connected and has exactly ``n - 1`` edges."""
+        n = len(self._nodes)
+        if n == 0:
+            return True
+        return len(self._edges) == n - 1 and self.is_connected()
+
+    def induces_connected_subgraph(self, nodes: Iterable[int]) -> bool:
+        """True when the given nodes induce a connected subgraph."""
+        return self.is_connected(restrict_to=nodes)
+
+    def path(self, source: int, target: int) -> Optional[Tuple[int, ...]]:
+        """A shortest path between two nodes, or ``None`` when disconnected."""
+        if source == target:
+            return (source,)
+        adjacency = self.adjacency()
+        previous: Dict[int, int] = {}
+        queue = deque([source])
+        seen = {source}
+        while queue:
+            node = queue.popleft()
+            for neighbour in sorted(adjacency[node]):
+                if neighbour in seen:
+                    continue
+                previous[neighbour] = node
+                if neighbour == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(previous[path[-1]])
+                    return tuple(reversed(path))
+                seen.add(neighbour)
+                queue.append(neighbour)
+        return None
+
+    # -- qual graph predicates -------------------------------------------------------
+
+    def is_valid(self) -> bool:
+        """The qual-graph condition: each attribute's nodes induce a connected
+        subgraph."""
+        occurrences = self._schema.attribute_occurrences()
+        for indices in occurrences.values():
+            if not self.induces_connected_subgraph(indices):
+                return False
+        return True
+
+    def invalid_attributes(self) -> Tuple[Attribute, ...]:
+        """Attributes violating the qual-graph condition (for diagnostics)."""
+        occurrences = self._schema.attribute_occurrences()
+        return tuple(
+            sorted(
+                attribute
+                for attribute, indices in occurrences.items()
+                if not self.induces_connected_subgraph(indices)
+            )
+        )
+
+    def is_qual_tree(self) -> bool:
+        """True when the graph is both a tree and a valid qual graph."""
+        return self.is_tree() and self.is_valid()
+
+    def check_attribute_connectivity(self) -> bool:
+        """Verify the paper's *attribute connectivity* fact on this graph.
+
+        Only meaningful for qual trees: for all nodes ``r, s`` and every node
+        ``p`` on the (unique) path between them, ``R ∩ S ⊆ P``.
+        Returns ``True`` when the property holds for every pair.
+        """
+        if not self.is_tree():
+            raise QualGraphError("attribute connectivity is defined on qual trees")
+        for r, s in combinations(self._nodes, 2):
+            shared = self.relation(r).intersection(self.relation(s))
+            if not shared:
+                continue
+            path = self.path(r, s)
+            if path is None:
+                return False
+            for p in path:
+                if not shared <= self.relation(p):
+                    return False
+        return True
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def to_edge_notation(self) -> Tuple[Tuple[str, str], ...]:
+        """Edges rendered with the relation schemas' paper notation."""
+        return tuple(
+            (self.relation(a).to_notation(), self.relation(b).to_notation())
+            for a, b in sorted(self._edges)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        edges = ", ".join(f"{a}-{b}" for a, b in sorted(self._edges))
+        return f"QualGraph(nodes={len(self._nodes)}, edges=[{edges}])"
+
+
+def is_qual_graph(schema: DatabaseSchema, edges: Iterable[Edge]) -> bool:
+    """Check whether the given edge set is a valid qual graph for ``schema``."""
+    return QualGraph(schema, edges).is_valid()
+
+
+def _tree_from_pruefer(nodes: Sequence[int], sequence: Sequence[int]) -> List[Edge]:
+    """Decode a Prüfer sequence over ``nodes`` into the edge list of a tree."""
+    import heapq
+
+    degree = {node: 1 for node in nodes}
+    for node in sequence:
+        degree[node] += 1
+    edges: List[Edge] = []
+    leaves = [node for node in nodes if degree[node] == 1]
+    heapq.heapify(leaves)
+    for node in sequence:
+        leaf = heapq.heappop(leaves)
+        edges.append(_normalize_edge(leaf, node))
+        degree[leaf] -= 1
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    last = [node for node in nodes if degree[node] == 1]
+    edges.append(_normalize_edge(last[0], last[1]))
+    return edges
+
+
+def enumerate_qual_trees(
+    schema: DatabaseSchema, *, budget: int = 200_000
+) -> Iterator[QualGraph]:
+    """Enumerate every qual tree of ``schema`` (exhaustive, for small schemas).
+
+    All labelled trees on ``n`` nodes are generated via Prüfer sequences
+    (``n^(n-2)`` of them), each checked for the qual-graph condition.  The
+    ``budget`` bounds the number of candidate trees examined; exceeding it
+    raises :class:`~repro.exceptions.SearchBudgetExceeded`.
+
+    A schema is a tree schema iff this iterator yields at least one graph.
+    """
+    n = len(schema)
+    if n == 0:
+        return
+    if n == 1:
+        yield QualGraph(schema, [])
+        return
+    if n == 2:
+        candidate = QualGraph(schema, [(0, 1)])
+        if candidate.is_valid():
+            yield candidate
+        return
+    nodes = list(range(n))
+    total = n ** (n - 2)
+    if total > budget:
+        raise SearchBudgetExceeded(
+            f"enumerating {total} labelled trees exceeds budget {budget}"
+        )
+
+    def sequences(length: int) -> Iterator[Tuple[int, ...]]:
+        if length == 0:
+            yield ()
+            return
+        for rest in sequences(length - 1):
+            for node in nodes:
+                yield rest + (node,)
+
+    for sequence in sequences(n - 2):
+        edges = _tree_from_pruefer(nodes, sequence)
+        candidate = QualGraph(schema, edges)
+        if candidate.is_valid():
+            yield candidate

@@ -1,0 +1,86 @@
+"""Relational substrate: relation states, algebra, UR databases, join
+dependencies, semijoin programs, Yannakakis' algorithm and Section 6 query
+programs."""
+
+from .relation import Relation, Row
+from .algebra import (
+    intermediate_join_sizes,
+    join_all,
+    join_all_in_order,
+    natural_join,
+    project,
+    semijoin,
+)
+from .database import DatabaseState, is_universal_database, universal_database
+from .universal import (
+    chain_correlated_universal_relation,
+    random_database_state,
+    random_universal_relation,
+    random_ur_database,
+)
+from .query import (
+    NaturalJoinQuery,
+    weakly_contained_empirically,
+    weakly_equivalent_empirically,
+)
+from .dependencies import (
+    DecompositionReport,
+    decompose_and_rejoin,
+    satisfies_join_dependency,
+    search_implication_counterexample,
+)
+from .yannakakis import (
+    SemijoinStep,
+    YannakakisRun,
+    full_reduce,
+    full_reducer_semijoins,
+    naive_join_project,
+    rooted_orientation,
+    yannakakis,
+)
+from .program import (
+    JoinStatement,
+    Program,
+    ProjectStatement,
+    SemijoinStatement,
+    Statement,
+    default_base_names,
+)
+
+__all__ = [
+    "Relation",
+    "Row",
+    "project",
+    "natural_join",
+    "semijoin",
+    "join_all",
+    "join_all_in_order",
+    "intermediate_join_sizes",
+    "DatabaseState",
+    "universal_database",
+    "is_universal_database",
+    "random_universal_relation",
+    "random_ur_database",
+    "random_database_state",
+    "chain_correlated_universal_relation",
+    "NaturalJoinQuery",
+    "weakly_contained_empirically",
+    "weakly_equivalent_empirically",
+    "satisfies_join_dependency",
+    "DecompositionReport",
+    "decompose_and_rejoin",
+    "search_implication_counterexample",
+    "SemijoinStep",
+    "rooted_orientation",
+    "full_reducer_semijoins",
+    "full_reduce",
+    "YannakakisRun",
+    "yannakakis",
+    "naive_join_project",
+    "JoinStatement",
+    "ProjectStatement",
+    "SemijoinStatement",
+    "Statement",
+    "Program",
+    "default_base_names",
+]

@@ -1,0 +1,319 @@
+"""In-memory relations (relation states) and the core relational operators.
+
+A :class:`Relation` is a set of tuples over a fixed relation schema
+(attribute set).  The operators the paper uses — natural join ``⋈``,
+projection ``π_X`` and natural semijoin ``⋉`` (``R ⋉ S = π_R(R ⋈ S)``) — are
+methods; a handful of extra operators (selection, rename, union,
+intersection, difference) round out the substrate so examples can build
+realistic database states.
+
+Tuples are stored internally in a canonical column order (sorted attribute
+names), so two relations over the same attributes with the same rows are
+equal regardless of how they were constructed.  Values may be any hashable
+Python objects.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..exceptions import RelationError
+from ..hypergraph.schema import Attribute, RelationSchema
+
+__all__ = ["Row", "Relation"]
+
+#: A row is exposed to callers as an attribute -> value mapping.
+Row = Mapping[Attribute, Any]
+
+_AttributesLike = Union[RelationSchema, Iterable[Attribute]]
+
+
+def _coerce_schema(attributes: _AttributesLike) -> RelationSchema:
+    if isinstance(attributes, RelationSchema):
+        return attributes
+    return RelationSchema(attributes)
+
+
+class Relation:
+    """An immutable relation state over a relation schema.
+
+    Examples
+    --------
+    >>> r = Relation.from_dicts("ab", [{"a": 1, "b": 2}, {"a": 1, "b": 3}])
+    >>> len(r)
+    2
+    >>> s = Relation.from_dicts("bc", [{"b": 2, "c": 9}])
+    >>> sorted((r.natural_join(s)).to_dicts(), key=lambda row: row["b"])
+    [{'a': 1, 'b': 2, 'c': 9}]
+    """
+
+    __slots__ = ("_schema", "_columns", "_rows")
+
+    def __init__(
+        self,
+        attributes: _AttributesLike,
+        rows: Iterable[Sequence[Any]] = (),
+    ) -> None:
+        schema = _coerce_schema(attributes)
+        columns = schema.sorted_attributes()
+        normalized = set()
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != len(columns):
+                raise RelationError(
+                    f"row {row_tuple!r} has {len(row_tuple)} values but the relation "
+                    f"has {len(columns)} attributes {columns}"
+                )
+            normalized.add(row_tuple)
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_columns", columns)
+        object.__setattr__(self, "_rows", frozenset(normalized))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Relation is immutable")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls, attributes: _AttributesLike, rows: Iterable[Row]
+    ) -> "Relation":
+        """Build a relation from attribute -> value mappings."""
+        schema = _coerce_schema(attributes)
+        columns = schema.sorted_attributes()
+        materialized = []
+        for row in rows:
+            missing = set(columns) - set(row)
+            if missing:
+                raise RelationError(f"row {dict(row)!r} is missing attributes {sorted(missing)}")
+            materialized.append(tuple(row[column] for column in columns))
+        return cls(schema, materialized)
+
+    @classmethod
+    def empty(cls, attributes: _AttributesLike) -> "Relation":
+        """The empty relation over the given attributes."""
+        return cls(attributes, ())
+
+    @classmethod
+    def nullary_true(cls) -> "Relation":
+        """The relation over no attributes containing the empty tuple.
+
+        This is the neutral element of natural join.
+        """
+        return cls((), [()])
+
+    # -- basic accessors -----------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The relation schema (attribute set)."""
+        return self._schema
+
+    @property
+    def attributes(self) -> FrozenSet[Attribute]:
+        """The attributes as a frozen set."""
+        return self._schema.attributes
+
+    @property
+    def columns(self) -> Tuple[Attribute, ...]:
+        """The canonical (sorted) column order used for stored tuples."""
+        return self._columns
+
+    @property
+    def rows(self) -> FrozenSet[Tuple[Any, ...]]:
+        """The stored tuples, aligned with :attr:`columns`."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[Attribute, Any]]:
+        return iter(self.to_dicts())
+
+    def __contains__(self, row: object) -> bool:
+        if isinstance(row, Mapping):
+            try:
+                candidate = tuple(row[column] for column in self._columns)
+            except KeyError:
+                return False
+            return candidate in self._rows
+        if isinstance(row, tuple):
+            return row in self._rows
+        return False
+
+    def to_dicts(self) -> List[Dict[Attribute, Any]]:
+        """The rows as dictionaries (deterministically ordered)."""
+        return [dict(zip(self._columns, row)) for row in sorted(self._rows, key=repr)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Relation({self._schema.to_notation()!r}, {len(self._rows)} rows)"
+
+    # -- relational operators ---------------------------------------------------------
+
+    def project(self, attributes: _AttributesLike) -> "Relation":
+        """``π_X(R)`` — projection onto ``X ⊆ R``."""
+        target = _coerce_schema(attributes)
+        if not target <= self._schema:
+            raise RelationError(
+                f"cannot project {self._schema.to_notation()} onto "
+                f"{target.to_notation()}: not a subset"
+            )
+        positions = [self._columns.index(column) for column in target.sorted_attributes()]
+        projected = {tuple(row[position] for position in positions) for row in self._rows}
+        return Relation(target, projected)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """``R ⋈ S`` — natural join on the shared attributes (hash join)."""
+        shared = sorted(self.attributes & other.attributes)
+        result_schema = self._schema.union(other._schema)
+        result_columns = result_schema.sorted_attributes()
+
+        left_positions = [self._columns.index(column) for column in shared]
+        right_positions = [other._columns.index(column) for column in shared]
+
+        buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        for row in other._rows:
+            key = tuple(row[position] for position in right_positions)
+            buckets.setdefault(key, []).append(row)
+
+        left_map = {column: position for position, column in enumerate(self._columns)}
+        right_map = {column: position for position, column in enumerate(other._columns)}
+
+        combined_rows = set()
+        for left_row in self._rows:
+            key = tuple(left_row[position] for position in left_positions)
+            for right_row in buckets.get(key, ()):
+                combined = tuple(
+                    left_row[left_map[column]]
+                    if column in left_map
+                    else right_row[right_map[column]]
+                    for column in result_columns
+                )
+                combined_rows.add(combined)
+        return Relation(result_schema, combined_rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """``R ⋉ S = π_R(R ⋈ S)`` — keep rows of ``R`` that join with ``S``."""
+        shared = sorted(self.attributes & other.attributes)
+        if not shared:
+            # With no shared attributes the semijoin keeps everything iff the
+            # other relation is non-empty.
+            return self if other._rows else Relation(self._schema, ())
+        left_positions = [self._columns.index(column) for column in shared]
+        right_positions = [other._columns.index(column) for column in shared]
+        keys = {tuple(row[position] for position in right_positions) for row in other._rows}
+        kept = {
+            row
+            for row in self._rows
+            if tuple(row[position] for position in left_positions) in keys
+        }
+        return Relation(self._schema, kept)
+
+    def select(self, predicate: Callable[[Dict[Attribute, Any]], bool]) -> "Relation":
+        """``σ_p(R)`` — keep rows satisfying ``predicate`` (given as dicts)."""
+        kept = [
+            row
+            for row in self._rows
+            if predicate(dict(zip(self._columns, row)))
+        ]
+        return Relation(self._schema, kept)
+
+    def select_equal(self, **bindings: Any) -> "Relation":
+        """Selection by attribute equality, e.g. ``relation.select_equal(a=1)``."""
+        unknown = set(bindings) - set(self._columns)
+        if unknown:
+            raise RelationError(f"unknown attributes in selection: {sorted(unknown)}")
+        return self.select(
+            lambda row: all(row[attribute] == value for attribute, value in bindings.items())
+        )
+
+    def rename(self, mapping: Mapping[Attribute, Attribute]) -> "Relation":
+        """``ρ`` — rename attributes according to ``mapping``."""
+        unknown = set(mapping) - set(self._columns)
+        if unknown:
+            raise RelationError(f"cannot rename unknown attributes {sorted(unknown)}")
+        new_names = [mapping.get(column, column) for column in self._columns]
+        if len(set(new_names)) != len(new_names):
+            raise RelationError("renaming would merge two attributes")
+        new_schema = RelationSchema(new_names)
+        new_columns = new_schema.sorted_attributes()
+        reorder = [new_names.index(column) for column in new_columns]
+        rows = {tuple(row[position] for position in reorder) for row in self._rows}
+        return Relation(new_schema, rows)
+
+    # -- set operations (same schema required) ---------------------------------------
+
+    def _require_same_schema(self, other: "Relation", operation: str) -> None:
+        if self._schema != other._schema:
+            raise RelationError(
+                f"{operation} requires identical schemas "
+                f"({self._schema.to_notation()} vs {other._schema.to_notation()})"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union of two relations over the same schema."""
+        self._require_same_schema(other, "union")
+        return Relation(self._schema, self._rows | other._rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection of two relations over the same schema."""
+        self._require_same_schema(other, "intersection")
+        return Relation(self._schema, self._rows & other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference of two relations over the same schema."""
+        self._require_same_schema(other, "difference")
+        return Relation(self._schema, self._rows - other._rows)
+
+    def issubset(self, other: "Relation") -> bool:
+        """True when every row of this relation appears in ``other``."""
+        self._require_same_schema(other, "issubset")
+        return self._rows <= other._rows
+
+    # -- convenience -------------------------------------------------------------------
+
+    def render(self, max_rows: int = 20) -> str:
+        """A fixed-width textual rendering (for examples and debugging)."""
+        header = list(self._columns) or ["(no attributes)"]
+        body = [
+            [str(value) for value in row]
+            for row in sorted(self._rows, key=repr)[:max_rows]
+        ]
+        if not self._columns:
+            body = [["()"] for _ in range(min(len(self._rows), max_rows))]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header)))]
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+        omitted = len(self._rows) - len(body)
+        if omitted > 0:
+            lines.append(f"... ({omitted} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Semijoin full reducers and Yannakakis' algorithm for tree schemas.
+
+The payoff of the paper's tree/cyclic dichotomy is query processing: over a
+tree schema, ``π_X(⋈ D)`` can be computed with a linear number of semijoins
+and joins whose intermediate results never exceed (input + output) size
+(Yannakakis, VLDB 1981; Bernstein & Chiu).  This module implements:
+
+* :func:`full_reducer_semijoins` — the semijoin program (leaf-to-root then
+  root-to-leaf passes over a qual tree) that makes every relation state
+  globally consistent;
+* :func:`full_reduce` — apply that program to a database state;
+* :func:`yannakakis` — the full algorithm: full reduction followed by a
+  bottom-up join with early projection;
+* :func:`naive_join_project` — the baseline the benchmarks compare against.
+
+Both algorithms compute exactly ``π_X(⋈ D)`` for *any* database state (UR or
+not); the difference is intermediate-result size and running time, which the
+benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import NotATreeSchemaError, SchemaError
+from ..hypergraph.join_tree import find_qual_tree
+from ..hypergraph.qual_graph import QualGraph
+from ..hypergraph.schema import DatabaseSchema, RelationSchema
+from .algebra import join_all_in_order
+from .database import DatabaseState
+from .relation import Relation
+
+__all__ = [
+    "SemijoinStep",
+    "rooted_orientation",
+    "full_reducer_semijoins",
+    "full_reduce",
+    "YannakakisRun",
+    "yannakakis",
+    "naive_join_project",
+]
+
+
+@dataclass(frozen=True)
+class SemijoinStep:
+    """One semijoin ``target := target ⋉ source`` over relation indices."""
+
+    target: int
+    source: int
+
+    def describe(self) -> str:
+        """Human readable description of the step."""
+        return f"R{self.target} := R{self.target} ⋉ R{self.source}"
+
+
+def rooted_orientation(
+    tree: QualGraph, root: int = 0
+) -> Tuple[Tuple[int, ...], Dict[int, Optional[int]]]:
+    """Orient a qual tree from ``root``: returns a pre-order and a parent map."""
+    adjacency = tree.adjacency()
+    order: List[int] = []
+    parent: Dict[int, Optional[int]] = {root: None}
+    stack = [root]
+    seen = {root}
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for neighbour in sorted(adjacency[node], reverse=True):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                parent[neighbour] = node
+                stack.append(neighbour)
+    if len(order) != len(tree.nodes):
+        raise SchemaError("the qual tree is not connected")
+    return tuple(order), parent
+
+
+def full_reducer_semijoins(
+    schema: DatabaseSchema,
+    *,
+    tree: Optional[QualGraph] = None,
+    root: int = 0,
+) -> Tuple[SemijoinStep, ...]:
+    """The full-reducer semijoin program for a tree schema.
+
+    Leaf-to-root pass (each parent semijoined by each child, children first)
+    followed by a root-to-leaf pass (each child semijoined by its parent);
+    ``2·(|D| - 1)`` semijoins in total.  Raises
+    :class:`~repro.exceptions.NotATreeSchemaError` on cyclic schemas.
+    """
+    if len(schema) == 0:
+        return ()
+    if tree is None:
+        tree = find_qual_tree(schema)
+        if tree is None:
+            raise NotATreeSchemaError(
+                "full reducers exist exactly for tree schemas; the schema is cyclic"
+            )
+    order, parent = rooted_orientation(tree, root=root)
+    steps: List[SemijoinStep] = []
+    for node in reversed(order):
+        mother = parent[node]
+        if mother is not None:
+            steps.append(SemijoinStep(target=mother, source=node))
+    for node in order:
+        mother = parent[node]
+        if mother is not None:
+            steps.append(SemijoinStep(target=node, source=mother))
+    return tuple(steps)
+
+
+def full_reduce(
+    state: DatabaseState,
+    *,
+    tree: Optional[QualGraph] = None,
+    root: int = 0,
+) -> DatabaseState:
+    """Apply the full reducer to a state over a tree schema.
+
+    Afterwards every relation state equals the projection of the global join
+    onto its schema (global consistency).
+    """
+    steps = full_reducer_semijoins(state.schema, tree=tree, root=root)
+    relations = list(state.relations)
+    for step in steps:
+        relations[step.target] = relations[step.target].semijoin(relations[step.source])
+    return DatabaseState(state.schema, relations)
+
+
+@dataclass(frozen=True)
+class YannakakisRun:
+    """The result of running Yannakakis' algorithm, with size accounting.
+
+    ``max_intermediate_size`` is the largest relation materialized at any
+    point (after semijoins, during the bottom-up joins, and the final
+    result) — the quantity whose boundedness distinguishes tree from cyclic
+    query processing.
+    """
+
+    result: Relation
+    semijoin_count: int
+    join_count: int
+    max_intermediate_size: int
+
+
+def yannakakis(
+    schema: DatabaseSchema,
+    target: RelationSchema,
+    state: DatabaseState,
+    *,
+    tree: Optional[QualGraph] = None,
+    root: int = 0,
+) -> YannakakisRun:
+    """Compute ``π_X(⋈ D)`` over a tree schema via full reduction + guarded joins.
+
+    After the full reducer, nodes are joined bottom-up along the qual tree;
+    each intermediate result is projected onto the target attributes plus the
+    attributes still needed to join with the remaining (ancestor) nodes, which
+    is what keeps intermediate sizes polynomially bounded.
+    """
+    if not isinstance(target, RelationSchema):
+        target = RelationSchema(target)
+    if state.schema != schema:
+        raise SchemaError("the state is for a different schema than the query")
+    if not target <= schema.attributes:
+        raise SchemaError("the target must be contained in U(D)")
+    if len(schema) == 0:
+        return YannakakisRun(
+            result=Relation.nullary_true(),
+            semijoin_count=0,
+            join_count=0,
+            max_intermediate_size=1,
+        )
+    if tree is None:
+        tree = find_qual_tree(schema)
+        if tree is None:
+            raise NotATreeSchemaError(
+                "Yannakakis' algorithm applies to tree schemas; the schema is cyclic"
+            )
+
+    order, parent = rooted_orientation(tree, root=root)
+    reduced = full_reduce(state, tree=tree, root=root)
+    relations: Dict[int, Relation] = {
+        index: relation for index, relation in enumerate(reduced.relations)
+    }
+    semijoin_count = 2 * (len(schema) - 1) if len(schema) > 0 else 0
+    max_intermediate = max((len(relation) for relation in relations.values()), default=0)
+    join_count = 0
+
+    # Bottom-up join with early projection.
+    for node in reversed(order):
+        mother = parent[node]
+        if mother is None:
+            continue
+        child_relation = relations[node]
+        parent_relation = relations[mother]
+        joined = parent_relation.natural_join(child_relation)
+        join_count += 1
+        max_intermediate = max(max_intermediate, len(joined))
+        # Keep only what the target or the not-yet-joined ancestors can use.
+        needed = set(target.attributes)
+        needed |= set(parent_relation.attributes)
+        for other in order:
+            if other != node and other != mother and other not in _descendants(tree, node, parent):
+                needed |= set(schema[other].attributes)
+        keep = RelationSchema(set(joined.attributes) & needed)
+        projected = joined.project(keep)
+        max_intermediate = max(max_intermediate, len(projected))
+        relations[mother] = projected
+
+    final = relations[order[0]].project(
+        RelationSchema(set(relations[order[0]].attributes) & set(target.attributes))
+    )
+    # When the target is spread over several nodes the root accumulated all of
+    # it; when some target attribute is missing entirely the query target was
+    # not contained in U(D) (rejected above).
+    if final.schema != target:
+        # The root may be missing target attributes only if they were
+        # projected away by `keep`; `needed` always retains target attributes,
+        # so this indicates an internal error.
+        raise SchemaError(
+            "internal error: Yannakakis result schema does not match the target"
+        )
+    max_intermediate = max(max_intermediate, len(final))
+    return YannakakisRun(
+        result=final,
+        semijoin_count=semijoin_count,
+        join_count=join_count,
+        max_intermediate_size=max_intermediate,
+    )
+
+
+def _descendants(tree: QualGraph, node: int, parent: Dict[int, Optional[int]]) -> set:
+    """The set of descendants of ``node`` under the given orientation (inclusive)."""
+    children: Dict[int, List[int]] = {}
+    for child, mother in parent.items():
+        if mother is not None:
+            children.setdefault(mother, []).append(child)
+    result = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        result.add(current)
+        stack.extend(children.get(current, ()))
+    return result
+
+
+def naive_join_project(
+    schema: DatabaseSchema, target: RelationSchema, state: DatabaseState
+) -> Tuple[Relation, int]:
+    """The baseline: join every relation in schema order, then project.
+
+    Returns the result and the largest intermediate relation size, for
+    comparison with :func:`yannakakis` in the benchmarks.
+    """
+    if not isinstance(target, RelationSchema):
+        target = RelationSchema(target)
+    relations = state.relations
+    if not relations:
+        return Relation.nullary_true().project(RelationSchema(())), 0
+    current = relations[0]
+    max_intermediate = len(current)
+    for relation in relations[1:]:
+        current = current.natural_join(relation)
+        max_intermediate = max(max_intermediate, len(current))
+    result = current.project(target)
+    max_intermediate = max(max_intermediate, len(result))
+    return result, max_intermediate

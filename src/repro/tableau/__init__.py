@@ -1,0 +1,44 @@
+"""Tableau subsystem: standard tableaux, containment mappings, minimization,
+canonical schemas and canonical connections (Section 3.4 of the paper)."""
+
+from .variables import Variable, VariableKind, distinguished, shared, unique
+from .tableau import Tableau, TableauRow, standard_tableau
+from .containment import (
+    ContainmentMapping,
+    find_containment_mapping,
+    find_isomorphism,
+    has_containment_mapping,
+    tableaux_equivalent,
+    tableaux_isomorphic,
+)
+from .minimize import MinimizationResult, is_minimal_tableau, minimize_tableau
+from .canonical import (
+    CanonicalConnectionResult,
+    canonical_connection,
+    canonical_connection_result,
+    canonical_schema,
+)
+
+__all__ = [
+    "Variable",
+    "VariableKind",
+    "distinguished",
+    "shared",
+    "unique",
+    "Tableau",
+    "TableauRow",
+    "standard_tableau",
+    "ContainmentMapping",
+    "find_containment_mapping",
+    "has_containment_mapping",
+    "tableaux_equivalent",
+    "find_isomorphism",
+    "tableaux_isomorphic",
+    "MinimizationResult",
+    "minimize_tableau",
+    "is_minimal_tableau",
+    "CanonicalConnectionResult",
+    "canonical_connection",
+    "canonical_connection_result",
+    "canonical_schema",
+]

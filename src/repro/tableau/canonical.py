@@ -1,0 +1,110 @@
+"""Canonical schemas ``CS(D, X)`` and canonical connections ``CC(D, X)``.
+
+Given any tableau equivalent to ``Tab(D, X)``, the *canonical schema* reads a
+database schema off the tableau: for each row ``r_i`` construct the relation
+schema
+
+``R_i = { A | column A of r_i is the distinguished variable, or the symbol in
+column A of r_i also occurs in column A of another row }``
+
+and take the reduction of the resulting multiset (Section 3.4).
+
+The *canonical connection* ``CC(D, X)`` (Maier & Ullman) is the canonical
+schema of a **minimal** tableau for ``(D, X)``.  By Lemmas 3.3 and 3.4 it does
+not depend on which minimal tableau is used, so ``CC(D, X)`` is a well-defined
+function of the query.
+
+Key facts reproduced elsewhere in the library:
+
+* Lemma 3.5 — ``(D, X) ≡ (D', X)`` iff ``CC(D, X) = CC(D', X)``;
+* Theorem 3.3 — ``CC(D, X) <= GR(D, X)`` always, with equality when ``D`` is a
+  tree schema or when ``U(GR(D, X)) ⊆ X``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..hypergraph.schema import Attribute, DatabaseSchema, RelationSchema
+from .minimize import MinimizationResult, minimize_tableau
+from .tableau import Tableau, standard_tableau
+
+__all__ = [
+    "canonical_schema",
+    "CanonicalConnectionResult",
+    "canonical_connection_result",
+    "canonical_connection",
+]
+
+
+def canonical_schema(tableau: Tableau) -> DatabaseSchema:
+    """The canonical schema ``CS`` of a tableau (reduction included)."""
+    relations: List[RelationSchema] = []
+    rows = tableau.rows
+    for row_index, row in enumerate(rows):
+        attributes: List[Attribute] = []
+        for column_index, attribute in enumerate(tableau.columns):
+            symbol = row.cells[column_index]
+            if symbol.is_distinguished:
+                attributes.append(attribute)
+                continue
+            repeated = any(
+                other_index != row_index
+                and rows[other_index].cells[column_index] == symbol
+                for other_index in range(len(rows))
+            )
+            if repeated:
+                attributes.append(attribute)
+        relations.append(RelationSchema(attributes))
+    return DatabaseSchema(relations).reduction()
+
+
+@dataclass(frozen=True)
+class CanonicalConnectionResult:
+    """The canonical connection together with the artifacts that produced it."""
+
+    schema: DatabaseSchema
+    target: RelationSchema
+    standard: Tableau
+    minimization: MinimizationResult
+    connection: DatabaseSchema
+
+    @property
+    def minimal_tableau(self) -> Tableau:
+        """The minimal tableau used to read off ``CC(D, X)``."""
+        return self.minimization.minimal
+
+
+def canonical_connection_result(
+    schema: DatabaseSchema,
+    target: Union[RelationSchema, Iterable[Attribute]],
+    universe: Optional[Union[RelationSchema, Iterable[Attribute]]] = None,
+) -> CanonicalConnectionResult:
+    """Compute ``CC(D, X)`` returning the full derivation.
+
+    The derivation is: build ``Tab(D, X)``, minimize it, read off the
+    canonical schema of the minimal tableau.
+    """
+    target_schema = (
+        target if isinstance(target, RelationSchema) else RelationSchema(target)
+    )
+    tableau = standard_tableau(schema, target_schema, universe=universe)
+    minimization = minimize_tableau(tableau)
+    connection = canonical_schema(minimization.minimal)
+    return CanonicalConnectionResult(
+        schema=schema,
+        target=target_schema,
+        standard=tableau,
+        minimization=minimization,
+        connection=connection,
+    )
+
+
+def canonical_connection(
+    schema: DatabaseSchema,
+    target: Union[RelationSchema, Iterable[Attribute]],
+    universe: Optional[Union[RelationSchema, Iterable[Attribute]]] = None,
+) -> DatabaseSchema:
+    """``CC(D, X)`` — the canonical connection of the query ``(D, X)``."""
+    return canonical_connection_result(schema, target, universe=universe).connection

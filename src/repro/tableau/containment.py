@@ -1,0 +1,241 @@
+"""Containment mappings, tableau equivalence and isomorphism (Section 3.4).
+
+A *containment mapping* from tableau ``T`` to tableau ``T'`` is a row-to-row
+mapping induced by a symbol-to-symbol mapping that preserves distinguished
+variables (Aho, Sagiv & Ullman): a function ``h`` on symbols with
+``h(a) = a`` for every distinguished ``a`` such that applying ``h``
+componentwise to any row of ``T`` yields a row of ``T'``.
+
+* ``T ≡ T'`` (*equivalent*) — containment mappings exist in both directions.
+* ``T ≃ T'`` (*isomorphic*) — a one-to-one row correspondence exists that is a
+  containment mapping in both directions.
+
+Finding a containment mapping is NP-complete in general; the implementation
+is a backtracking search over row assignments with symbol-consistency
+propagation, which handles the tableau sizes arising from the paper's schemas
+comfortably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import TableauError
+from .tableau import Tableau, TableauRow
+from .variables import Variable
+
+__all__ = [
+    "ContainmentMapping",
+    "find_containment_mapping",
+    "has_containment_mapping",
+    "tableaux_equivalent",
+    "find_isomorphism",
+    "tableaux_isomorphic",
+]
+
+
+@dataclass(frozen=True)
+class ContainmentMapping:
+    """A witnessing containment mapping.
+
+    ``row_mapping[i] = j`` means row ``i`` of the source maps to row ``j`` of
+    the target; ``symbol_mapping`` is the inducing symbol-to-symbol function
+    restricted to the symbols of the source tableau.
+    """
+
+    row_mapping: Tuple[int, ...]
+    symbol_mapping: Dict[Variable, Variable]
+
+    def image_of_row(self, row_index: int) -> int:
+        """The target row index a source row is mapped to."""
+        return self.row_mapping[row_index]
+
+
+def _check_compatible(source: Tableau, target: Tableau) -> None:
+    if source.columns != target.columns:
+        raise TableauError(
+            "containment mappings are defined between tableaux over the same columns"
+        )
+
+
+def find_containment_mapping(
+    source: Tableau, target: Tableau
+) -> Optional[ContainmentMapping]:
+    """Find a containment mapping from ``source`` to ``target`` or return ``None``.
+
+    The search assigns source rows to target rows one at a time (most
+    constrained source rows first), maintaining a partial symbol mapping and
+    failing fast on conflicts.
+    """
+    _check_compatible(source, target)
+    if len(source) == 0:
+        return ContainmentMapping(row_mapping=(), symbol_mapping={})
+    if len(target) == 0:
+        return None
+
+    columns = source.columns
+    n_columns = len(columns)
+    source_rows = [row.cells for row in source.rows]
+    target_rows = [row.cells for row in target.rows]
+
+    # Precompute, for each source row, the target rows that are locally
+    # feasible: distinguished symbols must map to themselves and a symbol may
+    # never map to two different images within the same row.
+    def locally_feasible(src: Tuple[Variable, ...], dst: Tuple[Variable, ...]) -> bool:
+        local: Dict[Variable, Variable] = {}
+        for position in range(n_columns):
+            symbol = src[position]
+            image = dst[position]
+            if symbol.is_distinguished and symbol != image:
+                return False
+            seen = local.get(symbol)
+            if seen is None:
+                local[symbol] = image
+            elif seen != image:
+                return False
+        return True
+
+    candidates: List[List[int]] = []
+    for src in source_rows:
+        feasible = [
+            target_index
+            for target_index, dst in enumerate(target_rows)
+            if locally_feasible(src, dst)
+        ]
+        if not feasible:
+            return None
+        candidates.append(feasible)
+
+    order = sorted(range(len(source_rows)), key=lambda index: len(candidates[index]))
+    assignment: Dict[int, int] = {}
+    symbol_mapping: Dict[Variable, Variable] = {}
+
+    def assign(position: int) -> bool:
+        if position == len(order):
+            return True
+        source_index = order[position]
+        src = source_rows[source_index]
+        for target_index in candidates[source_index]:
+            dst = target_rows[target_index]
+            added: List[Variable] = []
+            conflict = False
+            for column in range(n_columns):
+                symbol = src[column]
+                image = dst[column]
+                existing = symbol_mapping.get(symbol)
+                if existing is None:
+                    symbol_mapping[symbol] = image
+                    added.append(symbol)
+                elif existing != image:
+                    conflict = True
+                    break
+            if not conflict:
+                assignment[source_index] = target_index
+                if assign(position + 1):
+                    return True
+                del assignment[source_index]
+            for symbol in added:
+                del symbol_mapping[symbol]
+        return False
+
+    if not assign(0):
+        return None
+    row_mapping = tuple(assignment[index] for index in range(len(source_rows)))
+    return ContainmentMapping(row_mapping=row_mapping, symbol_mapping=dict(symbol_mapping))
+
+
+def has_containment_mapping(source: Tableau, target: Tableau) -> bool:
+    """True when a containment mapping from ``source`` to ``target`` exists."""
+    return find_containment_mapping(source, target) is not None
+
+
+def tableaux_equivalent(first: Tableau, second: Tableau) -> bool:
+    """``T ≡ T'``: containment mappings exist in both directions.
+
+    By the theory of Aho, Sagiv & Ullman this coincides with the two
+    associated queries being weakly equivalent (Lemma 3.2 of the paper).
+    """
+    return has_containment_mapping(first, second) and has_containment_mapping(
+        second, first
+    )
+
+
+def find_isomorphism(
+    first: Tableau, second: Tableau
+) -> Optional[ContainmentMapping]:
+    """Find a row-bijective containment mapping whose inverse is also one.
+
+    Returns the forward mapping, or ``None`` when the tableaux are not
+    isomorphic.  Per Lemma 3.4, two equivalent tableaux that are both minimal
+    are always isomorphic.
+    """
+    _check_compatible(first, second)
+    if len(first) != len(second):
+        return None
+
+    columns = first.columns
+    n_columns = len(columns)
+    first_rows = [row.cells for row in first.rows]
+    second_rows = [row.cells for row in second.rows]
+
+    symbol_forward: Dict[Variable, Variable] = {}
+    symbol_backward: Dict[Variable, Variable] = {}
+    assignment: Dict[int, int] = {}
+    used_targets: set = set()
+
+    def try_pair(src: Tuple[Variable, ...], dst: Tuple[Variable, ...]) -> Optional[List[Tuple[Variable, Variable]]]:
+        added: List[Tuple[Variable, Variable]] = []
+        for column in range(n_columns):
+            symbol = src[column]
+            image = dst[column]
+            if symbol.is_distinguished != image.is_distinguished:
+                self_rollback(added)
+                return None
+            if symbol.is_distinguished and symbol != image:
+                self_rollback(added)
+                return None
+            fwd = symbol_forward.get(symbol)
+            bwd = symbol_backward.get(image)
+            if fwd is None and bwd is None:
+                symbol_forward[symbol] = image
+                symbol_backward[image] = symbol
+                added.append((symbol, image))
+            elif fwd != image or bwd != symbol:
+                self_rollback(added)
+                return None
+        return added
+
+    def self_rollback(added: List[Tuple[Variable, Variable]]) -> None:
+        for symbol, image in added:
+            del symbol_forward[symbol]
+            del symbol_backward[image]
+
+    def assign(source_index: int) -> bool:
+        if source_index == len(first_rows):
+            return True
+        src = first_rows[source_index]
+        for target_index, dst in enumerate(second_rows):
+            if target_index in used_targets:
+                continue
+            added = try_pair(src, dst)
+            if added is None:
+                continue
+            assignment[source_index] = target_index
+            used_targets.add(target_index)
+            if assign(source_index + 1):
+                return True
+            used_targets.discard(target_index)
+            del assignment[source_index]
+            self_rollback(added)
+        return False
+
+    if not assign(0):
+        return None
+    row_mapping = tuple(assignment[index] for index in range(len(first_rows)))
+    return ContainmentMapping(row_mapping=row_mapping, symbol_mapping=dict(symbol_forward))
+
+
+def tableaux_isomorphic(first: Tableau, second: Tableau) -> bool:
+    """``T ≃ T'``: a bidirectional row-bijective containment mapping exists."""
+    return find_isomorphism(first, second) is not None

@@ -1,0 +1,87 @@
+"""Tableau minimization (computing minimal tableaux / cores).
+
+``T'`` is a *minimal tableau* for the query ``(D, X)`` when ``T'`` is
+equivalent to ``Tab(D, X)`` and not equivalent to any tableau with fewer
+rows.  Lemma 3.4 (Aho, Sagiv & Ullman): two minimal tableaux for the same
+query are isomorphic, so minimization is well defined up to isomorphism.
+
+The classical fact used here is that a tableau is equivalent to one of its
+subtableaux iff there is a containment mapping onto that subtableau (the
+reverse mapping is the identity on the remaining rows), and that greedily
+removing one redundant row at a time terminates in a minimum-size equivalent
+subtableau (the *core*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .containment import find_containment_mapping, has_containment_mapping
+from .tableau import Tableau
+
+__all__ = ["MinimizationResult", "minimize_tableau", "is_minimal_tableau"]
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """The outcome of minimizing a tableau.
+
+    ``kept_rows`` holds the indices (into the original tableau) of the rows of
+    the minimal subtableau; ``removed_rows`` the redundant rows in the order
+    they were eliminated.
+    """
+
+    original: Tableau
+    minimal: Tableau
+    kept_rows: Tuple[int, ...]
+    removed_rows: Tuple[int, ...]
+
+    @property
+    def removed_count(self) -> int:
+        """How many rows minimization eliminated."""
+        return len(self.removed_rows)
+
+
+def minimize_tableau(tableau: Tableau) -> MinimizationResult:
+    """Compute a minimal tableau equivalent to ``tableau``.
+
+    Rows are examined in order; a row is dropped when the current tableau has
+    a containment mapping into the tableau without that row.  The result is a
+    subtableau of the input, so the identity is a containment mapping back and
+    equivalence is guaranteed by construction.
+    """
+    kept: List[int] = list(range(len(tableau)))
+    removed: List[int] = []
+    current = tableau
+
+    changed = True
+    while changed:
+        changed = False
+        for position in range(len(current)):
+            candidate = current.without_row(position)
+            if len(candidate) == 0:
+                continue
+            if has_containment_mapping(current, candidate):
+                removed.append(kept.pop(position))
+                current = candidate
+                changed = True
+                break
+
+    return MinimizationResult(
+        original=tableau,
+        minimal=current,
+        kept_rows=tuple(kept),
+        removed_rows=tuple(removed),
+    )
+
+
+def is_minimal_tableau(tableau: Tableau) -> bool:
+    """True when no proper subtableau is equivalent to ``tableau``."""
+    for position in range(len(tableau)):
+        candidate = tableau.without_row(position)
+        if len(candidate) == 0:
+            continue
+        if has_containment_mapping(tableau, candidate):
+            return False
+    return True

@@ -1,0 +1,50 @@
+"""Treefication: turning cyclic schemas into tree schemas by adding relations.
+
+Single-relation treefication is solved exactly by Corollary 3.2
+(``U(GR(D))``); adding multiple bounded-size relations is the NP-complete
+Fixed Treefication problem of Theorem 4.2, reduced from Bin Packing.
+"""
+
+from .single import (
+    SingleTreefication,
+    is_treefying_relation,
+    minimum_treefying_relations_bruteforce,
+    single_relation_treefication,
+    treefying_relation,
+)
+from .binpacking import (
+    BinPackingInstance,
+    BinPackingSolution,
+    first_fit_decreasing,
+    solve_bin_packing_exact,
+)
+from .fixed import (
+    FixedTreeficationInstance,
+    FixedTreeficationSolution,
+    is_valid_treefication,
+    packing_from_treefication,
+    reduction_from_bin_packing,
+    solve_fixed_treefication_exact,
+    solve_fixed_treefication_via_packing,
+    treefication_from_packing,
+)
+
+__all__ = [
+    "treefying_relation",
+    "is_treefying_relation",
+    "SingleTreefication",
+    "single_relation_treefication",
+    "minimum_treefying_relations_bruteforce",
+    "BinPackingInstance",
+    "BinPackingSolution",
+    "solve_bin_packing_exact",
+    "first_fit_decreasing",
+    "FixedTreeficationInstance",
+    "FixedTreeficationSolution",
+    "is_valid_treefication",
+    "solve_fixed_treefication_exact",
+    "reduction_from_bin_packing",
+    "treefication_from_packing",
+    "packing_from_treefication",
+    "solve_fixed_treefication_via_packing",
+]

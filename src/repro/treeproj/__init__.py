@@ -1,0 +1,25 @@
+"""Tree projections (Section 3.2) and the Section 6 query-processing theorems."""
+
+from .tree_projection import (
+    TreeProjectionSearch,
+    find_tree_projection,
+    greedy_cover_candidate,
+    has_tree_projection,
+    is_tree_projection,
+)
+from .solver import (
+    AugmentedProgram,
+    augment_program_with_semijoins,
+    solve_with_tree_projection,
+)
+
+__all__ = [
+    "is_tree_projection",
+    "greedy_cover_candidate",
+    "TreeProjectionSearch",
+    "find_tree_projection",
+    "has_tree_projection",
+    "AugmentedProgram",
+    "augment_program_with_semijoins",
+    "solve_with_tree_projection",
+]

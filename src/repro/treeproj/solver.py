@@ -1,0 +1,234 @@
+"""Solving queries from a program's relations via a tree projection
+(Theorems 6.1, 6.2 and the constructions behind them).
+
+Theorem 6.1 (tree projection sufficiency): if some ``D'' ∈ TP(P(D), D ∪ (X))``
+exists then ``P`` augmented by at most ``2·|D|`` semijoins solves ``(D, X)``.
+Theorem 6.2 specializes ``D`` to ``CC(D, X)`` for UR databases.
+
+The construction implemented here follows the proof idea:
+
+1. every relation of ``D''`` is covered by some relation of ``P(D)``, so its
+   state is obtained by projecting that relation's value;
+2. every original relation of ``D`` (respectively of ``CC(D, X)``) is covered
+   by some node of ``D''``; semijoining the node by the original relation
+   (≤ ``|D|`` semijoins) makes each node contain no tuple that conflicts with
+   the original database;
+3. because ``D''`` is a tree schema and ``X`` is covered by one of its nodes,
+   a full-reducer pass plus a guarded bottom-up join (Yannakakis over ``D''``)
+   yields ``π_X(⋈ D)``.
+
+:func:`augment_program_with_semijoins` emits the construction as additional
+:class:`~repro.relational.program.Program` statements, so the result is again
+a program in the paper's sense; :func:`solve_with_tree_projection` runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..exceptions import TreeProjectionError
+from ..hypergraph.join_tree import find_qual_tree
+from ..hypergraph.schema import DatabaseSchema, RelationSchema
+from ..relational.database import DatabaseState
+from ..relational.program import Program
+from ..relational.relation import Relation
+from ..relational.yannakakis import rooted_orientation
+from .tree_projection import find_tree_projection, is_tree_projection
+
+__all__ = ["AugmentedProgram", "augment_program_with_semijoins", "solve_with_tree_projection"]
+
+
+@dataclass(frozen=True)
+class AugmentedProgram:
+    """A program extended per Theorem 6.1, with accounting of what was added."""
+
+    program: Program
+    tree_projection: DatabaseSchema
+    added_semijoins: int
+    added_joins: int
+    added_projects: int
+
+    def run(self, state: DatabaseState) -> Relation:
+        """Execute the augmented program over a state for the base schema."""
+        return self.program.run(state)
+
+
+def _covering_name(program: Program, target: RelationSchema) -> str:
+    """A relation name in ``P(D)`` whose schema contains ``target``.
+
+    Base relations are preferred; created relations are scanned in creation
+    order otherwise.
+    """
+    for name in program.base_names:
+        if target <= program.schema_of(name):
+            return name
+    for name in program.created_names():
+        if target <= program.schema_of(name):
+            return name
+    raise TreeProjectionError(
+        f"no relation of P(D) covers {target.to_notation()}; "
+        "the candidate is not <= P(D)"
+    )
+
+
+def augment_program_with_semijoins(
+    program: Program,
+    target: Union[RelationSchema, str],
+    *,
+    anchors: Optional[DatabaseSchema] = None,
+    tree_projection: Optional[DatabaseSchema] = None,
+    budget: int = 100_000,
+) -> AugmentedProgram:
+    """Extend ``program`` so that it solves ``(D, X)``, given a tree projection.
+
+    ``anchors`` is the schema whose relations must be "re-attached" by
+    semijoins — ``D`` itself for general databases (Theorem 6.1) or
+    ``CC(D, X)`` for UR databases (Theorem 6.2); it defaults to the base
+    schema ``D``.  When ``tree_projection`` is not supplied it is searched in
+    ``TP(P(D), anchors ∪ (X))``; a :class:`TreeProjectionError` is raised when
+    none is found.
+    """
+    target_schema = (
+        target if isinstance(target, RelationSchema) else RelationSchema(target)
+    )
+    base = program.base_schema
+    anchor_schema = anchors if anchors is not None else base
+    lower = anchor_schema.add_relation(target_schema)
+    extended = program.extended_schema()
+
+    if tree_projection is None:
+        if not extended.covers(lower):
+            raise TreeProjectionError(
+                "P(D) does not even cover D ∪ (X), so no tree projection exists; "
+                "the program cannot be completed with semijoins alone (Theorem 6.3)"
+            )
+        search = find_tree_projection(extended, lower, budget=budget)
+        if not search.found:
+            raise TreeProjectionError(
+                "no tree projection of P(D) w.r.t. D ∪ (X) was found; "
+                "by Theorem 6.3 the program cannot be completed with semijoins alone"
+            )
+        tree_projection = search.projection
+    else:
+        if not is_tree_projection(tree_projection, extended, lower):
+            raise TreeProjectionError(
+                "the supplied schema is not a tree projection of P(D) w.r.t. D ∪ (X)"
+            )
+
+    # Rebuild the program so we can append to a fresh copy.
+    augmented = Program(base, program.statements, base_names=program.base_names)
+    added_semijoins = 0
+    added_joins = 0
+    added_projects = 0
+    fresh_counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal fresh_counter
+        fresh_counter += 1
+        return f"__tp_{prefix}_{fresh_counter}"
+
+    # Step 1: materialize one relation per tree-projection node.
+    node_names: List[str] = []
+    for node_schema in tree_projection.relations:
+        cover = _covering_name(augmented, node_schema)
+        name = fresh("node")
+        augmented.project(name, cover, node_schema)
+        added_projects += 1
+        node_names.append(name)
+
+    # Step 2: semijoin each node with every anchor relation it covers (each
+    # anchor is attached to exactly one node).
+    for anchor_index, anchor in enumerate(anchor_schema.relations):
+        node_index = next(
+            (
+                index
+                for index, node_schema in enumerate(tree_projection.relations)
+                if anchor <= node_schema
+            ),
+            None,
+        )
+        if node_index is None:
+            raise TreeProjectionError(
+                f"tree projection does not cover anchor relation {anchor.to_notation()}"
+            )
+        anchor_name = _covering_name(augmented, anchor)
+        # If the covering relation is wider than the anchor, narrow it first so
+        # the semijoin is on exactly the anchor attributes.
+        if augmented.schema_of(anchor_name) != anchor:
+            narrowed = fresh("anchor")
+            augmented.project(narrowed, anchor_name, anchor)
+            added_projects += 1
+            anchor_name = narrowed
+        new_name = fresh("reduced")
+        augmented.semijoin(new_name, node_names[node_index], anchor_name)
+        added_semijoins += 1
+        node_names[node_index] = new_name
+
+    # Step 3: full reducer over a qual tree of the tree projection, then a
+    # bottom-up join ending in a node that covers X, and a final projection.
+    tree = find_qual_tree(tree_projection)
+    if tree is None:  # pragma: no cover - tree_projection is a tree by construction
+        raise TreeProjectionError("internal error: tree projection is not a tree schema")
+    target_node = next(
+        index
+        for index, node_schema in enumerate(tree_projection.relations)
+        if target_schema <= node_schema
+    )
+    order, parent = rooted_orientation(tree, root=target_node)
+
+    # Leaf-to-root semijoins.
+    for node in reversed(order):
+        mother = parent[node]
+        if mother is None:
+            continue
+        new_name = fresh("up")
+        augmented.semijoin(new_name, node_names[mother], node_names[node])
+        added_semijoins += 1
+        node_names[mother] = new_name
+    # Root-to-leaf semijoins.
+    for node in order:
+        mother = parent[node]
+        if mother is None:
+            continue
+        new_name = fresh("down")
+        augmented.semijoin(new_name, node_names[node], node_names[mother])
+        added_semijoins += 1
+        node_names[node] = new_name
+
+    # After the full reducer every node is globally consistent; in particular
+    # the root (which was chosen to cover X) already holds the projection of
+    # the join of all nodes onto its own schema, so the answer is a single
+    # projection away — no join statements are needed, matching the theorem's
+    # "augmented by semijoins" phrasing.
+    final = fresh("answer")
+    augmented.project(final, node_names[target_node], target_schema)
+    added_projects += 1
+
+    return AugmentedProgram(
+        program=augmented,
+        tree_projection=tree_projection,
+        added_semijoins=added_semijoins,
+        added_joins=added_joins,
+        added_projects=added_projects,
+    )
+
+
+def solve_with_tree_projection(
+    program: Program,
+    target: Union[RelationSchema, str],
+    state: DatabaseState,
+    *,
+    anchors: Optional[DatabaseSchema] = None,
+    tree_projection: Optional[DatabaseSchema] = None,
+    budget: int = 100_000,
+) -> Relation:
+    """Augment ``program`` per Theorem 6.1/6.2 and evaluate it on ``state``."""
+    augmented = augment_program_with_semijoins(
+        program,
+        target,
+        anchors=anchors,
+        tree_projection=tree_projection,
+        budget=budget,
+    )
+    return augmented.run(state)

@@ -1,0 +1,17 @@
+"""Benchmark workloads: named schema families and database-state factories."""
+
+from .suites import (
+    WorkloadCase,
+    acyclicity_workload,
+    gyo_scaling_workload,
+    query_evaluation_workload,
+    tableau_scaling_workload,
+)
+
+__all__ = [
+    "WorkloadCase",
+    "gyo_scaling_workload",
+    "tableau_scaling_workload",
+    "acyclicity_workload",
+    "query_evaluation_workload",
+]

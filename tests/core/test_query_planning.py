@@ -1,0 +1,89 @@
+"""Unit tests for the Section 4 query-planning API (Theorem 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotASubSchemaError
+from repro.core import (
+    can_solve_with_joins,
+    execute_join_plan,
+    minimal_join_subschema,
+    plan_join_query,
+    queries_weakly_equivalent,
+)
+from repro.figures import SECTION_6_EXPECTED_CC, SECTION_6_SCHEMA, SECTION_6_TARGET
+from repro.hypergraph import RelationSchema, gyo_reduction, parse_schema
+from repro.relational import NaturalJoinQuery, random_ur_database
+
+
+class TestCanSolveWithJoins:
+    def test_section6_minimal_subschema(self):
+        assert minimal_join_subschema(SECTION_6_SCHEMA, SECTION_6_TARGET) == SECTION_6_EXPECTED_CC
+        assert can_solve_with_joins(SECTION_6_SCHEMA, SECTION_6_TARGET, SECTION_6_EXPECTED_CC)
+
+    def test_dropping_a_needed_relation_fails(self):
+        too_small = parse_schema("abg,ac")
+        assert not can_solve_with_joins(SECTION_6_SCHEMA, SECTION_6_TARGET, too_small)
+
+    def test_full_schema_always_works(self):
+        assert can_solve_with_joins(SECTION_6_SCHEMA, SECTION_6_TARGET, SECTION_6_SCHEMA)
+
+    def test_requires_subordinate_schema(self):
+        with pytest.raises(NotASubSchemaError):
+            can_solve_with_joins(SECTION_6_SCHEMA, SECTION_6_TARGET, parse_schema("xyz"))
+
+    def test_tree_schema_case_matches_gr(self, chain4):
+        """Hull / Yannakakis special case: for tree schemas the criterion is GR."""
+        target = RelationSchema("ad")
+        assert minimal_join_subschema(chain4, target) == gyo_reduction(chain4, target)
+
+
+class TestWeakEquivalence:
+    def test_methods_agree(self):
+        pairs = [
+            (parse_schema("ab,bc"), parse_schema("ab,bc,b"), "ac"),
+            (parse_schema("ab,bc,ac"), parse_schema("ab,bc"), "ac"),
+            (SECTION_6_SCHEMA, SECTION_6_EXPECTED_CC, "abc"),
+        ]
+        for first, second, target in pairs:
+            assert queries_weakly_equivalent(
+                first, second, target, method="canonical-connection"
+            ) == queries_weakly_equivalent(first, second, target, method="tableau")
+
+    def test_known_equivalence_and_inequivalence(self):
+        assert queries_weakly_equivalent(SECTION_6_SCHEMA, SECTION_6_EXPECTED_CC, "abc")
+        assert not queries_weakly_equivalent(
+            parse_schema("ab,bc,ac"), parse_schema("ab,bc"), "ac"
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            queries_weakly_equivalent(parse_schema("ab"), parse_schema("ab"), "a", method="x")
+
+
+class TestJoinPlans:
+    def test_section6_plan_identifies_irrelevant_relations(self):
+        plan = plan_join_query(SECTION_6_SCHEMA, SECTION_6_TARGET)
+        assert plan.sub_schema == SECTION_6_EXPECTED_CC
+        assert set(plan.irrelevant_relations) == {3, 4, 5}
+        assert set(plan.relevant_relations) == {0, 1, 2}
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_plan_execution_matches_full_query(self, seed):
+        state = random_ur_database(SECTION_6_SCHEMA, tuple_count=25, domain_size=3, rng=seed)
+        plan = plan_join_query(SECTION_6_SCHEMA, SECTION_6_TARGET)
+        expected = NaturalJoinQuery(SECTION_6_SCHEMA, SECTION_6_TARGET).evaluate(state)
+        assert execute_join_plan(plan, state) == expected
+
+    def test_plan_on_tree_schema(self, chain4):
+        plan = plan_join_query(chain4, RelationSchema("ad"))
+        state = random_ur_database(chain4, tuple_count=20, domain_size=3, rng=8)
+        expected = NaturalJoinQuery(chain4, RelationSchema("ad")).evaluate(state)
+        assert execute_join_plan(plan, state) == expected
+
+    def test_plan_with_single_relation_target(self, triangle):
+        plan = plan_join_query(triangle, RelationSchema("ab"))
+        assert len(plan.sub_schema) == 1
+        state = random_ur_database(triangle, tuple_count=20, domain_size=3, rng=1)
+        assert execute_join_plan(plan, state) == state[0]

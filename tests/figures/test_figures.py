@@ -1,0 +1,122 @@
+"""Tests that the paper's figures and in-text examples behave exactly as stated."""
+
+from __future__ import annotations
+
+from repro.figures import (
+    FIGURE_1_CASES,
+    FIGURE_2_ACLIQUE_4,
+    FIGURE_2_ARING_4,
+    FIGURE_2C_ACLIQUE_DELETION,
+    FIGURE_2C_ARING_DELETION,
+    FIGURE_2C_SCHEMA,
+    FIGURE_7_ACLIQUE_PAIR,
+    FIGURE_7_ARING_PAIR,
+    SECTION_3_2_D,
+    SECTION_3_2_D_DOUBLE_PRIME,
+    SECTION_3_2_D_PRIME,
+    SECTION_5_1_SCHEMA,
+    SECTION_5_1_SUBSCHEMA,
+    SECTION_6_EXPECTED_CC,
+    SECTION_6_SCHEMA,
+    SECTION_6_TARGET,
+)
+from repro.core import jd_implies, plan_join_query
+from repro.hypergraph import (
+    is_aclique,
+    is_aring,
+    is_cyclic_schema,
+    is_subtree,
+    is_tree_schema,
+)
+from repro.tableau import canonical_connection
+from repro.treeproj import find_tree_projection, is_tree_projection
+
+
+class TestFigure1:
+    def test_classification(self):
+        for schema, expected_tree in FIGURE_1_CASES:
+            assert is_tree_schema(schema) == expected_tree, schema
+
+
+class TestFigure2:
+    def test_building_blocks(self):
+        assert is_aring(FIGURE_2_ARING_4)
+        assert is_aclique(FIGURE_2_ACLIQUE_4)
+        assert is_cyclic_schema(FIGURE_2_ARING_4)
+        assert is_cyclic_schema(FIGURE_2_ACLIQUE_4)
+
+    def test_figure_2c_reductions_match_caption(self):
+        assert is_cyclic_schema(FIGURE_2C_SCHEMA)
+        ring_core = (
+            FIGURE_2C_SCHEMA.delete_attributes(FIGURE_2C_ARING_DELETION)
+            .reduction()
+            .without_empty_relations()
+        )
+        clique_core = (
+            FIGURE_2C_SCHEMA.delete_attributes(FIGURE_2C_ACLIQUE_DELETION)
+            .reduction()
+            .without_empty_relations()
+        )
+        assert is_aring(ring_core) and len(ring_core) == 4
+        assert is_aclique(clique_core) and len(clique_core) == 4
+
+    def test_figure_7_pairs_exist_in_figure_2c(self):
+        for pair in (FIGURE_7_ARING_PAIR, FIGURE_7_ACLIQUE_PAIR):
+            for relation in pair:
+                assert any(relation <= big for big in FIGURE_2C_SCHEMA.relations)
+
+    def test_figure_7_deleting_intersection_does_not_disconnect(self):
+        """Figure 7's point: inside an Aring/Aclique-based cyclic schema,
+        deleting R ∩ S leaves R and S connected (the γ-acyclicity test fails)."""
+        for first, second in (FIGURE_7_ARING_PAIR, FIGURE_7_ACLIQUE_PAIR):
+            schema = FIGURE_2C_SCHEMA
+            supersets = []
+            for target in (first, second):
+                supersets.append(
+                    next(index for index, rel in enumerate(schema.relations) if target <= rel)
+                )
+            shared = schema[supersets[0]].intersection(schema[supersets[1]])
+            restricted = schema.delete_attributes(shared)
+            adjacency = restricted.adjacency()
+            # Breadth-first search between the two supersets in the restricted schema.
+            seen, stack = {supersets[0]}, [supersets[0]]
+            while stack:
+                node = stack.pop()
+                for neighbour in adjacency[node]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+            assert supersets[1] in seen
+
+
+class TestSection32Example:
+    def test_sandwich_and_projection(self):
+        assert SECTION_3_2_D <= SECTION_3_2_D_DOUBLE_PRIME
+        assert SECTION_3_2_D_DOUBLE_PRIME <= SECTION_3_2_D_PRIME
+        assert is_tree_schema(SECTION_3_2_D_DOUBLE_PRIME)
+        assert is_cyclic_schema(SECTION_3_2_D)
+        assert is_cyclic_schema(SECTION_3_2_D_PRIME)
+        assert is_tree_projection(
+            SECTION_3_2_D_DOUBLE_PRIME, SECTION_3_2_D_PRIME, SECTION_3_2_D
+        )
+
+    def test_search_recovers_some_projection(self):
+        result = find_tree_projection(SECTION_3_2_D_PRIME, SECTION_3_2_D)
+        assert result.found
+
+
+class TestSection51Example:
+    def test_counterexample(self):
+        assert is_tree_schema(SECTION_5_1_SCHEMA)
+        assert not jd_implies(SECTION_5_1_SCHEMA, SECTION_5_1_SUBSCHEMA)
+        assert not is_subtree(SECTION_5_1_SCHEMA, SECTION_5_1_SUBSCHEMA)
+
+
+class TestSection6Example:
+    def test_canonical_connection_matches_paper(self):
+        assert canonical_connection(SECTION_6_SCHEMA, SECTION_6_TARGET) == SECTION_6_EXPECTED_CC
+
+    def test_irrelevant_relations_are_ad_de_ea(self):
+        plan = plan_join_query(SECTION_6_SCHEMA, SECTION_6_TARGET)
+        irrelevant = {SECTION_6_SCHEMA[i].to_notation() for i in plan.irrelevant_relations}
+        assert irrelevant == {"ad", "de", "ae"}

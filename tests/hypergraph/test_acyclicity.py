@@ -1,0 +1,123 @@
+"""Unit tests for α-, β- and γ-acyclicity (Theorem 5.3 and extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import (
+    aclique,
+    aring,
+    chain_schema,
+    find_weak_gamma_cycle,
+    grid_schema,
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_beta_acyclic_bruteforce,
+    is_gamma_acyclic,
+    is_gamma_acyclic_via_subtrees,
+    is_tree_schema,
+    parse_schema,
+    star_schema,
+    violating_pair,
+)
+
+
+GAMMA_ACYCLIC = [
+    parse_schema("ab"),
+    parse_schema("ab,bc"),
+    parse_schema("ab,bc,cd"),
+    parse_schema("abc,abd"),
+    star_schema(4),
+    chain_schema(5),
+]
+
+NOT_GAMMA_ACYCLIC = [
+    parse_schema("ab,bc,ac"),          # cyclic
+    aring(4),
+    aclique(4),
+    parse_schema("abc,ab,bc"),          # alpha- and beta-acyclic but not gamma
+    parse_schema("abc,cde,ace,afe"),    # Figure 1's tree schema is not gamma-acyclic
+]
+
+
+class TestAlpha:
+    def test_alpha_equals_tree_schema(self, small_tree_schemas, small_cyclic_schemas):
+        for schema in small_tree_schemas:
+            assert is_alpha_acyclic(schema) and is_tree_schema(schema)
+        for schema in small_cyclic_schemas:
+            assert not is_alpha_acyclic(schema)
+
+
+class TestGamma:
+    @pytest.mark.parametrize("schema", GAMMA_ACYCLIC, ids=str)
+    def test_gamma_acyclic_instances(self, schema):
+        assert is_gamma_acyclic(schema)
+        assert find_weak_gamma_cycle(schema) is None
+        assert violating_pair(schema) is None
+
+    @pytest.mark.parametrize("schema", NOT_GAMMA_ACYCLIC, ids=str)
+    def test_gamma_cyclic_instances(self, schema):
+        assert not is_gamma_acyclic(schema)
+        assert violating_pair(schema) is not None
+
+    @pytest.mark.parametrize("schema", GAMMA_ACYCLIC + NOT_GAMMA_ACYCLIC, ids=str)
+    def test_three_characterizations_agree(self, schema):
+        """Theorem 5.3: (i) no weak γ-cycle ⟺ (ii) pair disconnection ⟺
+        (iii) tree + every connected subset is a subtree."""
+        by_cycle = find_weak_gamma_cycle(schema) is None
+        by_pairs = violating_pair(schema) is None
+        by_subtrees = is_gamma_acyclic_via_subtrees(schema)
+        assert by_cycle == by_pairs == by_subtrees
+
+    def test_weak_gamma_cycle_witness_is_well_formed(self):
+        schema = parse_schema("abc,ab,bc")
+        cycle = find_weak_gamma_cycle(schema)
+        assert cycle is not None
+        assert len(cycle) >= 3
+        assert len(set(cycle.attributes)) == len(cycle.attributes)
+        m = len(cycle.relation_indices)
+        for position in range(m):
+            here = schema[cycle.relation_indices[position]]
+            there = schema[cycle.relation_indices[(position + 1) % m]]
+            assert cycle.attributes[position] in here.intersection(there)
+
+    def test_gamma_cycle_description(self):
+        schema = aring(4)
+        cycle = find_weak_gamma_cycle(schema)
+        assert cycle is not None
+        assert " - " in cycle.describe(schema)
+
+    def test_unknown_method_rejected(self, chain4):
+        with pytest.raises(ValueError):
+            is_gamma_acyclic(chain4, method="magic")
+
+    def test_gamma_implies_alpha(self):
+        for schema in GAMMA_ACYCLIC:
+            assert is_alpha_acyclic(schema)
+
+
+class TestBeta:
+    def test_beta_examples(self):
+        # {abc, ab, bc} is the classical beta-acyclic-but-not-gamma example.
+        assert is_beta_acyclic(parse_schema("abc,ab,bc"))
+        assert not is_gamma_acyclic(parse_schema("abc,ab,bc"))
+
+    def test_beta_counterexamples(self):
+        for schema in (aring(3), aring(4), aclique(4), grid_schema(2, 2)):
+            assert not is_beta_acyclic(schema)
+
+    def test_beta_matches_bruteforce_on_small_schemas(
+        self, small_tree_schemas, small_cyclic_schemas
+    ):
+        extras = [parse_schema("abc,ab,bc"), parse_schema("abc,abd,acd"), parse_schema("abc,bcd,cde")]
+        for schema in small_tree_schemas + small_cyclic_schemas + extras:
+            assert is_beta_acyclic(schema) == is_beta_acyclic_bruteforce(schema), schema
+
+    def test_beta_implies_alpha(self, small_tree_schemas):
+        for schema in small_tree_schemas + [parse_schema("abc,ab,bc")]:
+            if is_beta_acyclic(schema):
+                assert is_alpha_acyclic(schema)
+
+    def test_gamma_implies_beta(self):
+        for schema in GAMMA_ACYCLIC:
+            assert is_beta_acyclic(schema)

@@ -1,0 +1,67 @@
+"""Unit tests for Berge acyclicity (the strictest degree of Fagin's hierarchy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import aclique, aring, chain_schema, parse_schema, star_schema
+from repro.hypergraph.acyclicity import is_beta_acyclic, is_gamma_acyclic
+from repro.hypergraph.berge import find_berge_cycle, is_berge_acyclic
+from repro.hypergraph.gyo import is_tree_schema
+
+
+BERGE_ACYCLIC = [
+    parse_schema("ab"),
+    parse_schema("ab,bc"),
+    chain_schema(5),
+    star_schema(4),
+    parse_schema("ab,cd"),
+]
+
+NOT_BERGE_ACYCLIC = [
+    parse_schema("abc,abd"),       # two relations share two attributes
+    parse_schema("ab,bc,ac"),
+    aring(4),
+    aclique(4),
+    parse_schema("abc,ab,bc"),
+    parse_schema("ab,ab"),         # duplicate relations
+]
+
+
+@pytest.mark.parametrize("schema", BERGE_ACYCLIC, ids=str)
+def test_berge_acyclic_instances(schema):
+    assert is_berge_acyclic(schema)
+    assert find_berge_cycle(schema) is None
+
+
+@pytest.mark.parametrize("schema", NOT_BERGE_ACYCLIC, ids=str)
+def test_berge_cyclic_instances(schema):
+    assert not is_berge_acyclic(schema)
+    cycle = find_berge_cycle(schema)
+    assert cycle is not None
+    relations, attributes = cycle
+    assert len(relations) >= 2 and len(attributes) >= 2
+
+
+def test_berge_cycle_witness_is_sound():
+    schema = parse_schema("abc,abd")
+    relations, attributes = find_berge_cycle(schema)
+    # Every attribute in the witness occurs in at least two of the cycle's relations.
+    for attribute in attributes:
+        holders = [index for index in relations if attribute in schema[index]]
+        assert len(holders) >= 2
+
+
+@pytest.mark.parametrize("schema", BERGE_ACYCLIC + NOT_BERGE_ACYCLIC, ids=str)
+def test_hierarchy_berge_implies_gamma_beta_alpha(schema):
+    if is_berge_acyclic(schema):
+        assert is_gamma_acyclic(schema)
+        assert is_beta_acyclic(schema)
+        assert is_tree_schema(schema)
+
+
+def test_strictness_of_the_hierarchy():
+    # gamma-acyclic but not Berge-acyclic: two relations sharing two attributes.
+    witness = parse_schema("abc,abd")
+    assert is_gamma_acyclic(witness)
+    assert not is_berge_acyclic(witness)

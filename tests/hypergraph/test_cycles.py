@@ -1,0 +1,138 @@
+"""Unit tests for Arings, Acliques and Lemma 3.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.hypergraph import (
+    aclique,
+    aring,
+    are_isomorphic,
+    default_attribute_names,
+    find_aring_or_aclique_witness,
+    is_aclique,
+    is_aring,
+    is_cyclic_schema,
+    parse_schema,
+    verify_lemma_3_1,
+)
+
+
+class TestConstructors:
+    def test_aring_structure(self):
+        ring = aring(5)
+        assert len(ring) == 5
+        assert len(ring.attributes) == 5
+        assert all(len(rel) == 2 for rel in ring.relations)
+
+    def test_aclique_structure(self):
+        clique = aclique(5)
+        assert len(clique) == 5
+        assert len(clique.attributes) == 5
+        assert all(len(rel) == 4 for rel in clique.relations)
+
+    def test_custom_attribute_names(self):
+        ring = aring(3, ["x", "y", "z"])
+        assert ring.attributes.attributes == {"x", "y", "z"}
+
+    def test_size_validation(self):
+        with pytest.raises(SchemaError):
+            aring(2)
+        with pytest.raises(SchemaError):
+            aclique(2)
+        with pytest.raises(SchemaError):
+            aring(4, ["a", "b", "c"])
+        with pytest.raises(SchemaError):
+            aring(3, ["a", "a", "b"])
+
+    def test_default_attribute_names_unique(self):
+        names = default_attribute_names(60)
+        assert len(set(names)) == 60
+        assert names[0] == "a" and names[26] == "a1"
+
+
+class TestRecognizers:
+    def test_paper_figures(self, aring4, aclique4):
+        assert is_aring(aring4)
+        assert is_aclique(aclique4)
+        assert is_aring(parse_schema("ab,bc,cd,da"))
+        assert is_aclique(parse_schema("bcd,acd,abd,abc"))
+
+    def test_triangle_is_both_forms_of_size_3(self, triangle):
+        # The Aring and Aclique of size 3 coincide.
+        assert is_aring(triangle)
+        assert is_aclique(triangle)
+
+    def test_recognition_up_to_renaming(self):
+        assert is_aring(parse_schema("xy,yz,zw,wx"))
+        assert are_isomorphic(parse_schema("xy,yz,zw,wx"), aring(4))
+
+    def test_non_examples(self, chain4, figure1_tree):
+        assert not is_aring(chain4)
+        assert not is_aclique(chain4)
+        assert not is_aring(figure1_tree)
+        assert not is_aclique(figure1_tree)
+        assert not is_aring(parse_schema("ab,bc,cd,da,ac"))  # a chord breaks it
+        assert not is_aclique(aclique(4).add_relation("abcd"))
+
+    def test_duplicates_rejected(self):
+        assert not is_aring(parse_schema("ab,ab,bc"))
+
+
+class TestLemma31:
+    def test_every_aring_and_aclique_is_its_own_witness(self):
+        for size in (3, 4, 5):
+            witness = find_aring_or_aclique_witness(aring(size))
+            assert witness is not None
+            assert len(witness.deleted_attributes) == 0
+            witness = find_aring_or_aclique_witness(aclique(size))
+            assert witness is not None
+            assert witness.kind == "aclique" or size == 3
+
+    def test_tree_schemas_have_no_witness(self, small_tree_schemas):
+        for schema in small_tree_schemas:
+            assert find_aring_or_aclique_witness(schema) is None, schema
+
+    def test_cyclic_schemas_have_witnesses(self, small_cyclic_schemas):
+        for schema in small_cyclic_schemas:
+            witness = find_aring_or_aclique_witness(schema)
+            assert witness is not None, schema
+            core = (
+                schema.delete_attributes(witness.deleted_attributes)
+                .reduction()
+                .without_empty_relations()
+            )
+            assert core == witness.core
+            assert is_aring(core) or is_aclique(core)
+
+    def test_figure_2c_reconstruction(self):
+        from repro.figures import (
+            FIGURE_2C_ACLIQUE_DELETION,
+            FIGURE_2C_ARING_DELETION,
+            FIGURE_2C_SCHEMA,
+        )
+
+        assert is_cyclic_schema(FIGURE_2C_SCHEMA)
+        ring_core = (
+            FIGURE_2C_SCHEMA.delete_attributes(FIGURE_2C_ARING_DELETION)
+            .reduction()
+            .without_empty_relations()
+        )
+        clique_core = (
+            FIGURE_2C_SCHEMA.delete_attributes(FIGURE_2C_ACLIQUE_DELETION)
+            .reduction()
+            .without_empty_relations()
+        )
+        assert is_aring(ring_core) and len(ring_core) == 4
+        assert is_aclique(clique_core) and len(clique_core) == 4
+
+    def test_verify_lemma_on_mixed_instances(
+        self, small_tree_schemas, small_cyclic_schemas
+    ):
+        for schema in small_tree_schemas + small_cyclic_schemas:
+            assert verify_lemma_3_1(schema), schema
+
+    def test_witness_description_mentions_kind(self, triangle):
+        witness = find_aring_or_aclique_witness(triangle)
+        assert "aring" in witness.describe() or "aclique" in witness.describe()

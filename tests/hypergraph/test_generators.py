@@ -1,0 +1,109 @@
+"""Unit tests for the schema generators (the benchmark workload builders)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.hypergraph import (
+    chain_schema,
+    clique_of_rings,
+    fan_schema,
+    grid_schema,
+    is_cyclic_schema,
+    is_gamma_acyclic,
+    is_tree_schema,
+    random_cyclic_schema,
+    random_schema,
+    random_tree_schema,
+    star_schema,
+)
+
+
+class TestDeterministicFamilies:
+    def test_chain_is_tree_and_gamma_acyclic(self):
+        for length in (1, 2, 5, 10):
+            schema = chain_schema(length)
+            assert len(schema) == length
+            assert is_tree_schema(schema)
+            assert is_gamma_acyclic(schema)
+
+    def test_star_is_tree(self):
+        schema = star_schema(6)
+        assert len(schema) == 6
+        assert is_tree_schema(schema)
+
+    def test_fan_is_tree(self):
+        schema = fan_schema(5)
+        assert is_tree_schema(schema)
+        assert len(schema) == 6
+
+    def test_grid_2x2_and_larger_are_cyclic(self):
+        assert is_cyclic_schema(grid_schema(2, 2))
+        assert is_cyclic_schema(grid_schema(3, 3))
+
+    def test_degenerate_grid_is_a_chain(self):
+        assert is_tree_schema(grid_schema(1, 5))
+
+    def test_clique_of_rings_is_cyclic_and_disconnected(self):
+        schema = clique_of_rings(3, ring_size=4)
+        assert len(schema) == 12
+        assert is_cyclic_schema(schema)
+        assert len(schema.connected_components()) == 3
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            chain_schema(0)
+        with pytest.raises(SchemaError):
+            star_schema(0)
+        with pytest.raises(SchemaError):
+            fan_schema(1)
+        with pytest.raises(SchemaError):
+            grid_schema(0, 3)
+        with pytest.raises(SchemaError):
+            clique_of_rings(0)
+
+
+class TestRandomFamilies:
+    def test_random_tree_schema_is_always_a_tree(self):
+        for seed in range(20):
+            schema = random_tree_schema(10, rng=seed)
+            assert len(schema) == 10
+            assert is_tree_schema(schema)
+
+    def test_random_cyclic_schema_is_always_cyclic(self):
+        for seed in range(20):
+            schema = random_cyclic_schema(8, rng=seed)
+            assert len(schema) == 8
+            assert is_cyclic_schema(schema)
+
+    def test_random_cyclic_schema_is_connected_when_possible(self):
+        schema = random_cyclic_schema(8, rng=3)
+        assert schema.is_connected()
+
+    def test_seed_reproducibility(self):
+        assert random_tree_schema(9, rng=42) == random_tree_schema(9, rng=42)
+        assert random_schema(6, 8, rng=7) == random_schema(6, 8, rng=7)
+
+    def test_random_generator_instance_is_accepted(self):
+        generator = random.Random(11)
+        schema = random_tree_schema(5, rng=generator)
+        assert is_tree_schema(schema)
+
+    def test_random_schema_respects_bounds(self):
+        schema = random_schema(15, 6, min_arity=2, max_arity=3, rng=1)
+        assert len(schema) == 15
+        assert all(2 <= len(rel) <= 3 for rel in schema.relations)
+        assert len(schema.attributes) <= 6
+
+    def test_random_schema_validation(self):
+        with pytest.raises(SchemaError):
+            random_schema(0, 5)
+        with pytest.raises(SchemaError):
+            random_schema(3, 5, min_arity=4, max_arity=2)
+        with pytest.raises(SchemaError):
+            random_tree_schema(0)
+        with pytest.raises(SchemaError):
+            random_cyclic_schema(2, ring_size=3)

@@ -1,0 +1,161 @@
+"""Unit tests for the GYO reduction engine (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GYOError
+from repro.hypergraph import (
+    AttributeDeletion,
+    GYOReduction,
+    SubsetElimination,
+    aclique,
+    aring,
+    chain_schema,
+    gyo_reduce,
+    gyo_reduction,
+    is_cyclic_schema,
+    is_partial_gyo_reduction,
+    is_tree_schema,
+    parse_schema,
+)
+
+
+class TestInteractiveReducer:
+    def test_validates_attribute_deletion(self, chain4):
+        reducer = GYOReduction(chain4)
+        # 'b' occurs in two relations, so it is not isolated.
+        assert not reducer.can_delete_attribute(0, "b")
+        with pytest.raises(GYOError):
+            reducer.delete_attribute(0, "b")
+        # 'a' occurs only in relation 0.
+        assert reducer.can_delete_attribute(0, "a")
+        step = reducer.delete_attribute(0, "a")
+        assert isinstance(step, AttributeDeletion)
+        assert reducer.current_attributes(0).to_notation() == "b"
+
+    def test_sacred_attributes_cannot_be_deleted(self, chain4):
+        reducer = GYOReduction(chain4, sacred="a")
+        assert not reducer.can_delete_attribute(0, "a")
+        with pytest.raises(GYOError):
+            reducer.delete_attribute(0, "a")
+
+    def test_subset_elimination_requires_subset(self, chain4):
+        reducer = GYOReduction(chain4)
+        with pytest.raises(GYOError):
+            reducer.eliminate_subset(0, 1)
+        reducer.delete_attribute(0, "a")
+        step = reducer.eliminate_subset(0, 1)
+        assert isinstance(step, SubsetElimination)
+        assert reducer.alive_indices() == (1, 2)
+
+    def test_eliminated_relation_cannot_be_reused(self, chain4):
+        reducer = GYOReduction(chain4)
+        reducer.delete_attribute(0, "a")
+        reducer.eliminate_subset(0, 1)
+        with pytest.raises(GYOError):
+            reducer.delete_attribute(0, "b")
+        with pytest.raises(GYOError):
+            reducer.eliminate_subset(1, 0)
+
+    def test_self_elimination_rejected(self, chain4):
+        reducer = GYOReduction(chain4)
+        with pytest.raises(GYOError):
+            reducer.eliminate_subset(1, 1)
+
+    def test_applicable_operations_listing(self, triangle):
+        reducer = GYOReduction(triangle)
+        # The triangle has no isolated attributes and no subsets: it is GYO-reduced.
+        assert reducer.applicable_operations() == []
+        assert reducer.is_complete()
+
+    def test_replay_of_recorded_trace(self, figure1_tree):
+        trace = gyo_reduce(figure1_tree)
+        replay = GYOReduction(figure1_tree)
+        for step in trace.steps:
+            replay.apply(step)
+        assert replay.current_schema() == trace.result
+        assert replay.is_complete()
+
+
+class TestReductionResults:
+    def test_tree_schema_reduces_to_empty(self, chain4):
+        trace = gyo_reduce(chain4)
+        assert trace.is_fully_reduced_to_empty
+        assert not trace.result.attributes
+        assert len(trace.parents) == len(chain4) - 1
+
+    def test_cyclic_schema_is_its_own_reduction(self, triangle):
+        assert gyo_reduction(triangle) == triangle
+
+    def test_aclique_is_gyo_reduced(self, aclique4):
+        assert gyo_reduction(aclique4) == aclique4
+
+    def test_result_is_reduced_schema(self, small_tree_schemas, small_cyclic_schemas):
+        for schema in small_tree_schemas + small_cyclic_schemas:
+            assert gyo_reduction(schema).is_reduced()
+
+    def test_sacred_attributes_survive(self, chain4):
+        reduced = gyo_reduction(chain4, "ad")
+        assert reduced == chain4  # b, c are shared; a, d are sacred
+
+    def test_sacred_subset_case(self):
+        # With X = {b, c} the chain collapses onto the middle relation.
+        reduced = gyo_reduction(parse_schema("ab,bc,cd"), "bc")
+        assert reduced == parse_schema("bc")
+
+    def test_duplicate_relations_collapse(self):
+        assert gyo_reduction(parse_schema("ab,ab")).attributes.to_notation() == "{}"
+        assert is_tree_schema(parse_schema("ab,ab"))
+
+    def test_disconnected_tree_schema(self):
+        assert is_tree_schema(parse_schema("ab,cd"))
+
+    def test_empty_schema_is_tree(self):
+        assert is_tree_schema(parse_schema(""))
+
+    def test_trace_elimination_order_matches_parents(self, figure1_tree):
+        trace = gyo_reduce(figure1_tree)
+        assert dict(trace.elimination_order()) == trace.parents
+        assert set(trace.eliminated_indices()) | set(trace.survivors) == set(
+            range(len(figure1_tree))
+        )
+
+
+class TestClassification:
+    def test_figure1(self, chain4, triangle, figure1_tree):
+        assert is_tree_schema(chain4)
+        assert is_cyclic_schema(triangle)
+        assert is_tree_schema(figure1_tree)
+
+    def test_arings_and_acliques_are_cyclic(self):
+        for size in (3, 4, 5, 6):
+            assert is_cyclic_schema(aring(size))
+            assert is_cyclic_schema(aclique(size))
+
+    def test_chains_and_fans_are_trees(self):
+        for size in (1, 2, 5, 20):
+            assert is_tree_schema(chain_schema(size))
+
+    def test_large_chain_reduces_quickly(self):
+        assert is_tree_schema(chain_schema(500))
+
+    def test_adding_big_relation_treefies_ring(self, aring4):
+        assert is_tree_schema(aring4.add_relation(aring4.attributes))
+
+
+class TestPartialReductionMembership:
+    def test_trivial_membership(self, chain4):
+        assert is_partial_gyo_reduction(chain4, "", chain4)
+
+    def test_reachable_intermediate(self):
+        schema = parse_schema("ab,bc,cd")
+        assert is_partial_gyo_reduction(schema, "ab", parse_schema("ab,b"))
+
+    def test_unreachable_schema(self):
+        schema = parse_schema("ab,bc,cd")
+        assert not is_partial_gyo_reduction(schema, "", parse_schema("xy"))
+
+    def test_full_reduction_is_member(self, figure1_tree):
+        target = gyo_reduction(figure1_tree)
+        assert is_partial_gyo_reduction(figure1_tree, "", target)

@@ -1,0 +1,66 @@
+"""Unit tests for schema isomorphism under attribute renaming."""
+
+from __future__ import annotations
+
+from repro.hypergraph import (
+    aclique,
+    aring,
+    are_isomorphic,
+    attribute_profile,
+    chain_schema,
+    find_isomorphism,
+    parse_schema,
+)
+
+
+class TestIsomorphism:
+    def test_identical_schemas_are_isomorphic(self, figure1_tree):
+        mapping = find_isomorphism(figure1_tree, figure1_tree)
+        assert mapping is not None
+        image = figure1_tree.restrict_attributes(figure1_tree.attributes)
+        assert image == figure1_tree
+
+    def test_renamed_ring(self):
+        assert are_isomorphic(aring(4), parse_schema("xy,yz,zw,wx"))
+        assert are_isomorphic(aring(5, "vwxyz"), aring(5))
+
+    def test_renamed_clique(self):
+        assert are_isomorphic(aclique(4), aclique(4, "wxyz"))
+
+    def test_mapping_is_a_valid_bijection(self):
+        mapping = find_isomorphism(aring(4), parse_schema("xy,yz,zw,wx"))
+        assert mapping is not None
+        assert sorted(mapping.keys()) == ["a", "b", "c", "d"]
+        assert sorted(mapping.values()) == ["w", "x", "y", "z"]
+
+    def test_ring_and_chain_not_isomorphic(self):
+        assert not are_isomorphic(aring(4), chain_schema(4))
+
+    def test_ring_and_clique_not_isomorphic(self):
+        assert not are_isomorphic(aring(4), aclique(4))
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not are_isomorphic(aring(4), aring(5))
+        assert not are_isomorphic(parse_schema("ab"), parse_schema("abc"))
+
+    def test_multiplicity_matters(self):
+        assert not are_isomorphic(parse_schema("ab,ab"), parse_schema("ab,ac"))
+        assert are_isomorphic(parse_schema("ab,ab"), parse_schema("xy,xy"))
+
+    def test_same_degree_sequence_but_different_structure(self):
+        # Both have four binary edges over four attributes, but one is a ring
+        # and the other is a multigraph-like double path.
+        first = aring(4)
+        second = parse_schema("ab,ab,cd,cd")
+        assert not are_isomorphic(first, second)
+
+    def test_attribute_profile_is_invariant(self):
+        ring = aring(4)
+        renamed = parse_schema("xy,yz,zw,wx")
+        profiles_first = sorted(
+            attribute_profile(ring, attribute) for attribute in ring.attributes
+        )
+        profiles_second = sorted(
+            attribute_profile(renamed, attribute) for attribute in renamed.attributes
+        )
+        assert profiles_first == profiles_second

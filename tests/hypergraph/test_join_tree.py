@@ -1,0 +1,111 @@
+"""Unit tests for join-tree construction and the subtree characterization
+(Theorem 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotASubSchemaError, NotATreeSchemaError
+from repro.hypergraph import (
+    aring,
+    chain_schema,
+    find_qual_tree,
+    is_subtree,
+    is_subtree_semantic,
+    join_tree_from_gyo,
+    join_tree_from_spanning_tree,
+    parse_schema,
+    random_tree_schema,
+    subtree_witness,
+)
+
+
+class TestJoinTreeConstruction:
+    @pytest.mark.parametrize("method", ["gyo", "spanning-tree", "exhaustive"])
+    def test_tree_schemas_get_valid_qual_trees(self, method, small_tree_schemas):
+        for schema in small_tree_schemas:
+            tree = find_qual_tree(schema, method=method)
+            assert tree is not None, schema
+            assert tree.is_qual_tree(), (schema, method)
+
+    @pytest.mark.parametrize("method", ["gyo", "spanning-tree", "exhaustive"])
+    def test_cyclic_schemas_get_none(self, method, small_cyclic_schemas):
+        for schema in small_cyclic_schemas:
+            assert find_qual_tree(schema, method=method) is None, schema
+
+    def test_unknown_method_rejected(self, chain4):
+        with pytest.raises(ValueError):
+            find_qual_tree(chain4, method="magic")
+
+    def test_gyo_join_tree_spans_every_relation(self):
+        schema = random_tree_schema(12, rng=5)
+        tree = join_tree_from_gyo(schema)
+        assert tree is not None
+        assert len(tree.edges) == len(schema) - 1
+        assert tree.is_connected()
+
+    def test_spanning_tree_agrees_with_gyo_on_classification(self):
+        for seed in range(8):
+            schema = random_tree_schema(7, rng=seed)
+            assert join_tree_from_spanning_tree(schema) is not None
+        for size in (3, 4, 5):
+            assert join_tree_from_spanning_tree(aring(size)) is None
+
+    def test_attribute_connectivity_of_constructed_trees(self):
+        for seed in range(5):
+            schema = random_tree_schema(8, rng=seed)
+            tree = join_tree_from_gyo(schema)
+            assert tree.check_attribute_connectivity()
+
+    def test_empty_and_singleton_schemas(self):
+        assert join_tree_from_gyo(parse_schema("")).edges == frozenset()
+        assert join_tree_from_gyo(parse_schema("ab")).is_qual_tree()
+
+
+class TestSubtrees:
+    def test_paper_examples(self, figure1_tree):
+        assert is_subtree(figure1_tree, parse_schema("abc,ace"))
+        assert is_subtree(figure1_tree, parse_schema("ace,cde"))
+        assert is_subtree(figure1_tree, parse_schema("abc"))
+        # abc and aef are only connected through ace, so they are not a subtree.
+        assert not is_subtree(figure1_tree, parse_schema("abc,afe"))
+
+    def test_section_5_1_counterexample(self):
+        schema = parse_schema("abc,ab,bc")
+        assert not is_subtree(schema, parse_schema("ab,bc"))
+        assert is_subtree(schema, parse_schema("abc,ab"))
+
+    def test_singleton_is_always_a_subtree(self, figure1_tree):
+        for relation in figure1_tree.relations:
+            assert is_subtree(figure1_tree, parse_schema(relation.to_notation()))
+
+    def test_whole_schema_is_a_subtree(self, chain4):
+        assert is_subtree(chain4, chain4)
+
+    def test_requires_sub_multiset(self, chain4):
+        with pytest.raises(NotASubSchemaError):
+            is_subtree(chain4, parse_schema("xy"))
+
+    def test_requires_tree_schema(self, triangle):
+        with pytest.raises(NotATreeSchemaError):
+            is_subtree(triangle, parse_schema("ab"))
+
+    def test_syntactic_matches_semantic_on_small_trees(self, small_tree_schemas):
+        for schema in small_tree_schemas:
+            if len(schema) > 5:
+                continue
+            for sub in schema.iter_sub_schemas():
+                assert is_subtree(schema, sub) == is_subtree_semantic(schema, sub), (
+                    schema,
+                    sub,
+                )
+
+    def test_subtree_witness_is_a_qual_tree(self, figure1_tree):
+        witness = subtree_witness(figure1_tree, parse_schema("abc,ace"))
+        assert witness is not None
+        assert witness.is_qual_tree()
+
+    def test_disconnected_subset_of_chain_is_not_a_subtree(self):
+        chain = chain_schema(4)
+        sub = chain.sub_schema([0, 3])
+        assert not is_subtree(chain, sub)

@@ -1,0 +1,77 @@
+"""Unit tests for the schema notation parser/formatter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.hypergraph import (
+    RelationSchema,
+    format_relation,
+    format_schema,
+    parse_relation,
+    parse_schema,
+)
+
+
+class TestParseRelation:
+    def test_single_characters(self):
+        assert parse_relation("abc") == RelationSchema("abc")
+
+    def test_whitespace_is_stripped(self):
+        assert parse_relation("  ab ") == RelationSchema("ab")
+
+    def test_explicit_separator(self):
+        parsed = parse_relation("emp_id; dept", attribute_separator=";")
+        assert parsed.attributes == frozenset({"emp_id", "dept"})
+
+    def test_empty_forms(self):
+        assert parse_relation("") == RelationSchema()
+        assert parse_relation("{}") == RelationSchema()
+
+
+class TestParseSchema:
+    def test_paper_notation(self):
+        schema = parse_schema("ab, bc, cd")
+        assert [r.to_notation() for r in schema.relations] == ["ab", "bc", "cd"]
+
+    def test_parentheses_tolerated(self):
+        assert parse_schema("(ab, bc, ac)") == parse_schema("ab,bc,ac")
+        assert parse_schema("{ab, bc}") == parse_schema("ab,bc")
+
+    def test_empty_schema(self):
+        assert len(parse_schema("")) == 0
+        assert len(parse_schema("()")) == 0
+
+    def test_multi_character_attributes(self):
+        schema = parse_schema(
+            "emp_id dept | dept mgr", relation_separator="|", attribute_separator=" "
+        )
+        assert len(schema) == 2
+        assert schema.attributes.attributes == {"emp_id", "dept", "mgr"}
+
+    def test_duplicate_relations_preserved(self):
+        assert len(parse_schema("ab,ab")) == 2
+
+    def test_same_separators_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("a,b", relation_separator=",", attribute_separator=",")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema(123)  # type: ignore[arg-type]
+
+
+class TestFormatting:
+    def test_round_trip(self):
+        text = "(ab, bc, cd)"
+        assert format_schema(parse_schema(text)) == text
+
+    def test_format_relation(self):
+        assert format_relation(RelationSchema("ba")) == "ab"
+
+    def test_format_is_sorted_and_deterministic(self):
+        assert format_schema(parse_schema("cd,ab,bc")) == "(ab, bc, cd)"
+
+    def test_format_without_parentheses(self):
+        assert format_schema(parse_schema("ab"), parenthesize=False) == "ab"

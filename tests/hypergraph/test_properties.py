@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the hypergraph substrate.
+
+These check structural invariants of the GYO reduction, the acyclicity
+hierarchy and the qual-tree constructions on randomly generated schemas.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph import (
+    DatabaseSchema,
+    RelationSchema,
+    find_qual_tree,
+    gyo_reduce,
+    gyo_reduction,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+    is_tree_schema,
+    join_tree_from_spanning_tree,
+    random_tree_schema,
+)
+
+# A modest attribute universe keeps schemas small enough for the exhaustive
+# cross-checks while still hitting plenty of structural variety.
+ATTRIBUTES = "abcdef"
+
+relation_schemas = st.sets(
+    st.sampled_from(list(ATTRIBUTES)), min_size=1, max_size=4
+).map(RelationSchema)
+
+database_schemas = st.lists(relation_schemas, min_size=1, max_size=5).map(DatabaseSchema)
+
+
+@given(database_schemas)
+@settings(max_examples=120, deadline=None)
+def test_gyo_reduction_is_idempotent(schema):
+    reduced = gyo_reduction(schema)
+    assert gyo_reduction(reduced) == reduced
+
+
+@given(database_schemas)
+@settings(max_examples=120, deadline=None)
+def test_gyo_reduction_result_is_reduced_and_covered(schema):
+    reduced = gyo_reduction(schema)
+    assert reduced.is_reduced()
+    # Every surviving relation is a subset of some original relation.
+    assert schema.covers(reduced)
+
+
+@given(database_schemas)
+@settings(max_examples=120, deadline=None)
+def test_gyo_trace_accounts_for_every_relation(schema):
+    trace = gyo_reduce(schema)
+    assert set(trace.survivors) | set(trace.parents) == set(range(len(schema)))
+    assert len(trace.survivors) + len(trace.parents) == len(schema)
+
+
+@given(database_schemas, st.sets(st.sampled_from(list(ATTRIBUTES)), max_size=3))
+@settings(max_examples=120, deadline=None)
+def test_sacred_attributes_are_never_deleted(schema, sacred):
+    reduced = gyo_reduction(schema, sacred)
+    surviving_attributes = reduced.attributes.attributes
+    for attribute in sacred & schema.attributes.attributes:
+        assert attribute in surviving_attributes
+
+
+@given(database_schemas)
+@settings(max_examples=100, deadline=None)
+def test_qual_tree_exists_iff_gyo_says_tree(schema):
+    gyo_says = is_tree_schema(schema)
+    spanning = join_tree_from_spanning_tree(schema)
+    assert (spanning is not None) == gyo_says
+    if spanning is not None:
+        assert spanning.is_qual_tree()
+
+
+@given(database_schemas)
+@settings(max_examples=100, deadline=None)
+def test_gyo_join_tree_is_valid_for_tree_schemas(schema):
+    tree = find_qual_tree(schema)
+    if is_tree_schema(schema):
+        assert tree is not None and tree.is_qual_tree()
+    else:
+        assert tree is None
+
+
+@given(database_schemas)
+@settings(max_examples=80, deadline=None)
+def test_acyclicity_hierarchy(schema):
+    """γ-acyclic ⇒ β-acyclic ⇒ α-acyclic."""
+    if is_gamma_acyclic(schema):
+        assert is_beta_acyclic(schema)
+    if is_beta_acyclic(schema):
+        assert is_tree_schema(schema)
+
+
+@given(database_schemas, st.sampled_from(list(ATTRIBUTES)))
+@settings(max_examples=80, deadline=None)
+def test_attribute_deletion_preserves_tree_property(schema, attribute):
+    """Deleting one attribute everywhere never turns a tree schema cyclic.
+
+    (Isolated-attribute deletion preserves schema type; deleting a shared
+    attribute everywhere corresponds to a sequence of reductions on the
+    shrunken schema and also cannot create a cycle.)
+    """
+    if is_tree_schema(schema):
+        assert is_tree_schema(schema.delete_attributes({attribute}))
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_random_tree_schema_generator_is_sound(size, seed):
+    assert is_tree_schema(random_tree_schema(size, rng=seed))

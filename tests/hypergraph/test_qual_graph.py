@@ -1,0 +1,112 @@
+"""Unit tests for qual graphs and qual trees (Section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QualGraphError
+from repro.hypergraph import (
+    QualGraph,
+    enumerate_qual_trees,
+    is_qual_graph,
+    parse_schema,
+)
+
+
+class TestQualGraphBasics:
+    def test_add_edge_validation(self, chain4):
+        graph = QualGraph(chain4)
+        with pytest.raises(QualGraphError):
+            graph.add_edge(0, 0)
+        with pytest.raises(QualGraphError):
+            graph.add_edge(0, 9)
+
+    def test_neighbours_and_degree(self, chain4):
+        graph = QualGraph(chain4, [(0, 1), (1, 2)])
+        assert graph.neighbours(1) == (0, 2)
+        assert graph.degree(1) == 2
+        assert graph.degree(0) == 1
+
+    def test_remove_edge(self, chain4):
+        graph = QualGraph(chain4, [(0, 1), (1, 2)])
+        graph.remove_edge(1, 0)
+        assert graph.edges == frozenset({(1, 2)})
+
+    def test_path(self, chain4):
+        graph = QualGraph(chain4, [(0, 1), (1, 2)])
+        assert graph.path(0, 2) == (0, 1, 2)
+        assert graph.path(2, 2) == (2,)
+        graph.remove_edge(1, 2)
+        assert graph.path(0, 2) is None
+
+    def test_is_tree(self, chain4):
+        assert QualGraph(chain4, [(0, 1), (1, 2)]).is_tree()
+        assert not QualGraph(chain4, [(0, 1)]).is_tree()  # disconnected
+        assert not QualGraph(chain4, [(0, 1), (1, 2), (0, 2)]).is_tree()  # cycle
+
+
+class TestQualGraphValidity:
+    def test_figure1_chain_qual_tree(self, chain4):
+        # ab - bc - cd: the only qual tree for the chain.
+        graph = QualGraph(chain4, [(0, 1), (1, 2)])
+        assert graph.is_valid()
+        assert graph.is_qual_tree()
+
+    def test_wrong_chain_ordering_is_invalid(self, chain4):
+        # ab - cd - bc breaks connectivity of attribute c?  Actually it breaks b.
+        graph = QualGraph(chain4, [(0, 2), (2, 1)])
+        assert not graph.is_valid()
+        assert "b" in graph.invalid_attributes()
+
+    def test_figure1_four_relation_tree(self, figure1_tree):
+        # abc - ace - aef with cde attached to ace (the paper's qual tree).
+        indexes = {rel.to_notation(): i for i, rel in enumerate(figure1_tree.relations)}
+        graph = QualGraph(
+            figure1_tree,
+            [
+                (indexes["abc"], indexes["ace"]),
+                (indexes["ace"], indexes["aef"]),
+                (indexes["cde"], indexes["ace"]),
+            ],
+        )
+        assert graph.is_qual_tree()
+        assert graph.check_attribute_connectivity()
+
+    def test_triangle_only_qual_graph_is_the_triangle(self, triangle):
+        # Each attribute is shared by exactly two relations, so all three edges
+        # are forced; the triangle graph is valid but is not a tree.
+        full = QualGraph(triangle, [(0, 1), (1, 2), (0, 2)])
+        assert full.is_valid()
+        assert not full.is_tree()
+        for missing in [(0, 1), (1, 2), (0, 2)]:
+            edges = {(0, 1), (1, 2), (0, 2)} - {missing}
+            assert not QualGraph(triangle, edges).is_valid()
+
+    def test_is_qual_graph_function(self, chain4):
+        assert is_qual_graph(chain4, [(0, 1), (1, 2)])
+        assert not is_qual_graph(chain4, [(0, 2), (1, 2)])
+
+    def test_attribute_connectivity_requires_tree(self, triangle):
+        graph = QualGraph(triangle, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(QualGraphError):
+            graph.check_attribute_connectivity()
+
+
+class TestEnumeration:
+    def test_chain_has_exactly_one_qual_tree(self, chain4):
+        trees = list(enumerate_qual_trees(chain4))
+        assert len(trees) == 1
+        assert trees[0].edges == frozenset({(0, 1), (1, 2)})
+
+    def test_triangle_has_no_qual_tree(self, triangle):
+        assert list(enumerate_qual_trees(triangle)) == []
+
+    def test_figure1_tree_has_at_least_the_papers_tree(self, figure1_tree):
+        trees = list(enumerate_qual_trees(figure1_tree))
+        assert trees, "a tree schema must admit a qual tree"
+        assert all(tree.is_qual_tree() for tree in trees)
+
+    def test_tiny_schemas(self):
+        assert len(list(enumerate_qual_trees(parse_schema("ab")))) == 1
+        assert len(list(enumerate_qual_trees(parse_schema("ab,ac")))) == 1
+        assert len(list(enumerate_qual_trees(parse_schema("")))) == 0

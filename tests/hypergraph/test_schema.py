@@ -1,0 +1,150 @@
+"""Unit tests for relation and database schemas (Section 2 terminology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.hypergraph import DatabaseSchema, RelationSchema, attributes_of, parse_schema
+
+
+class TestRelationSchema:
+    def test_construction_from_string_uses_characters(self):
+        assert RelationSchema("abc").attributes == frozenset({"a", "b", "c"})
+
+    def test_construction_from_iterable_of_names(self):
+        schema = RelationSchema(["emp_id", "dept"])
+        assert schema.attributes == frozenset({"emp_id", "dept"})
+
+    def test_empty_relation_schema_is_falsy(self):
+        assert not RelationSchema()
+        assert len(RelationSchema()) == 0
+
+    def test_rejects_non_string_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([1, 2])
+
+    def test_rejects_empty_attribute_names(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([""])
+
+    def test_equality_and_hash_agree_with_frozenset(self):
+        assert RelationSchema("ab") == RelationSchema("ba")
+        assert hash(RelationSchema("ab")) == hash(RelationSchema("ba"))
+        assert RelationSchema("ab") == frozenset({"a", "b"})
+
+    def test_subset_and_superset_relations(self):
+        assert RelationSchema("ab") <= RelationSchema("abc")
+        assert RelationSchema("abc") >= RelationSchema("ab")
+        assert RelationSchema("ab") < RelationSchema("abc")
+        assert not RelationSchema("ad") <= RelationSchema("abc")
+
+    def test_set_algebra(self):
+        left, right = RelationSchema("abc"), RelationSchema("bcd")
+        assert left | right == RelationSchema("abcd")
+        assert left & right == RelationSchema("bc")
+        assert left - right == RelationSchema("a")
+        assert left ^ right == RelationSchema("ad")
+        assert RelationSchema("ab").isdisjoint(RelationSchema("cd"))
+
+    def test_immutable(self):
+        schema = RelationSchema("ab")
+        with pytest.raises(AttributeError):
+            schema.attributes = frozenset()
+
+    def test_notation_single_characters_concatenated(self):
+        assert RelationSchema("cab").to_notation() == "abc"
+
+    def test_notation_multi_character_uses_separator(self):
+        assert RelationSchema(["b_long", "a_long"]).to_notation() == "a_long,b_long"
+
+    def test_empty_notation(self):
+        assert RelationSchema().to_notation() == "{}"
+
+    def test_iteration_is_sorted(self):
+        assert list(RelationSchema("cba")) == ["a", "b", "c"]
+
+
+class TestDatabaseSchema:
+    def test_attributes_is_union(self, chain4):
+        assert chain4.attributes == RelationSchema("abcd")
+        assert attributes_of(chain4.relations) == RelationSchema("abcd")
+
+    def test_multiset_equality_ignores_order(self):
+        assert parse_schema("ab,bc") == parse_schema("bc,ab")
+        assert hash(parse_schema("ab,bc")) == hash(parse_schema("bc,ab"))
+
+    def test_multiset_equality_respects_multiplicity(self):
+        assert parse_schema("ab,ab") != parse_schema("ab")
+
+    def test_covering_order(self):
+        big = parse_schema("abc,cde")
+        small = parse_schema("ab,cd,e")
+        assert small <= big
+        assert big >= small
+        assert not big <= small
+
+    def test_sub_multiset(self):
+        schema = parse_schema("ab,bc,ab")
+        assert parse_schema("ab,ab").is_sub_multiset_of(schema)
+        assert not parse_schema("ab,ab,ab").is_sub_multiset_of(schema)
+
+    def test_reduction_removes_subsets_and_duplicates(self):
+        schema = parse_schema("ab,abc,abc,b")
+        assert schema.reduction() == parse_schema("abc")
+        assert not schema.is_reduced()
+        assert schema.reduction().is_reduced()
+
+    def test_reduction_keeps_incomparable_relations(self, chain4):
+        assert chain4.reduction() == chain4
+
+    def test_delete_and_restrict_attributes(self):
+        schema = parse_schema("abc,bcd")
+        assert schema.delete_attributes("b") == parse_schema("ac,cd")
+        assert schema.restrict_attributes("bc") == parse_schema("bc,bc")
+
+    def test_add_and_remove_relation(self, chain4):
+        extended = chain4.add_relation("ad")
+        assert len(extended) == 4
+        assert extended.remove_relation("ad") == chain4
+        with pytest.raises(SchemaError):
+            chain4.remove_relation("zz")
+
+    def test_remove_relation_at_bounds(self, chain4):
+        with pytest.raises(SchemaError):
+            chain4.remove_relation_at(7)
+
+    def test_attribute_occurrences(self, triangle):
+        occurrences = triangle.attribute_occurrences()
+        assert occurrences["a"] == (0, 2)
+        assert occurrences["b"] == (0, 1)
+        assert occurrences["c"] == (1, 2)
+
+    def test_connectivity(self):
+        assert parse_schema("ab,bc").is_connected()
+        assert not parse_schema("ab,cd").is_connected()
+        assert parse_schema("ab,cd").connected_components() == [(0,), (1,)]
+
+    def test_single_relation_is_connected(self):
+        assert parse_schema("ab").is_connected()
+
+    def test_sub_schema_by_indices(self, chain4):
+        assert chain4.sub_schema([0, 2]) == parse_schema("ab,cd")
+        with pytest.raises(SchemaError):
+            chain4.sub_schema([9])
+
+    def test_iter_sub_schemas_counts(self):
+        schema = parse_schema("ab,bc,cd")
+        all_subs = list(schema.iter_sub_schemas())
+        assert len(all_subs) == 7  # 2^3 - 1
+        connected = list(schema.iter_sub_schemas(connected_only=True))
+        # {ab},{bc},{cd},{ab,bc},{bc,cd},{ab,bc,cd} are connected; {ab,cd} is not.
+        assert len(connected) == 6
+
+    def test_without_empty_relations_and_dedup(self):
+        schema = DatabaseSchema([RelationSchema(""), RelationSchema("ab"), RelationSchema("ab")])
+        assert schema.without_empty_relations() == parse_schema("ab,ab")
+        assert schema.deduplicate() == DatabaseSchema([RelationSchema(""), RelationSchema("ab")])
+
+    def test_sorted_is_equal_as_multiset(self, figure1_tree):
+        assert figure1_tree.sorted() == figure1_tree

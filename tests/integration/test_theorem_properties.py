@@ -1,0 +1,101 @@
+"""Property-based verification of the paper's theorems on random schemas.
+
+Each test draws small random schemas (and sub-schemas / targets) and runs the
+corresponding theorem checker from :mod:`repro.core.theorems`; a single
+counterexample would falsify the implementation of GYO reductions, tableaux,
+canonical connections or lossless joins.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    check_corollary_5_2,
+    check_lemma_3_1,
+    check_theorem_3_2,
+    check_theorem_3_3,
+    check_theorem_4_1,
+    check_theorem_5_1,
+    check_theorem_5_2,
+    check_theorem_5_3,
+)
+from repro.hypergraph import DatabaseSchema, RelationSchema
+
+ATTRIBUTES = "abcde"
+
+relation_schemas = st.sets(
+    st.sampled_from(list(ATTRIBUTES)), min_size=1, max_size=3
+).map(RelationSchema)
+
+database_schemas = st.lists(relation_schemas, min_size=1, max_size=4).map(DatabaseSchema)
+
+targets = st.sets(st.sampled_from(list(ATTRIBUTES)), min_size=1, max_size=3).map(
+    RelationSchema
+)
+
+
+def _clip_target(schema: DatabaseSchema, target: RelationSchema) -> RelationSchema:
+    clipped = target.intersection(schema.attributes)
+    if clipped:
+        return clipped
+    return RelationSchema(schema.attributes.sorted_attributes()[:1])
+
+
+@given(database_schemas)
+@settings(max_examples=40, deadline=None)
+def test_lemma_3_1_on_random_schemas(schema):
+    assert check_lemma_3_1(schema)
+
+
+@given(database_schemas, targets)
+@settings(max_examples=50, deadline=None)
+def test_theorem_3_2_and_3_3_on_random_schemas(schema, target):
+    clipped = _clip_target(schema, target)
+    assert check_theorem_3_2(schema, extra=clipped)
+    assert check_theorem_3_3(schema, clipped)
+
+
+@given(database_schemas, targets, st.data())
+@settings(max_examples=40, deadline=None)
+def test_theorem_4_1_on_random_subschemas(schema, target, data):
+    clipped = _clip_target(schema, target)
+    # Draw a random sub-multiset of the schema's relations.
+    indices = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(schema) - 1),
+            min_size=1,
+            max_size=len(schema),
+            unique=True,
+        )
+    )
+    sub = schema.sub_schema(indices)
+    assert check_theorem_4_1(schema, sub, clipped)
+
+
+@given(database_schemas, st.data())
+@settings(max_examples=40, deadline=None)
+def test_theorem_5_1_and_corollary_5_2_on_random_subschemas(schema, data):
+    indices = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(schema) - 1),
+            min_size=1,
+            max_size=len(schema),
+            unique=True,
+        )
+    )
+    sub = schema.sub_schema(indices)
+    assert check_theorem_5_1(schema, sub)
+    assert check_corollary_5_2(schema, sub)
+
+
+@given(database_schemas, targets)
+@settings(max_examples=40, deadline=None)
+def test_theorem_5_2_on_random_schemas(schema, target):
+    assert check_theorem_5_2(schema, _clip_target(schema, target))
+
+
+@given(database_schemas)
+@settings(max_examples=30, deadline=None)
+def test_theorem_5_3_on_random_schemas(schema):
+    assert check_theorem_5_3(schema)

@@ -1,0 +1,51 @@
+"""Unit tests for the free-standing algebra helpers (multi-way joins)."""
+
+from __future__ import annotations
+
+from repro.hypergraph import chain_schema
+from repro.relational import (
+    Relation,
+    intermediate_join_sizes,
+    join_all,
+    join_all_in_order,
+    natural_join,
+    project,
+    random_ur_database,
+    semijoin,
+)
+
+
+class TestWrappers:
+    def test_functional_wrappers_match_methods(self):
+        left = Relation("ab", [(1, 2)])
+        right = Relation("bc", [(2, 3)])
+        assert natural_join(left, right) == left.natural_join(right)
+        assert semijoin(left, right) == left.semijoin(right)
+        assert project(left, "a") == left.project("a")
+
+
+class TestMultiwayJoin:
+    def test_empty_input_is_nullary_true(self):
+        assert join_all([]) == Relation.nullary_true()
+        assert join_all_in_order([]) == Relation.nullary_true()
+
+    def test_both_orders_agree_on_ur_state(self):
+        schema = chain_schema(5)
+        state = random_ur_database(schema, tuple_count=30, domain_size=4, rng=1)
+        assert join_all(state.relations) == join_all_in_order(state.relations)
+
+    def test_greedy_order_avoids_cartesian_blowup(self):
+        # Relations listed so that the naive order starts with a cross product.
+        a = Relation("ab", [(i, i) for i in range(10)])
+        z = Relation("yz", [(i, i) for i in range(10)])
+        b = Relation("by", [(i, i) for i in range(10)])
+        naive_sizes = intermediate_join_sizes([a, z, b])
+        assert max(naive_sizes) == 100  # the cross product a × z
+        assert len(join_all([a, z, b])) == len(join_all_in_order([a, z, b]))
+
+    def test_intermediate_sizes_reports_every_step(self):
+        a = Relation("ab", [(1, 2)])
+        b = Relation("bc", [(2, 3)])
+        c = Relation("cd", [(3, 4)])
+        assert intermediate_join_sizes([a, b, c]) == [1, 1, 1]
+        assert intermediate_join_sizes([]) == []

@@ -1,0 +1,94 @@
+"""Unit tests for database states and UR databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RelationError, SchemaError
+from repro.hypergraph import parse_schema
+from repro.relational import (
+    DatabaseState,
+    Relation,
+    is_universal_database,
+    random_database_state,
+    random_universal_relation,
+    universal_database,
+)
+
+
+@pytest.fixture
+def universal_abc():
+    return Relation("abc", [(0, 0, 0), (0, 1, 1), (1, 1, 0)])
+
+
+class TestDatabaseState:
+    def test_positional_alignment_is_validated(self, chain4):
+        good = DatabaseState(
+            chain4,
+            [Relation("ab", []), Relation("bc", []), Relation("cd", [])],
+        )
+        assert len(good) == 3
+        with pytest.raises(RelationError):
+            DatabaseState(chain4, [Relation("ab", []), Relation("bc", [])])
+        with pytest.raises(RelationError):
+            DatabaseState(
+                chain4,
+                [Relation("ab", []), Relation("xy", []), Relation("cd", [])],
+            )
+
+    def test_join_and_total_rows(self, triangle, universal_abc):
+        state = universal_database(triangle, universal_abc)
+        assert state.total_rows() == 9
+        assert state.join().project("abc").rows >= universal_abc.rows
+
+    def test_sub_state(self, chain4):
+        state = DatabaseState(
+            chain4,
+            [Relation("ab", [(1, 2)]), Relation("bc", [(2, 3)]), Relation("cd", [(3, 4)])],
+        )
+        sub = state.sub_state([0, 2])
+        assert sub.schema == parse_schema("ab,cd")
+        assert len(sub) == 2
+
+    def test_state_for_derives_projections(self, triangle, universal_abc):
+        state = universal_database(triangle, universal_abc)
+        derived = state.state_for(parse_schema("ab,a"))
+        assert derived[0] == universal_abc.project("ab")
+        assert derived[1] == universal_abc.project("a")
+        with pytest.raises(SchemaError):
+            state.state_for(parse_schema("xyz"))
+
+    def test_equality(self, triangle, universal_abc):
+        first = universal_database(triangle, universal_abc)
+        second = universal_database(triangle, universal_abc)
+        assert first == second
+
+
+class TestUniversalDatabases:
+    def test_projections_match_definition(self, triangle, universal_abc):
+        state = universal_database(triangle, universal_abc)
+        for relation_schema, relation in zip(triangle, state):
+            assert relation == universal_abc.project(relation_schema)
+
+    def test_universal_relation_must_cover_schema(self, chain4):
+        with pytest.raises(SchemaError):
+            universal_database(chain4, Relation("ab", []))
+
+    def test_ur_state_is_recognized(self, triangle, universal_abc):
+        state = universal_database(triangle, universal_abc)
+        assert is_universal_database(state)
+
+    def test_non_ur_state_is_detected(self, chain4):
+        # Make relation states that cannot arise from a single universal
+        # relation: b values do not match across ab and bc.
+        state = DatabaseState(
+            chain4,
+            [Relation("ab", [(1, 1)]), Relation("bc", [(2, 2)]), Relation("cd", [(2, 3)])],
+        )
+        assert not is_universal_database(state)
+
+    def test_random_generators_shapes(self, chain4, rng):
+        ur_state = random_universal_relation(chain4.attributes, tuple_count=10, rng=rng)
+        assert len(ur_state) <= 10
+        state = random_database_state(chain4, tuple_count=5, domain_size=2, rng=rng)
+        assert len(state) == len(chain4)

@@ -1,0 +1,86 @@
+"""Unit tests for join dependencies and the lossless-join experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.hypergraph import parse_schema
+from repro.relational import (
+    Relation,
+    decompose_and_rejoin,
+    satisfies_join_dependency,
+    search_implication_counterexample,
+)
+
+
+@pytest.fixture
+def consistent_instance():
+    # a determines b and c, so the decomposition (ab, ac) is lossless here.
+    return Relation("abc", [(1, 10, 100), (2, 20, 200), (3, 10, 300)])
+
+
+@pytest.fixture
+def lossy_instance():
+    # Classic lossy case: two tuples agreeing on nothing but joined through b.
+    return Relation("abc", [(1, 5, 100), (2, 5, 200)])
+
+
+class TestSatisfaction:
+    def test_lossless_instance_satisfies_jd(self, consistent_instance):
+        assert satisfies_join_dependency(consistent_instance, parse_schema("ab,ac"))
+
+    def test_lossy_instance_violates_jd(self, lossy_instance):
+        assert not satisfies_join_dependency(lossy_instance, parse_schema("ab,bc"))
+
+    def test_embedded_jd_projects_first(self, consistent_instance):
+        # The JD only mentions a and b; the instance has attribute c too.
+        assert satisfies_join_dependency(consistent_instance, parse_schema("ab,a"))
+
+    def test_jd_attributes_must_exist(self, consistent_instance):
+        with pytest.raises(SchemaError):
+            satisfies_join_dependency(consistent_instance, parse_schema("az"))
+
+    def test_trivial_jd_with_single_component(self, lossy_instance):
+        assert satisfies_join_dependency(lossy_instance, parse_schema("abc"))
+
+
+class TestDecomposition:
+    def test_report_flags_spurious_tuples(self, lossy_instance):
+        report = decompose_and_rejoin(lossy_instance, parse_schema("ab,bc"))
+        assert not report.lossless
+        assert len(report.spurious) == 2
+        assert report.rejoined.rows >= report.original.rows
+
+    def test_report_for_lossless_decomposition(self, consistent_instance):
+        report = decompose_and_rejoin(consistent_instance, parse_schema("ab,ac"))
+        assert report.lossless
+        assert len(report.spurious) == 0
+
+
+class TestImplicationSearch:
+    def test_paper_counterexample_is_found(self):
+        # Section 5.1: ⋈{abc, ab, bc} does not imply ⋈{ab, bc}.
+        witness = search_implication_counterexample(
+            parse_schema("abc,ab,bc"), parse_schema("ab,bc"), rng=0
+        )
+        assert witness is not None
+        assert satisfies_join_dependency(witness, parse_schema("abc,ab,bc"))
+        assert not satisfies_join_dependency(witness, parse_schema("ab,bc"))
+
+    def test_subtree_implication_has_no_counterexample(self):
+        # {ab, bc} is a subtree of the chain, so the implication holds and no
+        # counterexample can exist (Corollary 5.2).
+        witness = search_implication_counterexample(
+            parse_schema("ab,bc,cd"), parse_schema("ab,bc"), trials=40, rng=0
+        )
+        assert witness is None
+
+    def test_candidates_always_satisfy_the_premise(self):
+        witness = search_implication_counterexample(
+            parse_schema("ab,bc,ac"), parse_schema("ab,bc"), trials=10, rng=5
+        )
+        # Whether or not a counterexample is found, any returned witness must
+        # satisfy the antecedent join dependency.
+        if witness is not None:
+            assert satisfies_join_dependency(witness, parse_schema("ab,bc,ac"))

@@ -1,0 +1,126 @@
+"""Unit tests for the Relation class and its operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RelationError
+from repro.hypergraph import RelationSchema
+from repro.relational import Relation
+
+
+@pytest.fixture
+def r_ab():
+    return Relation.from_dicts("ab", [{"a": 1, "b": 10}, {"a": 2, "b": 20}, {"a": 1, "b": 20}])
+
+
+@pytest.fixture
+def r_bc():
+    return Relation.from_dicts("bc", [{"b": 10, "c": 100}, {"b": 20, "c": 200}, {"b": 30, "c": 300}])
+
+
+class TestConstruction:
+    def test_from_dicts_and_len(self, r_ab):
+        assert len(r_ab) == 3
+        assert {"a": 1, "b": 10} in r_ab
+
+    def test_duplicates_are_collapsed(self):
+        relation = Relation("ab", [(1, 2), (1, 2)])
+        assert len(relation) == 1
+
+    def test_row_arity_validation(self):
+        with pytest.raises(RelationError):
+            Relation("ab", [(1,)])
+
+    def test_missing_attribute_validation(self):
+        with pytest.raises(RelationError):
+            Relation.from_dicts("ab", [{"a": 1}])
+
+    def test_empty_and_nullary(self):
+        assert len(Relation.empty("ab")) == 0
+        assert len(Relation.nullary_true()) == 1
+        assert Relation.nullary_true().columns == ()
+
+    def test_equality_ignores_construction_order(self):
+        first = Relation("ab", [(1, 2), (3, 4)])
+        second = Relation.from_dicts("ba", [{"b": 4, "a": 3}, {"b": 2, "a": 1}])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_immutability(self, r_ab):
+        with pytest.raises(AttributeError):
+            r_ab.rows = frozenset()
+
+
+class TestOperators:
+    def test_projection(self, r_ab):
+        projected = r_ab.project("a")
+        assert projected.schema == RelationSchema("a")
+        assert len(projected) == 2
+
+    def test_projection_onto_nothing(self, r_ab):
+        assert len(r_ab.project(())) == 1  # nullary TRUE
+        assert len(Relation.empty("ab").project(())) == 0  # nullary FALSE
+
+    def test_projection_validation(self, r_ab):
+        with pytest.raises(RelationError):
+            r_ab.project("az")
+
+    def test_natural_join(self, r_ab, r_bc):
+        joined = r_ab.natural_join(r_bc)
+        assert joined.schema == RelationSchema("abc")
+        assert {"a": 1, "b": 10, "c": 100} in joined
+        assert {"a": 1, "b": 20, "c": 200} in joined
+        assert len(joined) == 3
+
+    def test_join_with_no_shared_attributes_is_product(self):
+        left = Relation("a", [(1,), (2,)])
+        right = Relation("b", [(7,), (8,)])
+        assert len(left.natural_join(right)) == 4
+
+    def test_join_with_nullary_true_is_identity(self, r_ab):
+        assert r_ab.natural_join(Relation.nullary_true()) == r_ab
+
+    def test_join_is_commutative_and_associative(self, r_ab, r_bc):
+        r_cd = Relation("cd", [(100, "x"), (300, "y")])
+        assert r_ab.natural_join(r_bc) == r_bc.natural_join(r_ab)
+        left = r_ab.natural_join(r_bc).natural_join(r_cd)
+        right = r_ab.natural_join(r_bc.natural_join(r_cd))
+        assert left == right
+
+    def test_semijoin_definition(self, r_ab, r_bc):
+        # R ⋉ S = π_R(R ⋈ S)
+        assert r_ab.semijoin(r_bc) == r_ab.natural_join(r_bc).project(r_ab.schema)
+
+    def test_semijoin_without_shared_attributes(self, r_ab):
+        assert r_ab.semijoin(Relation("z", [(1,)])) == r_ab
+        assert len(r_ab.semijoin(Relation.empty("z"))) == 0
+
+    def test_selection(self, r_ab):
+        assert len(r_ab.select(lambda row: row["a"] == 1)) == 2
+        assert len(r_ab.select_equal(a=1, b=10)) == 1
+        with pytest.raises(RelationError):
+            r_ab.select_equal(z=1)
+
+    def test_rename(self, r_ab):
+        renamed = r_ab.rename({"a": "x"})
+        assert renamed.schema == RelationSchema({"x", "b"})
+        assert {"x": 1, "b": 10} in renamed
+        with pytest.raises(RelationError):
+            r_ab.rename({"z": "y"})
+        with pytest.raises(RelationError):
+            r_ab.rename({"a": "b"})
+
+    def test_set_operations(self, r_ab):
+        other = Relation("ab", [(1, 10), (9, 90)])
+        assert len(r_ab.union(other)) == 4
+        assert len(r_ab.intersection(other)) == 1
+        assert len(r_ab.difference(other)) == 2
+        assert other.difference(r_ab).issubset(other)
+        with pytest.raises(RelationError):
+            r_ab.union(Relation("xy", []))
+
+    def test_render_contains_header_and_rows(self, r_ab):
+        text = r_ab.render()
+        assert "a" in text and "b" in text
+        assert "10" in text

@@ -1,0 +1,60 @@
+"""Unit tests for the universal-relation generators."""
+
+from __future__ import annotations
+
+from repro.hypergraph import RelationSchema, chain_schema
+from repro.relational import (
+    chain_correlated_universal_relation,
+    is_universal_database,
+    random_universal_relation,
+    random_ur_database,
+)
+
+
+class TestRandomUniversalRelation:
+    def test_shape_and_domain(self):
+        relation = random_universal_relation("abc", tuple_count=30, domain_size=4, rng=1)
+        assert relation.schema == RelationSchema("abc")
+        assert len(relation) <= 30
+        for row in relation.to_dicts():
+            assert all(0 <= value < 4 for value in row.values())
+
+    def test_reproducible_with_same_seed(self):
+        first = random_universal_relation("abcd", tuple_count=15, rng=9)
+        second = random_universal_relation("abcd", tuple_count=15, rng=9)
+        assert first == second
+
+    def test_ur_database_generator_is_universal(self):
+        schema = chain_schema(4)
+        state = random_ur_database(schema, tuple_count=20, domain_size=3, rng=2)
+        assert is_universal_database(state)
+        assert state.schema == schema
+
+
+class TestCorrelatedUniversalRelation:
+    def test_correlation_one_copies_values_along_columns(self):
+        relation = chain_correlated_universal_relation(
+            "abc", tuple_count=25, domain_size=50, correlation=1.0, rng=3
+        )
+        for row in relation.to_dicts():
+            assert len(set(row.values())) == 1
+
+    def test_correlation_zero_is_plain_random(self):
+        relation = chain_correlated_universal_relation(
+            "abcde", tuple_count=40, domain_size=5, correlation=0.0, rng=4
+        )
+        assert len(relation) > 1
+
+    def test_fully_correlated_data_joins_to_the_diagonal(self):
+        schema = chain_schema(3)
+        universe = chain_correlated_universal_relation(
+            schema.attributes, tuple_count=40, domain_size=20, correlation=1.0, rng=5
+        )
+        from repro.relational import universal_database
+
+        joined = universal_database(schema, universe).join()
+        # Every attribute copies its predecessor, so the join is the diagonal
+        # relation: one row per distinct value, all columns equal.
+        assert len(joined) == len(universe)
+        for row in joined.to_dicts():
+            assert len(set(row.values())) == 1

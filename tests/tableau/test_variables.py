@@ -1,0 +1,32 @@
+"""Unit tests for tableau variable objects (kept separate for clarity)."""
+
+from __future__ import annotations
+
+from repro.tableau import Variable, VariableKind, distinguished, shared, unique
+
+
+def test_ordering_is_total_and_stable():
+    symbols = [unique("b", 2), distinguished("a"), shared("a"), unique("a", 1)]
+    ordered = sorted(symbols)
+    assert ordered == sorted(ordered)
+    assert len(set(symbols)) == 4
+
+
+def test_kind_predicates():
+    assert distinguished("a").is_distinguished
+    assert not distinguished("a").is_nondistinguished
+    assert shared("a").is_nondistinguished
+    assert unique("a", 7).is_nondistinguished
+
+
+def test_value_object_semantics():
+    assert distinguished("a") == Variable("a", VariableKind.DISTINGUISHED)
+    assert shared("a") == Variable("a", VariableKind.SHARED)
+    assert unique("a", 3) == Variable("a", VariableKind.UNIQUE, 3)
+    assert hash(shared("a")) == hash(Variable("a", VariableKind.SHARED))
+
+
+def test_rendering_distinguishes_the_kinds():
+    renders = {distinguished("a").render(), shared("a").render(), unique("a", 1).render()}
+    assert len(renders) == 3
+    assert str(unique("a", 1)) == unique("a", 1).render()

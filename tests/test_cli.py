@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAnalyze:
+    def test_tree_schema(self, capsys):
+        assert main(["analyze", "ab,bc,cd"]) == 0
+        output = capsys.readouterr().out
+        assert "tree schema (alpha-acyclic): True" in output
+        assert "qual tree" in output
+
+    def test_cyclic_schema_suggests_treefication(self, capsys):
+        assert main(["analyze", "ab,bc,ac"]) == 0
+        output = capsys.readouterr().out
+        assert "tree schema (alpha-acyclic): False" in output
+        assert "smallest treefying relation" in output
+        assert "abc" in output
+
+    def test_multi_character_attributes(self, capsys):
+        assert main(
+            ["--attribute-separator", " ", "analyze", "emp dept, dept mgr"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "tree schema (alpha-acyclic): True" in output
+
+
+class TestCanonicalConnection:
+    def test_section6_example(self, capsys):
+        assert main(["cc", "abg,bcg,acf,ad,de,ea", "abc"]) == 0
+        output = capsys.readouterr().out
+        assert "CC(D, X) = (abg, bcg, ac)" in output
+        assert "'ad'" in output and "'de'" in output
+
+
+class TestLossless:
+    def test_implied_case_exits_zero(self, capsys):
+        assert main(["lossless", "ab,bc,cd", "ab,bc"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_not_implied_case_exits_one(self, capsys):
+        assert main(["lossless", "abc,ab,bc", "ab,bc"]) == 1
+        assert "False" in capsys.readouterr().out
+
+
+class TestTreefy:
+    def test_cyclic_schema(self, capsys):
+        assert main(["treefy", "ab,bc,cd,da"]) == 0
+        output = capsys.readouterr().out
+        assert "add U(GR(D)) = abcd" in output
+
+    def test_tree_schema(self, capsys):
+        assert main(["treefy", "ab,bc"]) == 0
+        assert "already a tree schema" in capsys.readouterr().out
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

@@ -1,0 +1,76 @@
+"""Unit tests for the Bin Packing solvers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TreeficationError
+from repro.treefication import (
+    BinPackingInstance,
+    first_fit_decreasing,
+    solve_bin_packing_exact,
+)
+
+
+class TestInstances:
+    def test_validation(self):
+        with pytest.raises(TreeficationError):
+            BinPackingInstance(sizes=(0,), bin_capacity=3, bin_count=1)
+        with pytest.raises(TreeficationError):
+            BinPackingInstance(sizes=(3,), bin_capacity=0, bin_count=1)
+        with pytest.raises(TreeficationError):
+            BinPackingInstance(sizes=(3,), bin_capacity=3, bin_count=0)
+
+    def test_trivial_infeasibility(self):
+        assert BinPackingInstance((9,), 6, 3).is_trivially_infeasible()
+        assert BinPackingInstance((3, 3, 3), 3, 2).is_trivially_infeasible()
+        assert not BinPackingInstance((3, 3), 3, 2).is_trivially_infeasible()
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize(
+        "sizes, capacity, bins, feasible",
+        [
+            ((3, 3, 4, 5), 8, 2, True),
+            ((3, 3, 3), 9, 1, True),
+            ((5, 5, 5), 8, 1, False),
+            ((4, 4, 4, 4), 8, 2, True),
+            ((4, 4, 4, 4, 3), 8, 2, False),
+            ((6, 6, 3, 3, 3, 3), 9, 3, True),
+            ((7, 5, 4, 3), 10, 2, True),
+            ((7, 5, 5, 3), 10, 2, True),
+            ((7, 7, 7), 10, 2, False),
+        ],
+    )
+    def test_decision_matches_expectation(self, sizes, capacity, bins, feasible):
+        instance = BinPackingInstance(sizes, capacity, bins)
+        solution = solve_bin_packing_exact(instance)
+        assert (solution is not None) == feasible
+        if solution is not None:
+            assert solution.is_valid()
+            assert max(solution.bin_loads()) <= capacity
+
+    def test_witness_partition_covers_all_items(self):
+        instance = BinPackingInstance((3, 4, 5, 6), 9, 2)
+        solution = solve_bin_packing_exact(instance)
+        assert solution is not None
+        assigned = sorted(index for bin_ in solution.bins for index in bin_)
+        assert assigned == [0, 1, 2, 3]
+
+
+class TestHeuristic:
+    def test_ffd_solves_easy_instances(self):
+        instance = BinPackingInstance((3, 3, 4, 5), 8, 2)
+        solution = first_fit_decreasing(instance)
+        assert solution is not None and solution.is_valid()
+
+    def test_ffd_respects_bin_count(self):
+        instance = BinPackingInstance((5, 5, 5), 8, 1)
+        assert first_fit_decreasing(instance) is None
+
+    def test_ffd_never_contradicts_exact_feasibility(self):
+        # FFD may fail on feasible instances but must never "solve" infeasible ones.
+        for sizes, capacity, bins in [((4, 4, 4), 8, 1), ((9,), 8, 2)]:
+            instance = BinPackingInstance(sizes, capacity, bins)
+            assert solve_bin_packing_exact(instance) is None
+            assert first_fit_decreasing(instance) is None

@@ -1,0 +1,127 @@
+"""Unit tests for Fixed Treefication and the Theorem 4.2 reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TreeficationError
+from repro.hypergraph import aclique, is_tree_schema, parse_schema
+from repro.treefication import (
+    BinPackingInstance,
+    FixedTreeficationInstance,
+    is_valid_treefication,
+    packing_from_treefication,
+    reduction_from_bin_packing,
+    solve_bin_packing_exact,
+    solve_fixed_treefication_exact,
+    solve_fixed_treefication_via_packing,
+    treefication_from_packing,
+)
+
+
+class TestFixedTreefication:
+    def test_instance_validation(self, triangle):
+        with pytest.raises(TreeficationError):
+            FixedTreeficationInstance(triangle, max_relations=0, max_arity=3)
+        with pytest.raises(TreeficationError):
+            FixedTreeficationInstance(triangle, max_relations=1, max_arity=0)
+
+    def test_witness_validation(self, triangle):
+        instance = FixedTreeficationInstance(triangle, max_relations=1, max_arity=3)
+        assert is_valid_treefication(instance, ["abc"])
+        assert not is_valid_treefication(instance, ["ab"])
+        assert not is_valid_treefication(instance, ["abc", "abc"])  # too many
+        tight = FixedTreeficationInstance(triangle, max_relations=1, max_arity=2)
+        assert not is_valid_treefication(tight, ["abc"])  # arity bound violated
+
+    def test_exact_solver_on_tree_schema_needs_nothing(self, chain4):
+        instance = FixedTreeficationInstance(chain4, max_relations=1, max_arity=1)
+        solution = solve_fixed_treefication_exact(instance)
+        assert solution is not None
+        assert solution.added_relations == ()
+
+    def test_exact_solver_on_triangle(self, triangle):
+        yes = FixedTreeficationInstance(triangle, max_relations=1, max_arity=3)
+        no = FixedTreeficationInstance(triangle, max_relations=1, max_arity=2)
+        assert solve_fixed_treefication_exact(yes) is not None
+        assert solve_fixed_treefication_exact(no) is None
+
+    def test_exact_solver_on_two_disjoint_cliques(self):
+        schema = parse_schema("")
+        schema = schema.add_relations(aclique(3, "abc").relations)
+        schema = schema.add_relations(aclique(3, "xyz").relations)
+        one_big = FixedTreeficationInstance(schema, max_relations=1, max_arity=6)
+        two_small = FixedTreeficationInstance(schema, max_relations=2, max_arity=3)
+        impossible = FixedTreeficationInstance(schema, max_relations=1, max_arity=5)
+        assert solve_fixed_treefication_exact(one_big) is not None
+        assert solve_fixed_treefication_exact(two_small) is not None
+        assert solve_fixed_treefication_exact(impossible) is None
+
+
+class TestTheorem42Reduction:
+    def test_reduction_builds_disjoint_acliques(self):
+        instance = BinPackingInstance((3, 4), 7, 1)
+        reduced = reduction_from_bin_packing(instance)
+        assert len(reduced.schema) == 7  # 3 + 4 relation schemas
+        assert len(reduced.schema.connected_components()) == 2
+        assert reduced.max_relations == 1 and reduced.max_arity == 7
+
+    def test_sizes_below_three_rejected(self):
+        with pytest.raises(TreeficationError):
+            reduction_from_bin_packing(BinPackingInstance((2, 3), 5, 1))
+
+    @pytest.mark.parametrize(
+        "sizes, capacity, bins, feasible",
+        [
+            ((3, 3), 6, 1, True),
+            ((3, 3), 6, 2, True),
+            ((3, 3, 3), 6, 1, False),
+            ((3, 3, 3), 6, 2, True),
+            ((3, 4, 5), 6, 2, False),
+            ((3, 4, 5), 9, 2, True),
+            ((6, 3, 3), 6, 2, True),
+        ],
+    )
+    def test_yes_instances_map_to_yes_instances(self, sizes, capacity, bins, feasible):
+        """The Theorem 4.2 equivalence, tested in both directions."""
+        packing_instance = BinPackingInstance(sizes, capacity, bins)
+        treefication_instance = reduction_from_bin_packing(packing_instance)
+
+        packing = solve_bin_packing_exact(packing_instance)
+        treefication = solve_fixed_treefication_exact(treefication_instance)
+
+        assert (packing is not None) == feasible
+        assert (treefication is not None) == feasible
+
+        if feasible:
+            # packing -> treefication witness
+            derived = treefication_from_packing(packing)
+            assert derived.is_valid()
+            assert is_tree_schema(derived.treefied_schema())
+            # treefication -> packing witness
+            recovered = packing_from_treefication(packing_instance, derived)
+            assert recovered.is_valid()
+
+    def test_via_packing_solver_agrees_with_exact(self):
+        instance = BinPackingInstance((3, 3, 4, 5), 8, 2)
+        via_packing = solve_fixed_treefication_via_packing(instance)
+        exact = solve_fixed_treefication_exact(reduction_from_bin_packing(instance))
+        assert via_packing is not None and exact is not None
+        assert via_packing.is_valid() and exact.is_valid()
+
+    def test_heuristic_variant(self):
+        instance = BinPackingInstance((3, 3, 4, 5), 8, 2)
+        heuristic = solve_fixed_treefication_via_packing(instance, exact=False)
+        assert heuristic is not None and heuristic.is_valid()
+
+    def test_packing_recovery_rejects_uncovering_witness(self):
+        instance = BinPackingInstance((3, 3), 6, 2)
+        reduced = reduction_from_bin_packing(instance)
+        from repro.treefication import FixedTreeficationSolution
+        from repro.hypergraph import RelationSchema
+
+        bogus = FixedTreeficationSolution(
+            instance=reduced, added_relations=(RelationSchema("i0_0"),)
+        )
+        with pytest.raises(TreeficationError):
+            packing_from_treefication(instance, bogus)

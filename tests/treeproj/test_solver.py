@@ -1,0 +1,103 @@
+"""Unit tests for the Theorem 6.1 / 6.2 program-augmentation construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TreeProjectionError
+from repro.hypergraph import RelationSchema, aring, parse_schema
+from repro.relational import NaturalJoinQuery, Program, random_ur_database
+from repro.tableau import canonical_connection
+from repro.treeproj import augment_program_with_semijoins, solve_with_tree_projection
+
+
+@pytest.fixture
+def triangle_program(triangle):
+    """A program over the triangle whose join creates the tree projection."""
+    program = Program(triangle)
+    program.join("J", "R0", "R1")
+    return program
+
+
+class TestAugmentation:
+    def test_augmented_program_solves_triangle_query(self, triangle, triangle_program):
+        target = RelationSchema("abc")
+        augmented = augment_program_with_semijoins(triangle_program, target)
+        for seed in range(4):
+            state = random_ur_database(triangle, tuple_count=20, domain_size=3, rng=seed)
+            expected = NaturalJoinQuery(triangle, target).evaluate(state)
+            assert augmented.run(state) == expected
+
+    def test_solver_wrapper(self, triangle, triangle_program):
+        state = random_ur_database(triangle, tuple_count=25, domain_size=3, rng=9)
+        target = RelationSchema("ab")
+        result = solve_with_tree_projection(triangle_program, target, state)
+        assert result == NaturalJoinQuery(triangle, target).evaluate(state)
+
+    def test_only_semijoins_and_projects_are_added(self, triangle, triangle_program):
+        augmented = augment_program_with_semijoins(triangle_program, RelationSchema("abc"))
+        assert augmented.added_joins == 0
+        assert augmented.added_semijoins > 0
+        before = triangle_program.statement_count()
+        after = augmented.program.statement_count()
+        assert after["join"] == before["join"]
+
+    def test_semijoin_budget_of_theorem_6_1(self, triangle, triangle_program):
+        # ≤ |anchors| + 2·(|D''| - 1) semijoins; for the triangle with the
+        # one-node projection this is at most 3 + 0.
+        augmented = augment_program_with_semijoins(triangle_program, RelationSchema("abc"))
+        bound = len(triangle) + 2 * (len(augmented.tree_projection) - 1)
+        assert augmented.added_semijoins <= bound
+        assert augmented.added_semijoins <= 2 * len(triangle)
+
+    def test_cc_anchors_variant_theorem_6_2(self, triangle, triangle_program):
+        target = RelationSchema("abc")
+        anchors = canonical_connection(triangle, target)
+        augmented = augment_program_with_semijoins(
+            triangle_program, target, anchors=anchors
+        )
+        state = random_ur_database(triangle, tuple_count=30, domain_size=3, rng=13)
+        assert augmented.run(state) == NaturalJoinQuery(triangle, target).evaluate(state)
+        assert augmented.added_semijoins <= 2 * len(anchors) + 2 * (
+            len(augmented.tree_projection) - 1
+        )
+
+    def test_missing_tree_projection_raises(self, triangle):
+        # A program that creates nothing new leaves P(D) = D, which has no
+        # tree projection w.r.t. D ∪ (abc) (the triangle stays cyclic).
+        program = Program(triangle)
+        program.semijoin("S", "R0", "R1")
+        with pytest.raises(TreeProjectionError):
+            augment_program_with_semijoins(
+                program, RelationSchema("abc"), budget=50_000
+            )
+
+    def test_explicit_tree_projection_is_validated(self, triangle, triangle_program):
+        with pytest.raises(TreeProjectionError):
+            augment_program_with_semijoins(
+                triangle_program,
+                RelationSchema("abc"),
+                tree_projection=parse_schema("ab,bc"),  # does not cover ac or abc
+            )
+
+    def test_larger_ring_via_two_half_joins(self):
+        ring = aring(6)
+        program = Program(ring)
+        program.join("H1", "R0", "R1").join("H1b", "H1", "R2")
+        program.join("H2", "R3", "R4").join("H2b", "H2", "R5")
+        target = RelationSchema({"a", "d"})
+        augmented = augment_program_with_semijoins(program, target)
+        state = random_ur_database(ring, tuple_count=30, domain_size=3, rng=3)
+        expected = NaturalJoinQuery(ring, target).evaluate(state)
+        assert augmented.run(state) == expected
+
+    def test_tree_projection_of_augmented_program_exists_when_it_solves(self, triangle):
+        """Theorem 6.3 on a concrete solving program: P(D) of the paper's
+        working program admits a tree projection w.r.t. D ∪ (X)."""
+        from repro.treeproj import find_tree_projection
+
+        program = Program(triangle)
+        program.join("J", "R0", "R1")
+        assert find_tree_projection(
+            program.extended_schema(), triangle.add_relation("abc")
+        ).found

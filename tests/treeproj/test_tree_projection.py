@@ -1,0 +1,93 @@
+"""Unit tests for tree projections (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotASubSchemaError
+from repro.figures import (
+    SECTION_3_2_D,
+    SECTION_3_2_D_DOUBLE_PRIME,
+    SECTION_3_2_D_PRIME,
+)
+from repro.hypergraph import aring, chain_schema, is_tree_schema, parse_schema
+from repro.treeproj import (
+    find_tree_projection,
+    greedy_cover_candidate,
+    has_tree_projection,
+    is_tree_projection,
+)
+
+
+class TestMembership:
+    def test_paper_example(self):
+        assert is_tree_projection(
+            SECTION_3_2_D_DOUBLE_PRIME, SECTION_3_2_D_PRIME, SECTION_3_2_D
+        )
+
+    def test_membership_requires_sandwich(self):
+        # D'' must be covered by D' and must cover D.
+        assert not is_tree_projection(
+            parse_schema("abcz"), SECTION_3_2_D_PRIME, SECTION_3_2_D
+        )
+        assert not is_tree_projection(
+            parse_schema("ab"), SECTION_3_2_D_PRIME, SECTION_3_2_D
+        )
+
+    def test_membership_requires_tree(self):
+        # D' itself covers D and is covered by itself but is cyclic.
+        assert not is_tree_projection(
+            SECTION_3_2_D_PRIME, SECTION_3_2_D_PRIME, SECTION_3_2_D
+        )
+
+    def test_acyclic_lower_schema_is_its_own_projection(self, chain4):
+        assert is_tree_projection(chain4, chain4, chain4)
+
+
+class TestSearch:
+    def test_paper_example_is_found(self):
+        result = find_tree_projection(SECTION_3_2_D_PRIME, SECTION_3_2_D)
+        assert result.found
+        assert is_tree_projection(result.projection, SECTION_3_2_D_PRIME, SECTION_3_2_D)
+
+    def test_lower_tree_shortcut(self, chain4):
+        result = find_tree_projection(parse_schema("abcd"), chain4)
+        assert result.found and result.method == "lower"
+
+    def test_upper_tree_shortcut(self, triangle):
+        result = find_tree_projection(parse_schema("abc"), triangle)
+        assert result.found and result.method == "upper"
+
+    def test_no_projection_for_bare_triangle(self, triangle):
+        # D' = D = the triangle: the only sandwich schemas are sub-multisets of
+        # the triangle itself, all cyclic or non-covering.
+        result = find_tree_projection(triangle, triangle, allow_subset_search=True)
+        assert not result.found
+        assert result.exhaustive
+        assert not has_tree_projection(triangle, triangle, allow_subset_search=True)
+
+    def test_triangle_with_abc_relation_has_projection(self, triangle):
+        upper = triangle.add_relation("abc")
+        result = find_tree_projection(upper, triangle)
+        assert result.found
+        assert is_tree_projection(result.projection, upper, triangle)
+
+    def test_aring_with_covering_pairs(self):
+        # An 8-ring under an upper schema of two "half" relations admits a
+        # 2-node tree projection.
+        lower = aring(8)
+        attrs = lower.attributes.sorted_attributes()
+        upper = parse_schema("")
+        upper = upper.add_relation(attrs[:5]).add_relation(attrs[4:] + attrs[:1])
+        result = find_tree_projection(upper, lower)
+        assert result.found
+        assert is_tree_projection(result.projection, upper, lower)
+
+    def test_requires_coverage(self, chain4):
+        with pytest.raises(NotASubSchemaError):
+            find_tree_projection(parse_schema("xy"), chain4)
+
+    def test_greedy_cover_candidate_properties(self):
+        candidate = greedy_cover_candidate(SECTION_3_2_D_PRIME, SECTION_3_2_D)
+        assert candidate.covers(SECTION_3_2_D)
+        assert SECTION_3_2_D_PRIME.covers(candidate)

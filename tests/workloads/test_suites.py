@@ -1,0 +1,45 @@
+"""Tests for the benchmark workload suites."""
+
+from __future__ import annotations
+
+from repro.hypergraph import is_cyclic_schema, is_tree_schema
+from repro.workloads import (
+    acyclicity_workload,
+    gyo_scaling_workload,
+    query_evaluation_workload,
+    tableau_scaling_workload,
+)
+
+
+def test_gyo_scaling_workload_shapes():
+    cases = gyo_scaling_workload(sizes=(5, 10))
+    assert len(cases) == 8
+    for case in cases:
+        if case.label.startswith(("chain", "star", "random-tree")):
+            assert is_tree_schema(case.schema), case.label
+        if case.label.startswith("aring"):
+            assert is_cyclic_schema(case.schema), case.label
+
+
+def test_tableau_scaling_workload_has_targets():
+    cases = tableau_scaling_workload(sizes=(4,))
+    assert all(case.target is not None for case in cases)
+    for case in cases:
+        assert case.target <= case.schema.attributes
+
+
+def test_acyclicity_workload_mixes_families():
+    labels = {case.label.split("-")[0] for case in acyclicity_workload(sizes=(4,))}
+    assert {"chain", "aring", "aclique", "grid", "random"} <= {
+        label.split("-")[0] if "-" in label else label for label in labels
+    } | labels
+
+
+def test_query_evaluation_workload_builds_states():
+    cases = query_evaluation_workload(chain_lengths=(4,), tuple_count=50)
+    assert len(cases) == 1
+    case = cases[0]
+    assert case.state is not None
+    assert case.state.schema == case.schema
+    assert case.state.total_rows() > 0
+    assert str(case) == case.label
