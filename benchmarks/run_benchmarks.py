@@ -1,0 +1,230 @@
+"""Scaling-benchmark runner producing a machine-readable trajectory file.
+
+This script re-runs the three scaling benchmarks (``bench_scaling_gyo``,
+``bench_yannakakis_vs_naive`` and ``bench_scaling_cc``) outside pytest and
+records sizes, median wall times and max-intermediate sizes as JSON so that
+every PR has a regression baseline to compare against.
+
+Usage::
+
+    # capture a snapshot (e.g. before a refactor)
+    python benchmarks/run_benchmarks.py --phase before --out /tmp/bench_before.json
+
+    # capture the optimized snapshot and merge the baseline into one
+    # trajectory file with per-case speedups
+    python benchmarks/run_benchmarks.py --phase after \
+        --before /tmp/bench_before.json --out BENCH_PR1.json
+
+The naive join baseline is only run on cases listed in ``NAIVE_CASES``:
+its intermediate results explode combinatorially on the larger chains (that
+blow-up is the paper's point), so timing it there is infeasible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.hypergraph import (  # noqa: E402
+    RelationSchema,
+    aring,
+    chain_schema,
+    gyo_reduce,
+    gyo_reduction,
+    random_tree_schema,
+    star_schema,
+)
+from repro.relational import naive_join_project, yannakakis  # noqa: E402
+from repro.relational.universal import random_ur_database  # noqa: E402
+from repro.tableau import canonical_connection  # noqa: E402
+from repro.workloads import query_evaluation_workload  # noqa: E402
+
+GYO_SIZES = (25, 100, 400)
+GYO_FAMILIES = {
+    "chain": chain_schema,
+    "star": star_schema,
+    "aring": lambda size: aring(max(size, 3)),
+    "random-tree": lambda size: random_tree_schema(size, rng=size),
+}
+
+#: (chain length, tuples per relation, domain size) for the Yannakakis cases.
+YANNAKAKIS_CASES = (
+    (3, 90, 24),
+    (4, 90, 24),
+    (5, 90, 24),
+    (6, 200, 32),
+    (8, 300, 40),
+)
+#: Cases small enough to also time the naive join-then-project baseline.
+NAIVE_CASES = {(3, 90, 24), (4, 90, 24), (5, 90, 24)}
+
+CC_SIZES = (4, 6, 8)
+
+
+def _median_time(fn: Callable[[], Any], repeats: int) -> float:
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def bench_gyo(repeats: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for family, build in GYO_FAMILIES.items():
+        for size in GYO_SIZES:
+            schema = build(size)
+            median = _median_time(lambda: gyo_reduce(schema), repeats)
+            trace = gyo_reduce(schema)
+            rows.append(
+                {
+                    "case": f"{family}-{size}",
+                    "family": family,
+                    "size": size,
+                    "median_s": median,
+                    "steps": len(trace.steps),
+                    "reduced_to_empty": trace.is_fully_reduced_to_empty,
+                }
+            )
+    return rows
+
+
+def bench_yannakakis(repeats: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for length, tuple_count, domain_size in YANNAKAKIS_CASES:
+        schema = chain_schema(length)
+        state = random_ur_database(
+            schema, tuple_count=tuple_count, domain_size=domain_size, rng=length
+        )
+        target = RelationSchema({"x0", f"x{length}"})
+        run = yannakakis(schema, target, state)
+        median = _median_time(lambda: yannakakis(schema, target, state), repeats)
+        row: Dict[str, Any] = {
+            "case": f"chain-{length}-n{tuple_count}",
+            "length": length,
+            "tuple_count": tuple_count,
+            "median_s": median,
+            "answer_rows": len(run.result),
+            "max_intermediate": run.max_intermediate_size,
+            "naive_median_s": None,
+            "naive_max_intermediate": None,
+        }
+        if (length, tuple_count, domain_size) in NAIVE_CASES:
+            result, naive_max = naive_join_project(schema, target, state)
+            assert result == run.result, "yannakakis and naive disagree"
+            row["naive_median_s"] = _median_time(
+                lambda: naive_join_project(schema, target, state), repeats
+            )
+            row["naive_max_intermediate"] = naive_max
+        rows.append(row)
+    return rows
+
+
+def bench_cc(repeats: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for size in CC_SIZES:
+        chain = chain_schema(size)
+        chain_target = RelationSchema({"x0", f"x{size}"})
+        ring = aring(size)
+        ring_attrs = ring.attributes.sorted_attributes()
+        ring_target = RelationSchema({ring_attrs[0], ring_attrs[size // 2]})
+        for label, schema, target in (
+            (f"chain-{size}", chain, chain_target),
+            (f"aring-{size}", ring, ring_target),
+        ):
+            rows.append(
+                {
+                    "case": f"cc-{label}",
+                    "median_s": _median_time(
+                        lambda: canonical_connection(schema, target), repeats
+                    ),
+                }
+            )
+            rows.append(
+                {
+                    "case": f"gr-{label}",
+                    "median_s": _median_time(
+                        lambda: gyo_reduction(schema, target), repeats
+                    ),
+                }
+            )
+    return rows
+
+
+def run_all(repeats: int) -> Dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "gyo_reduce": bench_gyo(repeats),
+        "yannakakis": bench_yannakakis(repeats),
+        "canonical_connection": bench_cc(repeats),
+    }
+
+
+def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-case and aggregate before/after speedup factors."""
+    summary: Dict[str, Any] = {}
+    for section in ("gyo_reduce", "yannakakis", "canonical_connection"):
+        before_rows = {row["case"]: row for row in before.get(section, ())}
+        cases: Dict[str, float] = {}
+        total_before = total_after = 0.0
+        for row in after.get(section, ()):
+            base = before_rows.get(row["case"])
+            if base is None or not row["median_s"]:
+                continue
+            cases[row["case"]] = base["median_s"] / row["median_s"]
+            total_before += base["median_s"]
+            total_after += row["median_s"]
+        summary[section] = {
+            "per_case": cases,
+            "aggregate": (total_before / total_after) if total_after else None,
+        }
+    return summary
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--phase", choices=("before", "after"), default="after")
+    parser.add_argument("--out", default="BENCH_PR1.json", help="output JSON path")
+    parser.add_argument(
+        "--before",
+        default=None,
+        help="path to a snapshot captured with --phase before, merged into the output",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    snapshot = run_all(args.repeats)
+    if args.phase == "before":
+        payload: Dict[str, Any] = {"before": snapshot}
+    else:
+        payload = {"after": snapshot}
+        if args.before:
+            with open(args.before) as handle:
+                payload["before"] = json.load(handle)["before"]
+            payload["speedup"] = _speedups(payload["before"], snapshot)
+
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    for section, data in payload.get("speedup", {}).items():
+        aggregate = data["aggregate"]
+        print(f"  {section}: aggregate speedup {aggregate:.2f}x" if aggregate else section)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

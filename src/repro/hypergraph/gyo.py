@@ -33,6 +33,7 @@ The module exposes three layers:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -327,16 +328,30 @@ class GYOReduction:
 
     def is_complete(self) -> bool:
         """True when no operation applies, i.e. the current schema is
-        ``GR(original, sacred)``."""
-        if self.applicable_attribute_deletions():
-            return False
-        # A subset elimination applies iff some alive relation is contained in
-        # another alive relation.
-        alive = sorted(self._current)
-        for removed in alive:
-            attrs = self._current[removed]
-            for witness in alive:
-                if removed != witness and attrs <= self._current[witness]:
+        ``GR(original, sacred)``.
+
+        Runs one occurrence-count pass for isolated attributes, then a
+        subset scan restricted to relations sharing each candidate's rarest
+        attribute, so completeness checks stay near-linear on the workload
+        families instead of scanning every relation pair.
+        """
+        occurrence: Dict[Attribute, List[int]] = {}
+        for index, attrs in self._current.items():
+            for attribute in attrs:
+                occurrence.setdefault(attribute, []).append(index)
+        for attribute, holders in occurrence.items():
+            if len(holders) == 1 and attribute not in self._sacred:
+                return False
+        alive_count = len(self._current)
+        for index, attrs in self._current.items():
+            if not attrs:
+                # An attribute-free relation is a subset of any other relation.
+                if alive_count > 1:
+                    return False
+                continue
+            pivot = min(attrs, key=lambda a: len(occurrence[a]))
+            for witness in occurrence[pivot]:
+                if witness != index and attrs <= self._current[witness]:
                     return False
         return True
 
@@ -345,63 +360,93 @@ class GYOReduction:
     def run_to_completion(self) -> "GYOReduction":
         """Apply operations until the fixpoint ``GR(original, sacred)``.
 
-        The implementation alternates exhaustive isolated-attribute deletion
-        (cheap, driven by occurrence counters) with targeted subset scans, so
-        the common tree-schema case runs in near-linear time in the total size
-        of the schema.  The resulting fixpoint is unique (Maier & Ullman), so
-        the operation order chosen here does not affect the result.
+        The implementation is worklist-driven and near-linear in the total
+        schema size: attribute occurrence sets are maintained incrementally,
+        a queue of isolated attributes drives operation (1), and a queue of
+        "dirty" (shrunk) relations drives operation (2).  Relations can only
+        *lose* attributes, so a relation needs a new subset check exactly when
+        it shrinks, and an attribute needs an isolation check exactly when its
+        occurrence count drops to one — no full rescans between rounds.  The
+        resulting fixpoint is unique (Maier & Ullman), so the operation order
+        chosen here does not affect the result.
         """
-        # Occurrence map over current contents.
+        current = self._current
+        sacred = self._sacred
         occurrence: Dict[Attribute, Set[int]] = {}
-        for index, attrs in self._current.items():
+        for index, attrs in current.items():
             for attribute in attrs:
                 occurrence.setdefault(attribute, set()).add(index)
 
-        def delete_isolated() -> bool:
-            changed = False
-            # Snapshot because we mutate `occurrence` while iterating.
-            for attribute in sorted(occurrence):
-                holders = occurrence.get(attribute)
-                if holders is None or attribute in self._sacred:
-                    continue
-                if len(holders) == 1:
-                    (index,) = tuple(holders)
-                    self._current[index].discard(attribute)
-                    self._steps.append(
-                        AttributeDeletion(relation_index=index, attribute=attribute)
-                    )
-                    del occurrence[attribute]
-                    changed = True
-            return changed
+        isolated: deque = deque(
+            sorted(
+                attribute
+                for attribute, holders in occurrence.items()
+                if len(holders) == 1 and attribute not in sacred
+            )
+        )
+        queued_attributes = set(isolated)
+        dirty: deque = deque(sorted(current))
+        queued_relations = set(dirty)
 
-        def try_eliminate(index: int) -> bool:
-            """Try to subset-eliminate relation `index`; return True on success."""
-            attrs = self._current[index]
+        def mark_dirty(index: int) -> None:
+            if index not in queued_relations:
+                queued_relations.add(index)
+                dirty.append(index)
+
+        def mark_isolated(attribute: Attribute) -> None:
+            if attribute not in queued_attributes and attribute not in sacred:
+                queued_attributes.add(attribute)
+                isolated.append(attribute)
+
+        while isolated or dirty:
+            # Drain isolated-attribute deletions first: they are the cheap
+            # operation and each one can unlock a subset elimination.
+            while isolated:
+                attribute = isolated.popleft()
+                queued_attributes.discard(attribute)
+                holders = occurrence.get(attribute)
+                if holders is None or len(holders) != 1:
+                    continue
+                (index,) = holders
+                current[index].discard(attribute)
+                del occurrence[attribute]
+                self._steps.append(
+                    AttributeDeletion(relation_index=index, attribute=attribute)
+                )
+                mark_dirty(index)
+            if not dirty:
+                break
+            index = dirty.popleft()
+            queued_relations.discard(index)
+            if index not in current:
+                continue
+            attrs = current[index]
             if attrs:
                 # Only relations sharing the rarest attribute can be supersets.
                 pivot = min(attrs, key=lambda a: len(occurrence[a]))
-                candidates = occurrence[pivot] - {index}
+                candidates: Iterable[int] = occurrence[pivot]
             else:
-                candidates = set(self._current) - {index}
-            for witness in sorted(candidates):
-                if attrs <= self._current[witness]:
-                    for attribute in attrs:
-                        holders = occurrence[attribute]
-                        holders.discard(index)
-                    del self._current[index]
-                    self._parents[index] = witness
-                    self._steps.append(
-                        SubsetElimination(removed_index=index, witness_index=witness)
-                    )
-                    return True
-            return False
-
-        changed = True
-        while changed:
-            changed = delete_isolated()
-            for index in sorted(self._current):
-                if index in self._current and try_eliminate(index):
-                    changed = True
+                candidates = current
+            # First match wins (any witness yields the same unique fixpoint);
+            # iteration order over int indices is deterministic, and not
+            # copying/sorting the candidate set keeps stars near-linear.
+            witness: Optional[int] = None
+            for candidate in candidates:
+                if candidate != index and attrs <= current[candidate]:
+                    witness = candidate
+                    break
+            if witness is None:
+                continue
+            for attribute in sorted(attrs):
+                holders = occurrence[attribute]
+                holders.discard(index)
+                if len(holders) == 1:
+                    mark_isolated(attribute)
+            del current[index]
+            self._parents[index] = witness
+            self._steps.append(
+                SubsetElimination(removed_index=index, witness_index=witness)
+            )
         return self
 
     def trace(self) -> GYOTrace:

@@ -1,6 +1,20 @@
 """Relational substrate: relation states, algebra, UR databases, join
 dependencies, semijoin programs, Yannakakis' algorithm and Section 6 query
-programs."""
+programs.
+
+Performance notes
+-----------------
+The kernel keeps rows as **canonical tuples in sorted-column order** and the
+operators build their outputs through the internal trusted constructor
+``Relation._from_trusted(schema, columns, frozenset_rows)``, which skips
+per-row validation.  Any new operator must either emit rows in that canonical
+order or go through the validating public constructor ``Relation(attributes,
+rows)``.  Column→position maps and the ``Relation.key_index(attrs)`` hash
+indexes are cached per (immutable) instance, so repeated semijoins/joins on
+the same key — e.g. the two passes of a full reducer — share one index.
+See ``docs/performance.md`` for the full invariant list and the PR-1
+benchmark baseline recorded in ``BENCH_PR1.json``.
+"""
 
 from .relation import Relation, Row
 from .algebra import (

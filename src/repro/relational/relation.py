@@ -11,10 +11,26 @@ Tuples are stored internally in a canonical column order (sorted attribute
 names), so two relations over the same attributes with the same rows are
 equal regardless of how they were constructed.  Values may be any hashable
 Python objects.
+
+Performance notes
+-----------------
+The operators rely on two internal invariants (see ``docs/performance.md``):
+
+* **Trusted constructor.**  ``Relation._from_trusted(schema, columns, rows)``
+  builds a relation without re-validating or re-tupling rows.  Callers must
+  pass ``columns == schema.sorted_attributes()`` and ``rows`` as a
+  ``frozenset`` of tuples already aligned with that column order.  Every
+  operator output satisfies this by construction; the public
+  ``Relation(attributes, rows)`` constructor keeps validating.
+* **Cached indexes.**  Column→position maps and the hash indexes returned by
+  :meth:`Relation.key_index` are cached per instance.  They are safe to cache
+  because relations are immutable; any new operator must preserve that
+  immutability (never mutate ``_rows``).
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import (
     AbstractSet,
     Any,
@@ -48,6 +64,43 @@ def _coerce_schema(attributes: _AttributesLike) -> RelationSchema:
     return RelationSchema(attributes)
 
 
+def _tuple_getter(positions: Sequence[int]) -> Callable[[Sequence[Any]], Tuple[Any, ...]]:
+    """A callable extracting ``positions`` from a row as a tuple.
+
+    ``operator.itemgetter`` runs the extraction loop in C but returns a bare
+    value (not a 1-tuple) for a single index, so the small arities get
+    explicit wrappers.
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return itemgetter(*positions)
+
+
+def _stable_row_key(row: Tuple[Any, ...]) -> Tuple[Tuple[str, Any], ...]:
+    """Deterministic sort key for mixed-type rows: ``(type name, value)`` per cell."""
+    return tuple((type(value).__name__, value) for value in row)
+
+
+def _repr_row_key(row: Tuple[Any, ...]) -> Tuple[Tuple[str, str], ...]:
+    return tuple((type(value).__name__, repr(value)) for value in row)
+
+
+def _sorted_rows(rows: Iterable[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    """Rows in a deterministic order, robust to mixed-type values.
+
+    Cells are compared first by type name, then by value; when values of the
+    same type name are unorderable (e.g. ``None``), their ``repr`` is used as
+    a tie-breaker instead.
+    """
+    try:
+        return sorted(rows, key=_stable_row_key)
+    except TypeError:
+        return sorted(rows, key=_repr_row_key)
+
+
 class Relation:
     """An immutable relation state over a relation schema.
 
@@ -61,7 +114,7 @@ class Relation:
     [{'a': 1, 'b': 2, 'c': 9}]
     """
 
-    __slots__ = ("_schema", "_columns", "_rows")
+    __slots__ = ("_schema", "_columns", "_rows", "_positions", "_indexes")
 
     def __init__(
         self,
@@ -70,23 +123,51 @@ class Relation:
     ) -> None:
         schema = _coerce_schema(attributes)
         columns = schema.sorted_attributes()
+        width = len(columns)
         normalized = set()
         for row in rows:
             row_tuple = tuple(row)
-            if len(row_tuple) != len(columns):
+            if len(row_tuple) != width:
                 raise RelationError(
                     f"row {row_tuple!r} has {len(row_tuple)} values but the relation "
-                    f"has {len(columns)} attributes {columns}"
+                    f"has {width} attributes {columns}"
                 )
             normalized.add(row_tuple)
         object.__setattr__(self, "_schema", schema)
         object.__setattr__(self, "_columns", columns)
         object.__setattr__(self, "_rows", frozenset(normalized))
+        object.__setattr__(
+            self, "_positions", {column: index for index, column in enumerate(columns)}
+        )
+        object.__setattr__(self, "_indexes", {})
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Relation is immutable")
 
     # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def _from_trusted(
+        cls,
+        schema: RelationSchema,
+        columns: Tuple[Attribute, ...],
+        rows: FrozenSet[Tuple[Any, ...]],
+    ) -> "Relation":
+        """Internal constructor bypassing validation (see the module notes).
+
+        ``columns`` must equal ``schema.sorted_attributes()`` and ``rows``
+        must be a ``frozenset`` of tuples already aligned with ``columns``.
+        Operators use this to avoid re-validating and re-tupling every row.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_columns", columns)
+        object.__setattr__(self, "_rows", rows)
+        object.__setattr__(
+            self, "_positions", {column: index for index, column in enumerate(columns)}
+        )
+        object.__setattr__(self, "_indexes", {})
+        return self
 
     @classmethod
     def from_dicts(
@@ -160,7 +241,7 @@ class Relation:
 
     def to_dicts(self) -> List[Dict[Attribute, Any]]:
         """The rows as dictionaries (deterministically ordered)."""
-        return [dict(zip(self._columns, row)) for row in sorted(self._rows, key=repr)]
+        return [dict(zip(self._columns, row)) for row in _sorted_rows(self._rows)]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
@@ -173,6 +254,42 @@ class Relation:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"Relation({self._schema.to_notation()!r}, {len(self._rows)} rows)"
 
+    # -- indexes ----------------------------------------------------------------------
+
+    def key_index(
+        self, attributes: _AttributesLike
+    ) -> Dict[Tuple[Any, ...], Tuple[Tuple[Any, ...], ...]]:
+        """A hash index grouping the rows by their key on ``attributes``.
+
+        Returns a mapping from key tuples (values of ``attributes`` in sorted
+        attribute order) to the tuple of rows carrying that key.  The index is
+        built once per distinct attribute set and cached on the instance —
+        relations are immutable, so repeated semijoins/joins on the same key
+        (as in the two passes of a full reducer) reuse it for free.
+        """
+        if isinstance(attributes, RelationSchema):
+            key_columns = attributes.sorted_attributes()
+        else:
+            key_columns = tuple(sorted(attributes))
+        cached = self._indexes.get(key_columns)
+        if cached is not None:
+            return cached
+        try:
+            positions = [self._positions[column] for column in key_columns]
+        except KeyError as error:
+            raise RelationError(
+                f"cannot index {self._schema.to_notation()} on unknown attribute "
+                f"{error.args[0]!r}"
+            ) from None
+        getter = _tuple_getter(positions)
+        grouped: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        setdefault = grouped.setdefault
+        for row in self._rows:
+            setdefault(getter(row), []).append(row)
+        index = {key: tuple(rows) for key, rows in grouped.items()}
+        self._indexes[key_columns] = index
+        return index
+
     # -- relational operators ---------------------------------------------------------
 
     def project(self, attributes: _AttributesLike) -> "Relation":
@@ -183,74 +300,93 @@ class Relation:
                 f"cannot project {self._schema.to_notation()} onto "
                 f"{target.to_notation()}: not a subset"
             )
-        positions = [self._columns.index(column) for column in target.sorted_attributes()]
-        projected = {tuple(row[position] for position in positions) for row in self._rows}
-        return Relation(target, projected)
+        if target == self._schema:
+            return self
+        columns = target.sorted_attributes()
+        getter = _tuple_getter([self._positions[column] for column in columns])
+        return Relation._from_trusted(target, columns, frozenset(map(getter, self._rows)))
 
     def natural_join(self, other: "Relation") -> "Relation":
         """``R ⋈ S`` — natural join on the shared attributes (hash join)."""
-        shared = sorted(self.attributes & other.attributes)
+        shared = self._schema.attributes & other._schema.attributes
+        # When one side's attributes contain the other's, the join degenerates
+        # to a semijoin of the wider side — no tuples need to be combined.
+        if len(shared) == len(other._columns):
+            return self.semijoin(other)
+        if len(shared) == len(self._columns):
+            return other.semijoin(self)
+
         result_schema = self._schema.union(other._schema)
         result_columns = result_schema.sorted_attributes()
+        shared_columns = tuple(sorted(shared))
+        left_key = _tuple_getter([self._positions[column] for column in shared_columns])
+        buckets = other.key_index(shared_columns)
 
-        left_positions = [self._columns.index(column) for column in shared]
-        right_positions = [other._columns.index(column) for column in shared]
-
-        buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
-        for row in other._rows:
-            key = tuple(row[position] for position in right_positions)
-            buckets.setdefault(key, []).append(row)
-
-        left_map = {column: position for position, column in enumerate(self._columns)}
-        right_map = {column: position for position, column in enumerate(other._columns)}
-
-        combined_rows = set()
+        # Each output tuple is extracted from the concatenation of a matching
+        # (left row, right row) pair in one C-level itemgetter call.
+        width = len(self._columns)
+        combine = _tuple_getter(
+            [
+                self._positions[column]
+                if column in self._positions
+                else width + other._positions[column]
+                for column in result_columns
+            ]
+        )
+        combined_rows: set = set()
+        add = combined_rows.add
+        get_bucket = buckets.get
         for left_row in self._rows:
-            key = tuple(left_row[position] for position in left_positions)
-            for right_row in buckets.get(key, ()):
-                combined = tuple(
-                    left_row[left_map[column]]
-                    if column in left_map
-                    else right_row[right_map[column]]
-                    for column in result_columns
-                )
-                combined_rows.add(combined)
-        return Relation(result_schema, combined_rows)
+            bucket = get_bucket(left_key(left_row))
+            if bucket:
+                for right_row in bucket:
+                    add(combine(left_row + right_row))
+        return Relation._from_trusted(result_schema, result_columns, frozenset(combined_rows))
 
     def semijoin(self, other: "Relation") -> "Relation":
         """``R ⋉ S = π_R(R ⋈ S)`` — keep rows of ``R`` that join with ``S``."""
-        shared = sorted(self.attributes & other.attributes)
+        shared = self._schema.attributes & other._schema.attributes
         if not shared:
             # With no shared attributes the semijoin keeps everything iff the
             # other relation is non-empty.
-            return self if other._rows else Relation(self._schema, ())
-        left_positions = [self._columns.index(column) for column in shared]
-        right_positions = [other._columns.index(column) for column in shared]
-        keys = {tuple(row[position] for position in right_positions) for row in other._rows}
-        kept = {
-            row
-            for row in self._rows
-            if tuple(row[position] for position in left_positions) in keys
-        }
-        return Relation(self._schema, kept)
+            if other._rows:
+                return self
+            return Relation._from_trusted(self._schema, self._columns, frozenset())
+        shared_columns = tuple(sorted(shared))
+        left_index = self.key_index(shared_columns)
+        right_index = other.key_index(shared_columns)
+        matched = [
+            bucket for key, bucket in left_index.items() if key in right_index
+        ]
+        if sum(map(len, matched)) == len(self._rows):
+            return self
+        kept = frozenset(row for bucket in matched for row in bucket)
+        return Relation._from_trusted(self._schema, self._columns, kept)
 
     def select(self, predicate: Callable[[Dict[Attribute, Any]], bool]) -> "Relation":
         """``σ_p(R)`` — keep rows satisfying ``predicate`` (given as dicts)."""
-        kept = [
-            row
-            for row in self._rows
-            if predicate(dict(zip(self._columns, row)))
-        ]
-        return Relation(self._schema, kept)
+        columns = self._columns
+        kept = frozenset(
+            row for row in self._rows if predicate(dict(zip(columns, row)))
+        )
+        return Relation._from_trusted(self._schema, self._columns, kept)
 
     def select_equal(self, **bindings: Any) -> "Relation":
         """Selection by attribute equality, e.g. ``relation.select_equal(a=1)``."""
         unknown = set(bindings) - set(self._columns)
         if unknown:
             raise RelationError(f"unknown attributes in selection: {sorted(unknown)}")
-        return self.select(
-            lambda row: all(row[attribute] == value for attribute, value in bindings.items())
-        )
+        tests = [(self._positions[attribute], value) for attribute, value in bindings.items()]
+        if len(tests) == 1:
+            position, value = tests[0]
+            kept = frozenset(row for row in self._rows if row[position] == value)
+        else:
+            kept = frozenset(
+                row
+                for row in self._rows
+                if all(row[position] == value for position, value in tests)
+            )
+        return Relation._from_trusted(self._schema, self._columns, kept)
 
     def rename(self, mapping: Mapping[Attribute, Attribute]) -> "Relation":
         """``ρ`` — rename attributes according to ``mapping``."""
@@ -262,9 +398,9 @@ class Relation:
             raise RelationError("renaming would merge two attributes")
         new_schema = RelationSchema(new_names)
         new_columns = new_schema.sorted_attributes()
-        reorder = [new_names.index(column) for column in new_columns]
-        rows = {tuple(row[position] for position in reorder) for row in self._rows}
-        return Relation(new_schema, rows)
+        reorder = _tuple_getter([new_names.index(column) for column in new_columns])
+        rows = frozenset(map(reorder, self._rows))
+        return Relation._from_trusted(new_schema, new_columns, rows)
 
     # -- set operations (same schema required) ---------------------------------------
 
@@ -278,17 +414,23 @@ class Relation:
     def union(self, other: "Relation") -> "Relation":
         """Set union of two relations over the same schema."""
         self._require_same_schema(other, "union")
-        return Relation(self._schema, self._rows | other._rows)
+        return Relation._from_trusted(
+            self._schema, self._columns, self._rows | other._rows
+        )
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection of two relations over the same schema."""
         self._require_same_schema(other, "intersection")
-        return Relation(self._schema, self._rows & other._rows)
+        return Relation._from_trusted(
+            self._schema, self._columns, self._rows & other._rows
+        )
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference of two relations over the same schema."""
         self._require_same_schema(other, "difference")
-        return Relation(self._schema, self._rows - other._rows)
+        return Relation._from_trusted(
+            self._schema, self._columns, self._rows - other._rows
+        )
 
     def issubset(self, other: "Relation") -> bool:
         """True when every row of this relation appears in ``other``."""
@@ -302,7 +444,7 @@ class Relation:
         header = list(self._columns) or ["(no attributes)"]
         body = [
             [str(value) for value in row]
-            for row in sorted(self._rows, key=repr)[:max_rows]
+            for row in _sorted_rows(self._rows)[:max_rows]
         ]
         if not self._columns:
             body = [["()"] for _ in range(min(len(self._rows), max_rows))]

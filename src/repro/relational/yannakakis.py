@@ -27,7 +27,6 @@ from ..exceptions import NotATreeSchemaError, SchemaError
 from ..hypergraph.join_tree import find_qual_tree
 from ..hypergraph.qual_graph import QualGraph
 from ..hypergraph.schema import DatabaseSchema, RelationSchema
-from .algebra import join_all_in_order
 from .database import DatabaseState
 from .relation import Relation
 
@@ -120,12 +119,38 @@ def full_reduce(
 
     Afterwards every relation state equals the projection of the global join
     onto its schema (global consistency).
+
+    Each tree edge is semijoined across twice (leaf-to-root, then
+    root-to-leaf) on the same shared attributes; the hash indexes that
+    :meth:`~repro.relational.relation.Relation.key_index` caches per instance
+    are therefore shared between the two passes instead of being rebuilt, and
+    semijoins that drop no rows return the (already indexed) input unchanged.
     """
     steps = full_reducer_semijoins(state.schema, tree=tree, root=root)
     relations = list(state.relations)
     for step in steps:
         relations[step.target] = relations[step.target].semijoin(relations[step.source])
     return DatabaseState(state.schema, relations)
+
+
+def _subtree_intervals(
+    order: Sequence[int], parent: Dict[int, Optional[int]]
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Preorder index and subtree extent per node, in one traversal.
+
+    ``order`` is a DFS preorder, so the subtree of ``node`` occupies the
+    contiguous index interval ``[tin[node], tout[node]]``.  This lets the
+    bottom-up join decide "does attribute ``a`` occur outside this subtree?"
+    in O(1) from the attribute's min/max preorder extent, replacing the
+    per-node descendant recomputation that made the pipeline quadratic.
+    """
+    tin = {node: position for position, node in enumerate(order)}
+    tout = dict(tin)
+    for node in reversed(order):
+        mother = parent[node]
+        if mother is not None and tout[node] > tout[mother]:
+            tout[mother] = tout[node]
+    return tin, tout
 
 
 @dataclass(frozen=True)
@@ -155,9 +180,10 @@ def yannakakis(
     """Compute ``π_X(⋈ D)`` over a tree schema via full reduction + guarded joins.
 
     After the full reducer, nodes are joined bottom-up along the qual tree;
-    each intermediate result is projected onto the target attributes plus the
-    attributes still needed to join with the remaining (ancestor) nodes, which
-    is what keeps intermediate sizes polynomially bounded.
+    before each join the child is projected onto the target attributes plus
+    the attributes that still occur outside its subtree (an O(1) preorder
+    interval test), which is what keeps intermediate sizes polynomially
+    bounded.
     """
     if not isinstance(target, RelationSchema):
         target = RelationSchema(target)
@@ -188,26 +214,49 @@ def yannakakis(
     max_intermediate = max((len(relation) for relation in relations.values()), default=0)
     join_count = 0
 
-    # Bottom-up join with early projection.
+    # One rooted traversal precomputes, for every attribute, the preorder
+    # extent of the nodes carrying it.  An attribute occurs outside the
+    # subtree [tin, tout] of a node iff its extent sticks out of the interval.
+    tin, tout = _subtree_intervals(order, parent)
+    attr_min: Dict[str, int] = {}
+    attr_max: Dict[str, int] = {}
+    for node in order:
+        position = tin[node]
+        for attribute in schema[node].attributes:
+            if attribute not in attr_min:
+                attr_min[attribute] = attr_max[attribute] = position
+            else:
+                if position < attr_min[attribute]:
+                    attr_min[attribute] = position
+                if position > attr_max[attribute]:
+                    attr_max[attribute] = position
+    target_attributes = target.attributes
+
+    # Bottom-up join with early projection: before joining a child into its
+    # mother, project away the child attributes that neither the target nor
+    # any node outside the child's subtree can still use.  (Those attributes
+    # occur on no other join path, so projecting first is equivalent to
+    # projecting the joined result and keeps the join itself narrow.)
     for node in reversed(order):
         mother = parent[node]
         if mother is None:
             continue
         child_relation = relations[node]
-        parent_relation = relations[mother]
-        joined = parent_relation.natural_join(child_relation)
+        low, high = tin[node], tout[node]
+        keep = frozenset(
+            attribute
+            for attribute in child_relation.attributes
+            if attribute in target_attributes
+            or attr_min[attribute] < low
+            or attr_max[attribute] > high
+        )
+        if keep != child_relation.attributes:
+            child_relation = child_relation.project(RelationSchema(keep))
+            max_intermediate = max(max_intermediate, len(child_relation))
+        joined = relations[mother].natural_join(child_relation)
         join_count += 1
         max_intermediate = max(max_intermediate, len(joined))
-        # Keep only what the target or the not-yet-joined ancestors can use.
-        needed = set(target.attributes)
-        needed |= set(parent_relation.attributes)
-        for other in order:
-            if other != node and other != mother and other not in _descendants(tree, node, parent):
-                needed |= set(schema[other].attributes)
-        keep = RelationSchema(set(joined.attributes) & needed)
-        projected = joined.project(keep)
-        max_intermediate = max(max_intermediate, len(projected))
-        relations[mother] = projected
+        relations[mother] = joined
 
     final = relations[order[0]].project(
         RelationSchema(set(relations[order[0]].attributes) & set(target.attributes))
@@ -217,8 +266,8 @@ def yannakakis(
     # not contained in U(D) (rejected above).
     if final.schema != target:
         # The root may be missing target attributes only if they were
-        # projected away by `keep`; `needed` always retains target attributes,
-        # so this indicates an internal error.
+        # projected away before a join; the `keep` sets always retain target
+        # attributes, so this indicates an internal error.
         raise SchemaError(
             "internal error: Yannakakis result schema does not match the target"
         )
@@ -231,25 +280,18 @@ def yannakakis(
     )
 
 
-def _descendants(tree: QualGraph, node: int, parent: Dict[int, Optional[int]]) -> set:
-    """The set of descendants of ``node`` under the given orientation (inclusive)."""
-    children: Dict[int, List[int]] = {}
-    for child, mother in parent.items():
-        if mother is not None:
-            children.setdefault(mother, []).append(child)
-    result = set()
-    stack = [node]
-    while stack:
-        current = stack.pop()
-        result.add(current)
-        stack.extend(children.get(current, ()))
-    return result
-
-
 def naive_join_project(
     schema: DatabaseSchema, target: RelationSchema, state: DatabaseState
 ) -> Tuple[Relation, int]:
     """The baseline: join every relation in schema order, then project.
+
+    The accumulator is seeded from the smallest relation state; apart from
+    that seed the joins proceed in plain schema order, deliberately without
+    any join-ordering optimization — this function stays the *unoptimized*
+    baseline that the benchmarks compare :func:`yannakakis` against.  (The
+    seed can even hurt: a smallest relation sharing no attributes with the
+    schema-order prefix makes the first join a cartesian product.  That
+    unplanned behavior is exactly what a baseline should exhibit.)
 
     Returns the result and the largest intermediate relation size, for
     comparison with :func:`yannakakis` in the benchmarks.
@@ -259,9 +301,12 @@ def naive_join_project(
     relations = state.relations
     if not relations:
         return Relation.nullary_true().project(RelationSchema(())), 0
-    current = relations[0]
+    seed = min(range(len(relations)), key=lambda index: len(relations[index]))
+    current = relations[seed]
     max_intermediate = len(current)
-    for relation in relations[1:]:
+    for index, relation in enumerate(relations):
+        if index == seed:
+            continue
         current = current.natural_join(relation)
         max_intermediate = max(max_intermediate, len(current))
     result = current.project(target)

@@ -1,0 +1,148 @@
+"""Property-style tests: ``yannakakis(...)`` ≡ ``naive_join_project(...)``.
+
+Both algorithms compute ``π_X(⋈ D)`` for *any* database state over a tree
+schema, so they must agree on every instance.  These tests sweep the
+generator families (chains, stars, random tree schemas) with randomized UR
+and non-UR states, plus the edge cases that exercise the fast paths added to
+the relational kernel (trusted construction, cached key indexes, early
+projection, semijoin identity shortcut).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypergraph import (
+    RelationSchema,
+    chain_schema,
+    parse_schema,
+    random_tree_schema,
+    star_schema,
+)
+from repro.relational import (
+    DatabaseState,
+    Relation,
+    naive_join_project,
+    yannakakis,
+)
+from repro.relational.universal import random_database_state, random_ur_database
+
+
+def _random_target(schema, rng) -> RelationSchema:
+    """A random non-empty subset of U(D)."""
+    attributes = schema.attributes.sorted_attributes()
+    count = rng.randint(1, min(3, len(attributes)))
+    return RelationSchema(rng.sample(attributes, count))
+
+
+def _assert_equivalent(schema, target, state) -> None:
+    run = yannakakis(schema, target, state)
+    baseline, naive_max = naive_join_project(schema, target, state)
+    assert run.result == baseline
+    assert run.max_intermediate_size <= max(naive_max, state.total_rows(), 1)
+
+
+FAMILIES = [
+    pytest.param(lambda size, seed: chain_schema(size), id="chain"),
+    pytest.param(lambda size, seed: star_schema(size), id="star"),
+    pytest.param(lambda size, seed: random_tree_schema(size, rng=seed), id="random-tree"),
+]
+
+
+class TestEquivalenceAcrossFamilies:
+    @pytest.mark.parametrize("build", FAMILIES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ur_states(self, build, seed):
+        rng = random.Random(seed)
+        schema = build(rng.randint(2, 6), seed)
+        state = random_ur_database(schema, tuple_count=25, domain_size=4, rng=seed)
+        _assert_equivalent(schema, _random_target(schema, rng), state)
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_non_ur_states(self, build, seed):
+        # Yannakakis' algorithm does not require a UR database; the full
+        # reducer makes an arbitrary state consistent first.
+        rng = random.Random(100 + seed)
+        schema = build(rng.randint(2, 6), seed)
+        state = random_database_state(schema, tuple_count=12, domain_size=3, rng=seed)
+        _assert_equivalent(schema, _random_target(schema, rng), state)
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    def test_full_universe_target(self, build):
+        rng = random.Random(7)
+        schema = build(4, 7)
+        state = random_ur_database(schema, tuple_count=15, domain_size=3, rng=7)
+        _assert_equivalent(schema, RelationSchema(schema.attributes), state)
+
+
+class TestEdgeCases:
+    def test_empty_relation_state_annihilates_the_join(self):
+        schema = chain_schema(4)
+        state = random_ur_database(schema, tuple_count=20, domain_size=4, rng=1)
+        relations = list(state.relations)
+        relations[2] = Relation.empty(schema[2])
+        emptied = DatabaseState(schema, relations)
+        target = RelationSchema({"x0", "x4"})
+        run = yannakakis(schema, target, emptied)
+        baseline, _ = naive_join_project(schema, target, emptied)
+        assert run.result == baseline == Relation.empty(target)
+
+    def test_no_shared_attributes(self):
+        # Attribute-disjoint relations form a (disconnected) tree schema;
+        # the join is a cartesian product.
+        schema = parse_schema("ab,cd")
+        left = Relation("ab", [(1, 2), (3, 4)])
+        right = Relation("cd", [(5, 6)])
+        state = DatabaseState(schema, [left, right])
+        target = RelationSchema("ac")
+        _assert_equivalent(schema, target, state)
+        run = yannakakis(schema, target, state)
+        assert len(run.result) == 2
+
+    def test_no_shared_attributes_with_empty_side(self):
+        schema = parse_schema("ab,cd")
+        state = DatabaseState(
+            schema, [Relation("ab", [(1, 2)]), Relation.empty(RelationSchema("cd"))]
+        )
+        _assert_equivalent(schema, RelationSchema("a"), state)
+        assert not yannakakis(schema, RelationSchema("a"), state).result
+
+    def test_nullary_target(self):
+        # π_∅(⋈ D) is the nullary TRUE relation iff the join is non-empty.
+        schema = chain_schema(3)
+        state = random_ur_database(schema, tuple_count=10, domain_size=3, rng=3)
+        target = RelationSchema(())
+        run = yannakakis(schema, target, state)
+        baseline, _ = naive_join_project(schema, target, state)
+        assert run.result == baseline == Relation.nullary_true()
+
+    def test_nullary_target_on_empty_state(self):
+        schema = chain_schema(3)
+        state = DatabaseState(schema, [Relation.empty(rel) for rel in schema])
+        target = RelationSchema(())
+        run = yannakakis(schema, target, state)
+        baseline, _ = naive_join_project(schema, target, state)
+        assert run.result == baseline == Relation.empty(())
+
+    def test_single_relation_schema(self):
+        schema = parse_schema("abc")
+        relation = Relation("abc", [(1, 2, 3), (4, 5, 6)])
+        state = DatabaseState(schema, [relation])
+        _assert_equivalent(schema, RelationSchema("ac"), state)
+
+    def test_duplicate_relation_schemas(self):
+        schema = parse_schema("ab,ab")
+        state = DatabaseState(
+            schema, [Relation("ab", [(1, 2), (3, 4)]), Relation("ab", [(1, 2)])]
+        )
+        _assert_equivalent(schema, RelationSchema("ab"), state)
+
+    def test_globally_consistent_state_hits_semijoin_identity_path(self):
+        # On a UR state the full reducer drops no rows, so every semijoin
+        # returns its (already indexed) input unchanged.
+        schema = chain_schema(5)
+        state = random_ur_database(schema, tuple_count=40, domain_size=20, rng=11)
+        _assert_equivalent(schema, RelationSchema({"x0", "x5"}), state)
