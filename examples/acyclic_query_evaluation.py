@@ -11,7 +11,9 @@ database, and answers the query three ways:
 
 * the naive plan (join everything left to right, then project);
 * the canonical-connection plan of Theorem 4.1 (join only ``CC(D, X)``);
-* Yannakakis' semijoin-based algorithm over a qual tree.
+* Yannakakis' semijoin-based algorithm, compiled once into a
+  :class:`~repro.engine.PreparedQuery` via the engine façade and executed
+  against the state.
 
 All three agree; the printout compares how much intermediate work each does.
 """
@@ -21,16 +23,15 @@ from __future__ import annotations
 import random
 import time
 
-from repro import parse_schema, random_ur_database
-from repro.core import execute_join_plan, plan_join_query
-from repro.hypergraph import RelationSchema, find_qual_tree
+from repro import analyze, parse_schema
+from repro.core import execute_join_plan
+from repro.hypergraph import RelationSchema
 from repro.relational import (
     DatabaseState,
     NaturalJoinQuery,
     Relation,
     naive_join_project,
     universal_database,
-    yannakakis,
 )
 
 # Attributes: s = student, c = course, l = lecturer, d = department,
@@ -74,24 +75,25 @@ def main() -> None:
     state: DatabaseState = universal_database(SCHEMA, universe)
     query = NaturalJoinQuery(SCHEMA, TARGET)
 
+    analysis = analyze(SCHEMA)
     print(f"schema D = {SCHEMA}")
     print(f"query target X = {TARGET.to_notation()}  (students x departments)")
     print(f"database sizes: {[len(r) for r in state.relations]} tuples per relation")
-    tree = find_qual_tree(SCHEMA)
-    print(f"qual tree: {tree.to_edge_notation()}")
+    print(f"qual tree: {analysis.qual_tree.to_edge_notation()}")
     print()
 
     started = time.perf_counter()
     naive_answer, naive_max = naive_join_project(SCHEMA, TARGET, state)
     naive_time = time.perf_counter() - started
 
-    plan = plan_join_query(SCHEMA, TARGET)
+    plan = analysis.join_plan(TARGET)
     started = time.perf_counter()
     planned_answer = execute_join_plan(plan, state)
     plan_time = time.perf_counter() - started
 
+    prepared = analysis.prepare(TARGET)  # compiled once; reusable across states
     started = time.perf_counter()
-    run = yannakakis(SCHEMA, TARGET, state)
+    run = prepared.execute(state)
     yannakakis_time = time.perf_counter() - started
 
     assert naive_answer == planned_answer == run.result == query.evaluate(state)

@@ -10,20 +10,14 @@ The walk-through takes the paper's Figure 1 and Section 6 schemas and shows:
 3. computing canonical connections ``CC(D, X)`` by tableau minimization and
    using them to plan a query (Theorem 4.1);
 4. checking lossless joins syntactically (Theorem 5.1) and semantically.
+
+Everything goes through the engine façade: ``analyze(schema)`` performs each
+piece of structural work at most once, however many facts are asked of it.
 """
 
 from __future__ import annotations
 
-from repro import (
-    canonical_connection_result,
-    find_qual_tree,
-    gyo_reduce,
-    is_tree_schema,
-    jd_implies,
-    parse_schema,
-    plan_join_query,
-    random_ur_database,
-)
+from repro import analyze, is_tree_schema, jd_implies, parse_schema, random_ur_database
 from repro.core import execute_join_plan
 from repro.relational import NaturalJoinQuery
 
@@ -33,8 +27,7 @@ def classify_schemas() -> None:
     print("1. Tree vs cyclic schemas (Figure 1)")
     print("=" * 72)
     for text in ("ab,bc,cd", "ab,bc,ac", "abc,cde,ace,afe"):
-        schema = parse_schema(text)
-        trace = gyo_reduce(schema)
+        trace = analyze(text).gyo_trace()
         kind = "tree schema" if trace.is_fully_reduced_to_empty else "cyclic schema"
         print(f"  ({text:<20}) -> {kind}; GYO applied {len(trace.steps)} operations, "
               f"residue = {trace.result.to_notation() or '(empty)'}")
@@ -45,9 +38,9 @@ def build_a_join_tree() -> None:
     print("=" * 72)
     print("2. Qual trees (join trees) for tree schemas")
     print("=" * 72)
-    schema = parse_schema("abc,cde,ace,afe")
-    tree = find_qual_tree(schema)
-    print(f"  schema {schema}")
+    analysis = analyze("abc,cde,ace,afe")
+    tree = analysis.qual_tree
+    print(f"  schema {analysis.schema}")
     print(f"  qual tree edges: {tree.to_edge_notation()}")
     print(f"  valid qual tree: {tree.is_qual_tree()}, "
           f"attribute connectivity holds: {tree.check_attribute_connectivity()}")
@@ -58,14 +51,15 @@ def plan_a_query() -> None:
     print("=" * 72)
     print("3. Canonical connections and query planning (Section 6 example)")
     print("=" * 72)
-    schema = parse_schema("abg,bcg,acf,ad,de,ea")
-    result = canonical_connection_result(schema, "abc")
+    analysis = analyze("abg,bcg,acf,ad,de,ea")
+    schema = analysis.schema
+    result = analysis.canonical_connection_result("abc")
     print(f"  D = {schema}, X = abc")
     print(f"  standard tableau has {len(result.standard)} rows; "
           f"minimal tableau has {len(result.minimal_tableau)} rows")
     print(f"  CC(D, X) = {result.connection}   (the paper derives (abg, bcg, ac))")
 
-    plan = plan_join_query(schema, "abc")
+    plan = analysis.join_plan("abc")
     irrelevant = [schema[i].to_notation() for i in plan.irrelevant_relations]
     print(f"  irrelevant relations: {irrelevant} — exactly ad, de, ea as in the paper")
 

@@ -19,9 +19,9 @@ unsafe fragment set.
 
 from __future__ import annotations
 
-from repro import parse_schema
+from repro import analyze, parse_schema
 from repro.core import check_gamma_equivalences, jd_implies, lossless_for_tree_schema
-from repro.hypergraph import is_gamma_acyclic, is_tree_schema
+from repro.hypergraph import is_tree_schema
 from repro.relational import decompose_and_rejoin, search_implication_counterexample
 
 # Attribute meanings: e = employee, d = department, m = manager, p = project,
@@ -31,11 +31,12 @@ DESIGN_RISKY = parse_schema("ed, dm, em, pl, ph", attribute_separator=None)
 
 
 def analyse(design, label: str) -> None:
+    analysis = analyze(design)  # one façade per design; flags below share it
     print("=" * 72)
     print(f"design {label}: {design}")
     print("=" * 72)
-    print(f"  tree schema (α-acyclic): {is_tree_schema(design)}")
-    print(f"  γ-acyclic:               {is_gamma_acyclic(design)}")
+    print(f"  tree schema (α-acyclic): {analysis.is_tree_schema}")
+    print(f"  γ-acyclic:               {analysis.is_gamma_acyclic}")
     report = check_gamma_equivalences(design)
     print(f"  all Corollary 5.3' conditions agree: {report.all_agree}")
     print()

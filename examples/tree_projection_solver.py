@@ -16,17 +16,18 @@ semijoins; a program that only semijoins does not.
 
 from __future__ import annotations
 
-from repro import parse_schema
+from repro import analyze
 from repro.exceptions import TreeProjectionError
 from repro.hypergraph import RelationSchema, aring
 from repro.relational import NaturalJoinQuery, Program, random_ur_database
-from repro.tableau import canonical_connection
 from repro.treeproj import augment_program_with_semijoins, find_tree_projection
 
 RING = aring(6)                       # (ab, bc, cd, de, ef, af)
 TARGET = RelationSchema({"a", "d"})   # opposite corners of the cycle
 STATE = random_ur_database(RING, tuple_count=80, domain_size=5, rng=17)
 QUERY = NaturalJoinQuery(RING, TARGET)
+# One analysis of the ring serves every CC(D, X) lookup below.
+ANALYSIS = analyze(RING)
 
 
 def analyse(program: Program, label: str) -> None:
@@ -34,7 +35,7 @@ def analyse(program: Program, label: str) -> None:
     print(f"program {label}")
     print("=" * 72)
     print(program.describe())
-    lower = canonical_connection(RING, TARGET).add_relation(TARGET)
+    lower = ANALYSIS.canonical_connection(TARGET).add_relation(TARGET)
     extended = program.extended_schema()
     if not extended.covers(lower):
         print("  P(D) does not even cover CC(D, X) ∪ (X): no tree projection can exist")
@@ -44,7 +45,7 @@ def analyse(program: Program, label: str) -> None:
               + (f"  ({search.projection.to_notation()} via {search.method})" if search.found else ""))
     try:
         augmented = augment_program_with_semijoins(
-            program, TARGET, anchors=canonical_connection(RING, TARGET)
+            program, TARGET, anchors=ANALYSIS.canonical_connection(TARGET)
         )
     except TreeProjectionError as error:
         print(f"  augmentation refused: {error}")
@@ -61,7 +62,7 @@ def analyse(program: Program, label: str) -> None:
 
 def main() -> None:
     print(f"schema D = {RING}, target X = {TARGET.to_notation()}")
-    print(f"CC(D, X) = {canonical_connection(RING, TARGET)}")
+    print(f"CC(D, X) = {ANALYSIS.canonical_connection(TARGET)}")
     print()
 
     halves = Program(RING)

@@ -20,14 +20,13 @@ exactly and with the first-fit-decreasing heuristic.
 
 from __future__ import annotations
 
-from repro import parse_schema
+from repro import analyze, parse_schema
 from repro.hypergraph import aring, grid_schema, is_tree_schema
 from repro.treefication import (
     BinPackingInstance,
     FixedTreeficationInstance,
     first_fit_decreasing,
     reduction_from_bin_packing,
-    single_relation_treefication,
     solve_bin_packing_exact,
     solve_fixed_treefication_exact,
     treefication_from_packing,
@@ -45,7 +44,7 @@ def plan_single_relation_treefications() -> None:
         "ring with a tail": parse_schema("ab,bc,ac,cd,de"),
     }
     for label, schema in schemas.items():
-        result = single_relation_treefication(schema)
+        result = analyze(schema).treefication  # shares the schema's GYO residue
         print(f"  {label:<18} add {result.added_relation.to_notation():<14} "
               f"-> tree schema: {is_tree_schema(result.treefied)}")
     print()

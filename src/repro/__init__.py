@@ -2,8 +2,20 @@
 *GYO Reductions, Canonical Connections, Tree and Cyclic Schemas, and Tree
 Projections*.
 
+The recommended entry point is the engine façade (see ``docs/api.md``)::
+
+    from repro import analyze
+
+    analysis = analyze("ab,bc,cd")          # AnalyzedSchema: lazy, cached
+    analysis.is_tree_schema                 # structural facts, computed once
+    prepared = analysis.prepare("ad")       # PreparedQuery: plan once ...
+    prepared.execute_many(states)           # ... execute many, no re-planning
+
 The package is organized by substrate:
 
+* :mod:`repro.engine` — the façade above: :class:`~repro.engine.AnalyzedSchema`
+  (memoized schema analysis) and :class:`~repro.engine.PreparedQuery`
+  (compiled plans with plan-once/execute-many semantics);
 * :mod:`repro.hypergraph` — database schemas as hypergraphs, qual graphs and
   qual trees, the GYO reduction, Arings/Acliques, α/β/γ-acyclicity, schema
   generators;
@@ -90,11 +102,22 @@ from .core import (
     plan_join_query,
     queries_weakly_equivalent,
 )
+from .engine import (
+    AnalyzedSchema,
+    PreparedQuery,
+    analyze,
+    clear_analysis_cache,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # engine façade
+    "analyze",
+    "AnalyzedSchema",
+    "PreparedQuery",
+    "clear_analysis_cache",
     # exceptions
     "ReproError",
     "SchemaError",

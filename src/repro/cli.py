@@ -1,37 +1,33 @@
 """Command-line interface: schema analysis from the shell.
 
-Usage (after ``pip install -e .`` or with ``python -m repro``):
+Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``):
 
 .. code-block:: console
 
-   $ python -m repro analyze "ab,bc,ac"
-   $ python -m repro cc "abg,bcg,acf,ad,de,ea" abc
-   $ python -m repro lossless "abc,ab,bc" "ab,bc"
-   $ python -m repro treefy "ab,bc,cd,da"
+   $ repro analyze "ab,bc,ac"
+   $ repro analyze --json "ab,bc,ac"
+   $ repro cc "abg,bcg,acf,ad,de,ea" abc
+   $ repro lossless "abc,ab,bc" "ab,bc"
+   $ repro treefy "ab,bc,cd,da"
 
 Schemas are written in the paper's notation (relations separated by commas,
 single-character attributes concatenated); multi-character attribute names
-can be used by passing ``--attribute-separator``.
+can be used by passing ``--attribute-separator``.  Every subcommand accepts
+``--json`` for machine-readable output.  All commands are built on the
+engine façade (:func:`repro.engine.analyze`), so each invocation performs
+one schema analysis shared by every fact it prints.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from .core import jd_implies, plan_join_query
-from .hypergraph import (
-    find_qual_tree,
-    gyo_reduce,
-    is_beta_acyclic,
-    is_berge_acyclic,
-    is_gamma_acyclic,
-    is_tree_schema,
-    parse_schema,
-)
-from .tableau import canonical_connection
-from .treefication import single_relation_treefication
+from .core import jd_implies
+from .engine import AnalyzedSchema, analyze
+from .hypergraph import parse_schema
 
 __all__ = ["main", "build_parser"]
 
@@ -54,38 +50,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    analyze = commands.add_parser("analyze", help="classify a schema and print its structure")
-    analyze.add_argument("schema", help='database schema, e.g. "ab,bc,ac"')
+    def add_json_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON instead of text",
+        )
 
-    connection = commands.add_parser("cc", help="compute the canonical connection CC(D, X)")
+    analyze_cmd = commands.add_parser(
+        "analyze", help="classify a schema and print its structure"
+    )
+    analyze_cmd.add_argument("schema", help='database schema, e.g. "ab,bc,ac"')
+    add_json_flag(analyze_cmd)
+
+    connection = commands.add_parser(
+        "cc", help="compute the canonical connection CC(D, X)"
+    )
     connection.add_argument("schema", help="database schema D")
     connection.add_argument("target", help="query target X, e.g. abc")
+    add_json_flag(connection)
 
     lossless = commands.add_parser("lossless", help="check whether ⋈D implies ⋈D'")
     lossless.add_argument("schema", help="database schema D")
-    lossless.add_argument("subschema", help="sub-schema D' (each relation contained in some relation of D)")
+    lossless.add_argument(
+        "subschema",
+        help="sub-schema D' (each relation contained in some relation of D)",
+    )
+    add_json_flag(lossless)
 
-    treefy = commands.add_parser("treefy", help="single-relation treefication (Corollary 3.2)")
+    treefy = commands.add_parser(
+        "treefy", help="single-relation treefication (Corollary 3.2)"
+    )
     treefy.add_argument("schema", help="database schema D")
+    add_json_flag(treefy)
 
     return parser
 
 
-def _analyze(schema_text: str, attribute_separator: Optional[str]) -> int:
-    schema = parse_schema(schema_text, attribute_separator=attribute_separator)
-    trace = gyo_reduce(schema)
-    tree = find_qual_tree(schema)
+def _emit_json(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=False))
+
+
+def _analysis_payload(analysis: AnalyzedSchema) -> Dict[str, Any]:
+    schema = analysis.schema
+    tree = analysis.qual_tree
+    payload: Dict[str, Any] = {
+        "schema": schema.to_notation(),
+        "relations": len(schema),
+        "attributes": len(schema.attributes),
+        "alpha_acyclic": analysis.is_tree_schema,
+        "gamma_acyclic": analysis.is_gamma_acyclic,
+        "beta_acyclic": analysis.is_beta_acyclic,
+        "berge_acyclic": analysis.is_berge_acyclic,
+        "gyo_residue": analysis.gyo_residue().to_notation(),
+        "qual_tree": tree.to_edge_notation() if tree is not None else None,
+    }
+    if tree is None:
+        payload["treefying_relation"] = analysis.treefication.added_relation.to_notation()
+    return payload
+
+
+def _analyze(schema_text: str, attribute_separator: Optional[str], as_json: bool) -> int:
+    analysis = analyze(schema_text, attribute_separator=attribute_separator)
+    if as_json:
+        _emit_json(_analysis_payload(analysis))
+        return 0
+    schema = analysis.schema
+    tree = analysis.qual_tree
     print(f"schema: {schema}")
     print(f"relations: {len(schema)}, attributes: {len(schema.attributes)}")
-    print(f"tree schema (alpha-acyclic): {is_tree_schema(schema)}")
-    print(f"gamma-acyclic: {is_gamma_acyclic(schema)}")
-    print(f"beta-acyclic: {is_beta_acyclic(schema)}")
-    print(f"Berge-acyclic: {is_berge_acyclic(schema)}")
-    print(f"GYO residue GR(D): {trace.result.to_notation() or '(empty)'}")
+    print(f"tree schema (alpha-acyclic): {analysis.is_tree_schema}")
+    print(f"gamma-acyclic: {analysis.is_gamma_acyclic}")
+    print(f"beta-acyclic: {analysis.is_beta_acyclic}")
+    print(f"Berge-acyclic: {analysis.is_berge_acyclic}")
+    print(f"GYO residue GR(D): {analysis.gyo_residue().to_notation() or '(empty)'}")
     if tree is not None:
         print(f"qual tree: {tree.to_edge_notation()}")
     else:
-        treefied = single_relation_treefication(schema)
+        treefied = analysis.treefication
         print(
             "cyclic; smallest treefying relation (Corollary 3.2): "
             f"{treefied.added_relation.to_notation()}"
@@ -94,37 +136,81 @@ def _analyze(schema_text: str, attribute_separator: Optional[str]) -> int:
 
 
 def _canonical_connection(
-    schema_text: str, target_text: str, attribute_separator: Optional[str]
+    schema_text: str,
+    target_text: str,
+    attribute_separator: Optional[str],
+    as_json: bool,
 ) -> int:
-    schema = parse_schema(schema_text, attribute_separator=attribute_separator)
+    analysis = analyze(schema_text, attribute_separator=attribute_separator)
+    schema = analysis.schema
     target = parse_schema(target_text, attribute_separator=attribute_separator)
     target_relation = target.attributes
-    connection = canonical_connection(schema, target_relation)
-    plan = plan_join_query(schema, target_relation)
+    connection = analysis.canonical_connection(target_relation)
+    plan = analysis.join_plan(target_relation)
+    irrelevant = [schema[index].to_notation() for index in plan.irrelevant_relations]
+    if as_json:
+        _emit_json(
+            {
+                "schema": schema.to_notation(),
+                "target": target_relation.to_notation(),
+                "canonical_connection": connection.to_notation(),
+                "irrelevant_relations": irrelevant,
+                "relevant_relations": [
+                    schema[index].to_notation() for index in plan.relevant_relations
+                ],
+            }
+        )
+        return 0
     print(f"D  = {schema}")
     print(f"X  = {target_relation.to_notation()}")
     print(f"CC(D, X) = {connection}")
-    irrelevant = [schema[index].to_notation() for index in plan.irrelevant_relations]
     print(f"irrelevant relations: {irrelevant or 'none'}")
     return 0
 
 
 def _lossless(
-    schema_text: str, subschema_text: str, attribute_separator: Optional[str]
+    schema_text: str,
+    subschema_text: str,
+    attribute_separator: Optional[str],
+    as_json: bool,
 ) -> int:
+    # No structural artifact is needed here, so skip the analysis cache.
     schema = parse_schema(schema_text, attribute_separator=attribute_separator)
     subschema = parse_schema(subschema_text, attribute_separator=attribute_separator)
     implied = jd_implies(schema, subschema)
+    if as_json:
+        _emit_json(
+            {
+                "schema": schema.to_notation(),
+                "subschema": subschema.to_notation(),
+                "lossless": implied,
+            }
+        )
+        return 0 if implied else 1
     print(f"D  = {schema}")
     print(f"D' = {subschema}")
     print(f"⋈D implies that D' has a lossless join: {implied}")
     return 0 if implied else 1
 
 
-def _treefy(schema_text: str, attribute_separator: Optional[str]) -> int:
-    schema = parse_schema(schema_text, attribute_separator=attribute_separator)
-    result = single_relation_treefication(schema)
-    print(f"D = {schema}")
+def _treefy(schema_text: str, attribute_separator: Optional[str], as_json: bool) -> int:
+    analysis = analyze(schema_text, attribute_separator=attribute_separator)
+    result = analysis.treefication
+    if as_json:
+        _emit_json(
+            {
+                "schema": analysis.schema.to_notation(),
+                "already_tree": result.was_already_tree,
+                "added_relation": (
+                    None
+                    if result.was_already_tree
+                    else result.added_relation.to_notation()
+                ),
+                "treefied": result.treefied.to_notation(),
+            }
+        )
+        return 0
+    print(f"D = {analysis.schema}")
     if result.was_already_tree:
         print("already a tree schema; nothing to add")
     else:
@@ -138,14 +224,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
     separator = arguments.attribute_separator
+    as_json = getattr(arguments, "json", False)
     if arguments.command == "analyze":
-        return _analyze(arguments.schema, separator)
+        return _analyze(arguments.schema, separator, as_json)
     if arguments.command == "cc":
-        return _canonical_connection(arguments.schema, arguments.target, separator)
+        return _canonical_connection(
+            arguments.schema, arguments.target, separator, as_json
+        )
     if arguments.command == "lossless":
-        return _lossless(arguments.schema, arguments.subschema, separator)
+        return _lossless(arguments.schema, arguments.subschema, separator, as_json)
     if arguments.command == "treefy":
-        return _treefy(arguments.schema, separator)
+        return _treefy(arguments.schema, separator, as_json)
     parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -21,14 +21,12 @@ executable plan (project the relevant base relations, join, project onto
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, Tuple, Union
 
 from ..exceptions import NotASubSchemaError, SchemaError
-from ..hypergraph.gyo import gyo_reduction, is_tree_schema
 from ..hypergraph.schema import Attribute, DatabaseSchema, RelationSchema
 from ..relational.algebra import join_all
 from ..relational.database import DatabaseState
-from ..relational.query import NaturalJoinQuery
 from ..relational.relation import Relation
 from ..tableau.canonical import canonical_connection
 from ..tableau.containment import tableaux_equivalent
@@ -136,26 +134,15 @@ class JoinPlan:
 def plan_join_query(
     schema: DatabaseSchema, target: Union[RelationSchema, Iterable[Attribute]]
 ) -> JoinPlan:
-    """Build the minimal join plan for ``(D, X)`` from its canonical connection."""
-    target_schema = (
-        target if isinstance(target, RelationSchema) else RelationSchema(target)
-    )
-    connection = canonical_connection(schema, target_schema)
-    used: List[int] = []
-    for relation in connection.relations:
-        for index, base in enumerate(schema.relations):
-            if relation <= base:
-                used.append(index)
-                break
-    irrelevant = tuple(
-        index for index in range(len(schema)) if index not in set(used)
-    )
-    return JoinPlan(
-        schema=schema,
-        target=target_schema,
-        sub_schema=connection,
-        irrelevant_relations=irrelevant,
-    )
+    """Build the minimal join plan for ``(D, X)`` from its canonical connection.
+
+    Delegates to the engine façade (:func:`repro.engine.analyze`), which
+    memoizes the plan per target attribute set and shares the underlying
+    canonical connection with every other consumer of the same analysis.
+    """
+    from ..engine.analysis import analyze  # deferred: the engine sits above us
+
+    return analyze(schema).join_plan(target)
 
 
 def execute_join_plan(plan: JoinPlan, state: DatabaseState) -> Relation:

@@ -1,0 +1,37 @@
+"""The engine façade: plan-once / execute-many query processing.
+
+This package is the primary public API of the library:
+
+* :func:`analyze` — turn a schema (or schema notation text) into an
+  :class:`AnalyzedSchema`, an immutable façade that lazily computes and
+  caches the GYO trace, qual tree, acyclicity flags, treefication and
+  per-target canonical connections / join plans;
+* :meth:`AnalyzedSchema.prepare` — compile a :class:`PreparedQuery` (full
+  reducer + Yannakakis join order + early-projection schedule, derived once)
+  whose :meth:`~PreparedQuery.execute` / :meth:`~PreparedQuery.execute_many`
+  evaluate the query against any number of database states with zero
+  re-planning cost.
+
+The classic free functions (``gyo_reduce``, ``canonical_connection``,
+``plan_join_query``, ``yannakakis``) remain available and now delegate here,
+so they amortize across calls automatically.  See ``docs/api.md``.
+"""
+
+from .analysis import (
+    AnalyzedSchema,
+    analysis_cache_size,
+    analyze,
+    clear_analysis_cache,
+    peek_analysis,
+)
+from .prepared import JoinStep, PreparedQuery
+
+__all__ = [
+    "AnalyzedSchema",
+    "PreparedQuery",
+    "JoinStep",
+    "analyze",
+    "analysis_cache_size",
+    "clear_analysis_cache",
+    "peek_analysis",
+]

@@ -1,0 +1,307 @@
+"""Compiled execution plans: plan once, execute many.
+
+A :class:`PreparedQuery` freezes everything about evaluating ``π_X(⋈ D)``
+over a tree schema that depends only on the *schema* and the *target* — the
+qual tree, its rooted orientation, the full-reducer semijoin program, the
+early-projection schedule of the bottom-up join, and the final projection —
+so that :meth:`PreparedQuery.execute` does no planning work at all: it only
+runs semijoins, joins and projections against the supplied
+:class:`~repro.relational.database.DatabaseState`.
+
+The execution semantics (result, semijoin/join counts, maximum intermediate
+size) are exactly those of :func:`repro.relational.yannakakis.yannakakis`,
+which is now a thin wrapper around this class.  The key observation that
+makes ahead-of-time compilation possible is that the attribute set of every
+intermediate relation in Yannakakis' bottom-up join is determined by the
+schema and target alone: a node's relation, at the moment it is merged into
+its mother, carries ``schema[node]``'s attributes plus whatever its own
+children were allowed to keep.  The constructor replays that recurrence
+symbolically and records, per tree edge, whether a projection is needed and
+onto which attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import NotATreeSchemaError, SchemaError
+from ..hypergraph.qual_graph import QualGraph
+from ..hypergraph.schema import Attribute, DatabaseSchema, RelationSchema
+from ..relational.database import DatabaseState
+from ..relational.relation import Relation
+from ..relational.yannakakis import (
+    SemijoinStep,
+    YannakakisRun,
+    full_reducer_semijoins,
+    rooted_orientation,
+)
+
+__all__ = ["JoinStep", "PreparedQuery"]
+
+
+def _subtree_intervals(
+    order: Sequence[int], parent: Dict[int, Optional[int]]
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Preorder index and subtree extent per node, in one traversal.
+
+    ``order`` is a DFS preorder, so the subtree of ``node`` occupies the
+    contiguous index interval ``[tin[node], tout[node]]``; "does attribute
+    ``a`` occur outside this subtree?" becomes an O(1) extent test.
+    """
+    tin = {node: position for position, node in enumerate(order)}
+    tout = dict(tin)
+    for node in reversed(order):
+        mother = parent[node]
+        if mother is not None and tout[node] > tout[mother]:
+            tout[mother] = tout[node]
+    return tin, tout
+
+
+class JoinStep:
+    """One step of the bottom-up join: merge ``node`` into ``mother``.
+
+    ``projection`` is the early-projection schema to apply to the node's
+    relation before the join, or ``None`` when the relation already carries
+    exactly the attributes worth keeping.
+    """
+
+    __slots__ = ("node", "mother", "projection")
+
+    def __init__(
+        self, node: int, mother: int, projection: Optional[RelationSchema]
+    ) -> None:
+        self.node = node
+        self.mother = mother
+        self.projection = projection
+
+    def describe(self) -> str:
+        """Human readable description of the step."""
+        if self.projection is None:
+            return f"R{self.mother} := R{self.mother} ⋈ R{self.node}"
+        return (
+            f"R{self.mother} := R{self.mother} ⋈ "
+            f"π_{self.projection.to_notation()}(R{self.node})"
+        )
+
+
+class PreparedQuery:
+    """A compiled plan for ``π_X(⋈ D)`` over a tree schema.
+
+    Instances are immutable and are normally obtained from
+    :meth:`repro.engine.analysis.AnalyzedSchema.prepare`, which memoizes them
+    per ``(target, root)`` and shares the schema's cached qual tree.  Direct
+    construction is also supported (and is what ``yannakakis(..., tree=...)``
+    uses when handed an explicit qual tree).
+    """
+
+    __slots__ = (
+        "_schema",
+        "_target",
+        "_root",
+        "_tree",
+        "_order",
+        "_semijoin_steps",
+        "_join_steps",
+        "_final_projection",
+    )
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        target: Union[RelationSchema, Iterable[Attribute]],
+        *,
+        tree: Optional[QualGraph] = None,
+        root: int = 0,
+    ) -> None:
+        if not isinstance(target, RelationSchema):
+            target = RelationSchema(target)
+        if not target <= schema.attributes:
+            raise SchemaError("the target must be contained in U(D)")
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_root", root)
+
+        if len(schema) == 0:
+            object.__setattr__(self, "_tree", None)
+            object.__setattr__(self, "_order", ())
+            object.__setattr__(self, "_semijoin_steps", ())
+            object.__setattr__(self, "_join_steps", ())
+            object.__setattr__(self, "_final_projection", RelationSchema(()))
+            return
+
+        if tree is None:
+            from .analysis import analyze
+
+            tree = analyze(schema).qual_tree
+            if tree is None:
+                raise NotATreeSchemaError(
+                    "Yannakakis' algorithm applies to tree schemas; the schema is cyclic"
+                )
+        object.__setattr__(self, "_tree", tree)
+
+        order, parent = rooted_orientation(tree, root=root)
+        object.__setattr__(self, "_order", order)
+        object.__setattr__(
+            self,
+            "_semijoin_steps",
+            full_reducer_semijoins(schema, tree=tree, root=root),
+        )
+
+        # Early-projection schedule for the bottom-up join.  The attribute
+        # set each node carries when it reaches its mother is a function of
+        # the schema and target only, so the projections are decided here,
+        # once, instead of per execution.
+        tin, tout = _subtree_intervals(order, parent)
+        attr_min: Dict[Attribute, int] = {}
+        attr_max: Dict[Attribute, int] = {}
+        for node in order:
+            position = tin[node]
+            for attribute in schema[node].attributes:
+                if attribute not in attr_min:
+                    attr_min[attribute] = attr_max[attribute] = position
+                else:
+                    if position < attr_min[attribute]:
+                        attr_min[attribute] = position
+                    if position > attr_max[attribute]:
+                        attr_max[attribute] = position
+        target_attributes = target.attributes
+        carried: Dict[int, frozenset] = {
+            node: frozenset(schema[node].attributes) for node in order
+        }
+        join_steps: List[JoinStep] = []
+        for node in reversed(order):
+            mother = parent[node]
+            if mother is None:
+                continue
+            attributes = carried[node]
+            low, high = tin[node], tout[node]
+            keep = frozenset(
+                attribute
+                for attribute in attributes
+                if attribute in target_attributes
+                or attr_min[attribute] < low
+                or attr_max[attribute] > high
+            )
+            projection = RelationSchema(keep) if keep != attributes else None
+            join_steps.append(JoinStep(node, mother, projection))
+            carried[mother] = carried[mother] | keep
+        object.__setattr__(self, "_join_steps", tuple(join_steps))
+
+        final = RelationSchema(carried[order[0]] & set(target.attributes))
+        if final != target:
+            # The `keep` sets always retain target attributes, so a mismatch
+            # indicates an internal error rather than a user mistake.
+            raise SchemaError(
+                "internal error: Yannakakis result schema does not match the target"
+            )
+        object.__setattr__(self, "_final_projection", final)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PreparedQuery is immutable")
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The schema ``D`` the plan was compiled for."""
+        return self._schema
+
+    @property
+    def target(self) -> RelationSchema:
+        """The projection target ``X``."""
+        return self._target
+
+    @property
+    def root(self) -> int:
+        """The relation index the qual tree was rooted at."""
+        return self._root
+
+    @property
+    def tree(self) -> Optional[QualGraph]:
+        """The qual tree the plan joins along (``None`` for the empty schema)."""
+        return self._tree
+
+    @property
+    def semijoin_steps(self) -> Tuple[SemijoinStep, ...]:
+        """The full-reducer semijoin program, in execution order."""
+        return self._semijoin_steps
+
+    @property
+    def join_steps(self) -> Tuple[JoinStep, ...]:
+        """The bottom-up join schedule with early projections, in order."""
+        return self._join_steps
+
+    def describe(self) -> str:
+        """The whole plan as human-readable program text."""
+        lines = [
+            f"prepared query: π_{self._target.to_notation() or '{}'}(⋈ {self._schema})"
+        ]
+        for step in self._semijoin_steps:
+            lines.append(f"  {step.describe()}")
+        for step in self._join_steps:
+            lines.append(f"  {step.describe()}")
+        lines.append(
+            f"  answer := π_{self._final_projection.to_notation() or '{}'}"
+            f"(R{self._root})"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"PreparedQuery(schema={self._schema.to_notation()!r}, "
+            f"target={self._target.to_notation()!r}, "
+            f"semijoins={len(self._semijoin_steps)}, joins={len(self._join_steps)})"
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, state: DatabaseState) -> YannakakisRun:
+        """Run the compiled plan against a state; no planning happens here.
+
+        The returned :class:`~repro.relational.yannakakis.YannakakisRun`
+        matches what ``yannakakis(schema, target, state)`` returns for the
+        same inputs, including the intermediate-size accounting.
+        """
+        if state.schema != self._schema:
+            raise SchemaError("the state is for a different schema than the query")
+        if len(self._schema) == 0:
+            return YannakakisRun(
+                result=Relation.nullary_true(),
+                semijoin_count=0,
+                join_count=0,
+                max_intermediate_size=1,
+            )
+
+        relations = list(state.relations)
+        for step in self._semijoin_steps:
+            relations[step.target] = relations[step.target].semijoin(
+                relations[step.source]
+            )
+        max_intermediate = max((len(relation) for relation in relations), default=0)
+
+        join_count = 0
+        for step in self._join_steps:
+            child = relations[step.node]
+            if step.projection is not None:
+                child = child.project(step.projection)
+                if len(child) > max_intermediate:
+                    max_intermediate = len(child)
+            joined = relations[step.mother].natural_join(child)
+            join_count += 1
+            if len(joined) > max_intermediate:
+                max_intermediate = len(joined)
+            relations[step.mother] = joined
+
+        final = relations[self._root].project(self._final_projection)
+        if len(final) > max_intermediate:
+            max_intermediate = len(final)
+        return YannakakisRun(
+            result=final,
+            semijoin_count=len(self._semijoin_steps),
+            join_count=join_count,
+            max_intermediate_size=max_intermediate,
+        )
+
+    def execute_many(self, states: Iterable[DatabaseState]) -> List[YannakakisRun]:
+        """Execute the plan against each state, amortizing the planning cost."""
+        return [self.execute(state) for state in states]

@@ -466,7 +466,20 @@ def gyo_reduce(
     schema: DatabaseSchema,
     sacred: Union[RelationSchema, Iterable[Attribute]] = (),
 ) -> GYOTrace:
-    """Compute ``GR(schema, sacred)`` and return the full trace."""
+    """Compute ``GR(schema, sacred)`` and return the full trace.
+
+    Consults the engine façade's cache (:func:`repro.engine.analyze`): when
+    the schema has an :class:`~repro.engine.AnalyzedSchema`, its memoized
+    trace is reused.  On a miss the reduction runs directly *without*
+    creating a cache entry — this function is the inner loop of brute-force
+    searches over thousands of candidate schemas (treefication,
+    tree projections), which must not flood the analysis LRU.
+    """
+    from ..engine.analysis import peek_analysis  # deferred: the engine sits above us
+
+    analysis = peek_analysis(schema)
+    if analysis is not None:
+        return analysis.gyo_trace(sacred)
     reducer = GYOReduction(schema, sacred)
     reducer.run_to_completion()
     return reducer.trace()

@@ -10,7 +10,8 @@ and joins whose intermediate results never exceed (input + output) size
   globally consistent;
 * :func:`full_reduce` — apply that program to a database state;
 * :func:`yannakakis` — the full algorithm: full reduction followed by a
-  bottom-up join with early projection;
+  bottom-up join with early projection (a wrapper over the engine façade's
+  cached :class:`~repro.engine.prepared.PreparedQuery` plans);
 * :func:`naive_join_project` — the baseline the benchmarks compare against.
 
 Both algorithms compute exactly ``π_X(⋈ D)`` for *any* database state (UR or
@@ -21,10 +22,9 @@ benchmarks measure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import NotATreeSchemaError, SchemaError
-from ..hypergraph.join_tree import find_qual_tree
 from ..hypergraph.qual_graph import QualGraph
 from ..hypergraph.schema import DatabaseSchema, RelationSchema
 from .database import DatabaseState
@@ -91,7 +91,9 @@ def full_reducer_semijoins(
     if len(schema) == 0:
         return ()
     if tree is None:
-        tree = find_qual_tree(schema)
+        from ..engine.analysis import analyze  # deferred: the engine sits above us
+
+        tree = analyze(schema).qual_tree
         if tree is None:
             raise NotATreeSchemaError(
                 "full reducers exist exactly for tree schemas; the schema is cyclic"
@@ -133,26 +135,6 @@ def full_reduce(
     return DatabaseState(state.schema, relations)
 
 
-def _subtree_intervals(
-    order: Sequence[int], parent: Dict[int, Optional[int]]
-) -> Tuple[Dict[int, int], Dict[int, int]]:
-    """Preorder index and subtree extent per node, in one traversal.
-
-    ``order`` is a DFS preorder, so the subtree of ``node`` occupies the
-    contiguous index interval ``[tin[node], tout[node]]``.  This lets the
-    bottom-up join decide "does attribute ``a`` occur outside this subtree?"
-    in O(1) from the attribute's min/max preorder extent, replacing the
-    per-node descendant recomputation that made the pipeline quadratic.
-    """
-    tin = {node: position for position, node in enumerate(order)}
-    tout = dict(tin)
-    for node in reversed(order):
-        mother = parent[node]
-        if mother is not None and tout[node] > tout[mother]:
-            tout[mother] = tout[node]
-    return tin, tout
-
-
 @dataclass(frozen=True)
 class YannakakisRun:
     """The result of running Yannakakis' algorithm, with size accounting.
@@ -179,105 +161,27 @@ def yannakakis(
 ) -> YannakakisRun:
     """Compute ``π_X(⋈ D)`` over a tree schema via full reduction + guarded joins.
 
-    After the full reducer, nodes are joined bottom-up along the qual tree;
-    before each join the child is projected onto the target attributes plus
-    the attributes that still occur outside its subtree (an O(1) preorder
-    interval test), which is what keeps intermediate sizes polynomially
-    bounded.
+    This is now a thin wrapper over the engine façade: the plan (qual tree,
+    semijoin program, join order, early-projection schedule) is compiled once
+    per ``(schema, target, root)`` by
+    :meth:`repro.engine.analysis.AnalyzedSchema.prepare` and cached, so
+    repeated calls over different states only pay for execution.  Passing an
+    explicit ``tree`` bypasses the cache and compiles a one-off plan for that
+    tree.  For bulk evaluation prefer
+    ``analyze(schema).prepare(target).execute_many(states)``.
     """
     if not isinstance(target, RelationSchema):
         target = RelationSchema(target)
     if state.schema != schema:
         raise SchemaError("the state is for a different schema than the query")
-    if not target <= schema.attributes:
-        raise SchemaError("the target must be contained in U(D)")
-    if len(schema) == 0:
-        return YannakakisRun(
-            result=Relation.nullary_true(),
-            semijoin_count=0,
-            join_count=0,
-            max_intermediate_size=1,
-        )
-    if tree is None:
-        tree = find_qual_tree(schema)
-        if tree is None:
-            raise NotATreeSchemaError(
-                "Yannakakis' algorithm applies to tree schemas; the schema is cyclic"
-            )
+    from ..engine.analysis import analyze  # deferred: the engine sits above us
+    from ..engine.prepared import PreparedQuery
 
-    order, parent = rooted_orientation(tree, root=root)
-    reduced = full_reduce(state, tree=tree, root=root)
-    relations: Dict[int, Relation] = {
-        index: relation for index, relation in enumerate(reduced.relations)
-    }
-    semijoin_count = 2 * (len(schema) - 1) if len(schema) > 0 else 0
-    max_intermediate = max((len(relation) for relation in relations.values()), default=0)
-    join_count = 0
-
-    # One rooted traversal precomputes, for every attribute, the preorder
-    # extent of the nodes carrying it.  An attribute occurs outside the
-    # subtree [tin, tout] of a node iff its extent sticks out of the interval.
-    tin, tout = _subtree_intervals(order, parent)
-    attr_min: Dict[str, int] = {}
-    attr_max: Dict[str, int] = {}
-    for node in order:
-        position = tin[node]
-        for attribute in schema[node].attributes:
-            if attribute not in attr_min:
-                attr_min[attribute] = attr_max[attribute] = position
-            else:
-                if position < attr_min[attribute]:
-                    attr_min[attribute] = position
-                if position > attr_max[attribute]:
-                    attr_max[attribute] = position
-    target_attributes = target.attributes
-
-    # Bottom-up join with early projection: before joining a child into its
-    # mother, project away the child attributes that neither the target nor
-    # any node outside the child's subtree can still use.  (Those attributes
-    # occur on no other join path, so projecting first is equivalent to
-    # projecting the joined result and keeps the join itself narrow.)
-    for node in reversed(order):
-        mother = parent[node]
-        if mother is None:
-            continue
-        child_relation = relations[node]
-        low, high = tin[node], tout[node]
-        keep = frozenset(
-            attribute
-            for attribute in child_relation.attributes
-            if attribute in target_attributes
-            or attr_min[attribute] < low
-            or attr_max[attribute] > high
-        )
-        if keep != child_relation.attributes:
-            child_relation = child_relation.project(RelationSchema(keep))
-            max_intermediate = max(max_intermediate, len(child_relation))
-        joined = relations[mother].natural_join(child_relation)
-        join_count += 1
-        max_intermediate = max(max_intermediate, len(joined))
-        relations[mother] = joined
-
-    final = relations[order[0]].project(
-        RelationSchema(set(relations[order[0]].attributes) & set(target.attributes))
-    )
-    # When the target is spread over several nodes the root accumulated all of
-    # it; when some target attribute is missing entirely the query target was
-    # not contained in U(D) (rejected above).
-    if final.schema != target:
-        # The root may be missing target attributes only if they were
-        # projected away before a join; the `keep` sets always retain target
-        # attributes, so this indicates an internal error.
-        raise SchemaError(
-            "internal error: Yannakakis result schema does not match the target"
-        )
-    max_intermediate = max(max_intermediate, len(final))
-    return YannakakisRun(
-        result=final,
-        semijoin_count=semijoin_count,
-        join_count=join_count,
-        max_intermediate_size=max_intermediate,
-    )
+    if tree is not None:
+        prepared = PreparedQuery(schema, target, tree=tree, root=root)
+    else:
+        prepared = analyze(schema).prepare(target, root=root)
+    return prepared.execute(state)
 
 
 def naive_join_project(

@@ -106,5 +106,17 @@ def canonical_connection(
     target: Union[RelationSchema, Iterable[Attribute]],
     universe: Optional[Union[RelationSchema, Iterable[Attribute]]] = None,
 ) -> DatabaseSchema:
-    """``CC(D, X)`` — the canonical connection of the query ``(D, X)``."""
+    """``CC(D, X)`` — the canonical connection of the query ``(D, X)``.
+
+    Consults the engine façade's cache (:func:`repro.engine.analyze`): an
+    already-analyzed schema reuses its memoized tableau minimization.  On a
+    miss the connection is computed directly without creating a cache entry,
+    so sweeps over many schemas (γ-acyclicity checks walk every connected
+    sub-schema) do not flood the analysis LRU.
+    """
+    from ..engine.analysis import peek_analysis  # deferred: the engine sits above us
+
+    analysis = peek_analysis(schema)
+    if analysis is not None:
+        return analysis.canonical_connection(target, universe=universe)
     return canonical_connection_result(schema, target, universe=universe).connection

@@ -25,10 +25,9 @@ a program in the paper's sense; :func:`solve_with_tree_projection` runs it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 from ..exceptions import TreeProjectionError
-from ..hypergraph.join_tree import find_qual_tree
 from ..hypergraph.schema import DatabaseSchema, RelationSchema
 from ..relational.database import DatabaseState
 from ..relational.program import Program
@@ -167,7 +166,11 @@ def augment_program_with_semijoins(
 
     # Step 3: full reducer over a qual tree of the tree projection, then a
     # bottom-up join ending in a node that covers X, and a final projection.
-    tree = find_qual_tree(tree_projection)
+    # The qual tree comes from the engine façade, so repeated augmentations
+    # over the same tree projection share one analysis.
+    from ..engine.analysis import analyze  # deferred: the engine sits above us
+
+    tree = analyze(tree_projection).qual_tree
     if tree is None:  # pragma: no cover - tree_projection is a tree by construction
         raise TreeProjectionError("internal error: tree projection is not a tree schema")
     target_node = next(

@@ -1,0 +1,198 @@
+"""Tests for the engine façade: ``analyze`` and :class:`AnalyzedSchema`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import analyze, clear_analysis_cache
+from repro.engine import AnalyzedSchema, analysis_cache_size
+from repro.engine.analysis import _ANALYSIS_CACHE_MAX
+from repro.exceptions import NotATreeSchemaError, SchemaError
+from repro.hypergraph import (
+    RelationSchema,
+    chain_schema,
+    find_qual_tree,
+    gyo_reduce,
+    is_beta_acyclic,
+    is_berge_acyclic,
+    is_gamma_acyclic,
+    is_tree_schema,
+    parse_schema,
+    star_schema,
+)
+from repro.tableau.canonical import canonical_connection_result
+from repro.treefication import single_relation_treefication
+
+
+class TestAnalyzeEntryPoint:
+    def test_accepts_schema_notation_text(self):
+        analysis = analyze("ab,bc,cd")
+        assert isinstance(analysis, AnalyzedSchema)
+        assert analysis.schema == parse_schema("ab,bc,cd")
+
+    def test_accepts_attribute_separator(self):
+        analysis = analyze("emp dept, dept mgr", attribute_separator=" ")
+        assert len(analysis.schema.attributes) == 3
+
+    def test_returns_cached_instance_for_equal_schema(self):
+        clear_analysis_cache()
+        first = analyze(chain_schema(3))
+        second = analyze(chain_schema(3))
+        assert first is second
+
+    def test_cache_is_order_sensitive(self):
+        # DatabaseSchema equality is multiset equality, but every analysis
+        # artifact is positional: permuted schemas must not share an analysis.
+        clear_analysis_cache()
+        first = analyze(parse_schema("a,f,a,ab"))
+        second = analyze(parse_schema("f,a,a,ab"))
+        assert first is not second
+        assert first.qual_tree.is_qual_tree()
+        assert second.qual_tree.is_qual_tree()
+
+    def test_cache_is_bounded(self):
+        clear_analysis_cache()
+        for size in range(_ANALYSIS_CACHE_MAX + 10):
+            analyze(chain_schema(size + 1))
+        assert analysis_cache_size() <= _ANALYSIS_CACHE_MAX
+
+    def test_clear_cache(self):
+        analyze("ab,bc")
+        clear_analysis_cache()
+        assert analysis_cache_size() == 0
+
+    def test_substrate_functions_reuse_but_never_flood_the_cache(self):
+        clear_analysis_cache()
+        analysis = analyze(chain_schema(3))
+        assert analysis_cache_size() == 1
+        # Reuse: the free function returns the analysis's memoized trace.
+        assert gyo_reduce(chain_schema(3)) is analysis.gyo_trace()
+        # No flooding: a candidate-schema sweep leaves the LRU untouched.
+        for size in range(2, 30):
+            is_tree_schema(star_schema(size))
+            gyo_reduce(star_schema(size))
+        assert analysis_cache_size() == 1
+
+    def test_immutable(self):
+        analysis = analyze("ab,bc")
+        with pytest.raises(AttributeError):
+            analysis.schema = None
+
+
+class TestStructuralFacts:
+    @pytest.mark.parametrize("text", ["ab,bc,cd", "ab,bc,ac", "abc,cde,ace,afe", "abc,ab,bc"])
+    def test_flags_match_free_functions(self, text):
+        schema = parse_schema(text)
+        analysis = analyze(schema)
+        assert analysis.is_tree_schema == is_tree_schema(schema)
+        assert analysis.is_alpha_acyclic == is_tree_schema(schema)
+        assert analysis.is_cyclic == (not is_tree_schema(schema))
+        assert analysis.is_beta_acyclic == is_beta_acyclic(schema)
+        assert analysis.is_gamma_acyclic == is_gamma_acyclic(schema)
+        assert analysis.is_berge_acyclic == is_berge_acyclic(schema)
+
+    def test_classification_summary(self):
+        flags = analyze("ab,bc,cd").classification()
+        assert flags == {
+            "alpha_acyclic": True,
+            "beta_acyclic": True,
+            "gamma_acyclic": True,
+            "berge_acyclic": True,
+        }
+
+    def test_gyo_trace_matches_and_is_memoized(self):
+        schema = parse_schema("abg,bcg,acf,ad,de,ea")
+        analysis = analyze(schema)
+        trace = analysis.gyo_trace()
+        assert trace.result == gyo_reduce(schema).result
+        assert analysis.gyo_trace() is trace
+        sacred = analysis.gyo_trace("ab")
+        assert sacred is analysis.gyo_trace(RelationSchema("ab"))
+        assert sacred is not trace
+
+    def test_gyo_residue(self):
+        assert analyze("ab,bc,ac").gyo_residue() == parse_schema("ab,bc,ac")
+        assert not analyze("ab,bc").gyo_residue().attributes
+
+    def test_qual_tree_cached(self):
+        analysis = analyze(chain_schema(4))
+        tree = analysis.qual_tree
+        assert tree is analysis.qual_tree
+        reference = find_qual_tree(chain_schema(4))
+        assert sorted(tree.edges) == sorted(reference.edges)
+
+    def test_qual_tree_none_for_cyclic(self):
+        assert analyze("ab,bc,ac").qual_tree is None
+
+    def test_treefication_matches_free_function(self):
+        schema = parse_schema("ab,bc,cd,da")
+        ours = analyze(schema).treefication
+        reference = single_relation_treefication(schema)
+        assert ours.added_relation == reference.added_relation
+        assert ours.treefied == reference.treefied
+        assert analyze(schema).treefication is ours
+
+    def test_treefication_of_tree_schema(self):
+        result = analyze("ab,bc").treefication
+        assert result.was_already_tree
+        assert result.treefied == parse_schema("ab,bc")
+
+
+class TestPerTargetArtifacts:
+    def test_canonical_connection_matches_tableau_route(self):
+        schema = parse_schema("abg,bcg,acf,ad,de,ea")
+        analysis = analyze(schema)
+        connection = analysis.canonical_connection("abc")
+        assert connection == canonical_connection_result(schema, "abc").connection
+        assert connection == parse_schema("abg,bcg,ac")
+
+    def test_canonical_connection_memoized_per_target(self):
+        analysis = analyze("abg,bcg,acf,ad,de,ea")
+        first = analysis.canonical_connection_result("abc")
+        assert analysis.canonical_connection_result(RelationSchema("abc")) is first
+        assert analysis.canonical_connection_result("ab") is not first
+
+    def test_canonical_connection_universe_keyed_separately(self):
+        analysis = analyze("ab,bc")
+        plain = analysis.canonical_connection_result("ac")
+        widened = analysis.canonical_connection_result("ac", universe="abcz")
+        assert plain is not widened
+
+    def test_join_plan_matches_plan_join_query(self):
+        from repro import plan_join_query
+
+        schema = parse_schema("abg,bcg,acf,ad,de,ea")
+        analysis = analyze(schema)
+        plan = analysis.join_plan("abc")
+        assert plan.irrelevant_relations == (3, 4, 5)
+        assert plan.sub_schema == parse_schema("abg,bcg,ac")
+        # The free function is a wrapper over the same memoized analysis.
+        assert plan_join_query(schema, "abc") is plan
+
+    def test_prepare_memoized_per_target_and_root(self):
+        analysis = analyze(chain_schema(4))
+        target = RelationSchema({"x0", "x4"})
+        prepared = analysis.prepare(target)
+        assert analysis.prepare(target) is prepared
+        assert analysis.prepare(target, root=1) is not prepared
+
+    def test_prepare_rejects_bad_target(self):
+        with pytest.raises(SchemaError):
+            analyze(chain_schema(3)).prepare(RelationSchema("z"))
+
+    def test_prepare_rejects_cyclic_schema(self):
+        with pytest.raises(NotATreeSchemaError):
+            analyze("ab,bc,ac").prepare(RelationSchema("ab"))
+
+    def test_per_target_memos_are_bounded(self):
+        from repro.engine.analysis import _PER_TARGET_CACHE_MAX
+
+        clear_analysis_cache()
+        schema = chain_schema(_PER_TARGET_CACHE_MAX + 20)
+        analysis = analyze(schema)
+        attributes = schema.attributes.sorted_attributes()
+        for attribute in attributes[: _PER_TARGET_CACHE_MAX + 10]:
+            analysis.prepare(RelationSchema({attribute}))
+            analysis.gyo_trace(RelationSchema({attribute}))
+        assert len(analysis._prepared) <= _PER_TARGET_CACHE_MAX
+        assert len(analysis._gyo_traces) <= _PER_TARGET_CACHE_MAX

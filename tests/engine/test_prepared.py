@@ -1,0 +1,180 @@
+"""Tests for :class:`PreparedQuery`: plan-once / execute-many semantics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.engine.analysis as analysis_module
+import repro.engine.prepared as prepared_module
+from repro import analyze, clear_analysis_cache, yannakakis
+from repro.engine import PreparedQuery
+from repro.exceptions import NotATreeSchemaError, SchemaError
+from repro.hypergraph import (
+    RelationSchema,
+    chain_schema,
+    find_qual_tree,
+    parse_schema,
+    random_tree_schema,
+    star_schema,
+)
+from repro.relational import DatabaseState, naive_join_project
+from repro.relational.universal import random_database_state, random_ur_database
+
+FAMILIES = [
+    pytest.param(lambda size, seed: chain_schema(size), id="chain"),
+    pytest.param(lambda size, seed: star_schema(size), id="star"),
+    pytest.param(lambda size, seed: random_tree_schema(size, rng=seed), id="random-tree"),
+]
+
+
+def _random_target(schema, rng) -> RelationSchema:
+    attributes = schema.attributes.sorted_attributes()
+    count = rng.randint(1, min(3, len(attributes)))
+    return RelationSchema(rng.sample(attributes, count))
+
+
+class TestEquivalence:
+    """``PreparedQuery.execute`` ≡ ``yannakakis`` ≡ ``naive_join_project``."""
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ur_states(self, build, seed):
+        rng = random.Random(seed)
+        schema = build(rng.randint(2, 6), seed)
+        target = _random_target(schema, rng)
+        state = random_ur_database(schema, tuple_count=25, domain_size=4, rng=seed)
+        run = analyze(schema).prepare(target).execute(state)
+        wrapper = yannakakis(schema, target, state)
+        baseline, naive_max = naive_join_project(schema, target, state)
+        assert run.result == wrapper.result == baseline
+        assert run.semijoin_count == wrapper.semijoin_count
+        assert run.join_count == wrapper.join_count
+        assert run.max_intermediate_size == wrapper.max_intermediate_size
+        assert run.max_intermediate_size <= max(naive_max, state.total_rows(), 1)
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_non_ur_states(self, build, seed):
+        rng = random.Random(100 + seed)
+        schema = build(rng.randint(2, 6), seed)
+        target = _random_target(schema, rng)
+        state = random_database_state(schema, tuple_count=12, domain_size=3, rng=seed)
+        run = analyze(schema).prepare(target).execute(state)
+        baseline, _ = naive_join_project(schema, target, state)
+        assert run.result == baseline
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    def test_full_universe_target(self, build):
+        schema = build(4, 7)
+        target = RelationSchema(schema.attributes)
+        state = random_ur_database(schema, tuple_count=15, domain_size=3, rng=7)
+        run = analyze(schema).prepare(target).execute(state)
+        baseline, _ = naive_join_project(schema, target, state)
+        assert run.result == baseline
+
+    def test_execute_many_matches_execute(self):
+        schema = chain_schema(4)
+        target = RelationSchema({"x0", "x4"})
+        states = [
+            random_ur_database(schema, tuple_count=15, domain_size=4, rng=seed)
+            for seed in range(8)
+        ]
+        prepared = analyze(schema).prepare(target)
+        many = prepared.execute_many(states)
+        assert [run.result for run in many] == [
+            prepared.execute(state).result for state in states
+        ]
+
+
+class TestPlanOnceExecuteMany:
+    def test_no_replanning_across_100_states(self, monkeypatch):
+        """One plan, ≥100 distinct states, zero qual-tree searches or
+        reducer-planning passes after the plan is built."""
+        clear_analysis_cache()
+        calls = {"qual_tree": 0, "orientation": 0}
+        real_find = analysis_module.find_qual_tree
+        real_orient = prepared_module.rooted_orientation
+
+        def counting_find(schema):
+            calls["qual_tree"] += 1
+            return real_find(schema)
+
+        def counting_orient(tree, root=0):
+            calls["orientation"] += 1
+            return real_orient(tree, root=root)
+
+        monkeypatch.setattr(analysis_module, "find_qual_tree", counting_find)
+        monkeypatch.setattr(prepared_module, "rooted_orientation", counting_orient)
+
+        schema = chain_schema(5)
+        target = RelationSchema({"x0", "x5"})
+        prepared = analyze(schema).prepare(target)
+        assert calls == {"qual_tree": 1, "orientation": 1}
+
+        states = [
+            random_ur_database(schema, tuple_count=8, domain_size=4, rng=seed)
+            for seed in range(120)
+        ]
+        assert len(set(states)) >= 100  # genuinely distinct states
+        runs = prepared.execute_many(states)
+        assert len(runs) == 120
+        assert calls == {"qual_tree": 1, "orientation": 1}
+
+        # The yannakakis() wrapper reuses the same cached plan: still no
+        # additional planning work.
+        for state in states[:20]:
+            yannakakis(schema, target, state)
+        assert calls == {"qual_tree": 1, "orientation": 1}
+
+    def test_explicit_tree_bypasses_cache(self):
+        schema = chain_schema(3)
+        target = RelationSchema({"x0", "x3"})
+        tree = find_qual_tree(schema)
+        prepared = PreparedQuery(schema, target, tree=tree)
+        state = random_ur_database(schema, tuple_count=10, domain_size=3, rng=0)
+        direct = prepared.execute(state)
+        via_wrapper = yannakakis(schema, target, state, tree=tree)
+        assert direct.result == via_wrapper.result
+
+
+class TestValidation:
+    def test_rejects_state_for_other_schema(self):
+        prepared = analyze(chain_schema(3)).prepare(RelationSchema({"x0"}))
+        other = random_ur_database(chain_schema(4), tuple_count=5, rng=0)
+        with pytest.raises(SchemaError):
+            prepared.execute(other)
+
+    def test_rejects_target_outside_universe(self):
+        with pytest.raises(SchemaError):
+            PreparedQuery(chain_schema(3), RelationSchema("z"))
+
+    def test_rejects_cyclic_schema(self):
+        with pytest.raises(NotATreeSchemaError):
+            PreparedQuery(parse_schema("ab,bc,ac"), RelationSchema("ab"))
+
+    def test_empty_schema(self):
+        schema = parse_schema("")
+        prepared = PreparedQuery(schema, RelationSchema(()))
+        run = prepared.execute(DatabaseState(schema, []))
+        assert len(run.result) == 1
+        assert run.semijoin_count == 0 and run.join_count == 0
+
+    def test_immutable(self):
+        prepared = analyze(chain_schema(3)).prepare(RelationSchema({"x0"}))
+        with pytest.raises(AttributeError):
+            prepared.target = None
+
+    def test_describe_lists_program(self):
+        prepared = analyze(chain_schema(3)).prepare(RelationSchema({"x0", "x3"}))
+        text = prepared.describe()
+        assert "⋉" in text and "⋈" in text and "answer" in text
+
+    def test_plan_accessors(self):
+        schema = chain_schema(4)
+        prepared = analyze(schema).prepare(RelationSchema({"x0", "x4"}))
+        assert prepared.schema == schema
+        assert prepared.root == 0
+        assert len(prepared.semijoin_steps) == 2 * (len(schema) - 1)
+        assert len(prepared.join_steps) == len(schema) - 1

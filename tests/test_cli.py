@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -58,7 +60,87 @@ class TestTreefy:
         assert "already a tree schema" in capsys.readouterr().out
 
 
-def test_parser_requires_a_command():
-    parser = build_parser()
-    with pytest.raises(SystemExit):
-        parser.parse_args([])
+class TestJsonOutput:
+    def test_analyze_tree_schema(self, capsys):
+        assert main(["analyze", "--json", "ab,bc,cd"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["alpha_acyclic"] is True
+        assert payload["gamma_acyclic"] is True
+        assert payload["relations"] == 3
+        assert payload["attributes"] == 4
+        assert payload["qual_tree"] is not None
+        assert "treefying_relation" not in payload
+
+    def test_analyze_cyclic_schema(self, capsys):
+        assert main(["analyze", "--json", "ab,bc,ac"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["alpha_acyclic"] is False
+        assert payload["qual_tree"] is None
+        assert payload["gyo_residue"] == "ab,bc,ac"
+        assert payload["treefying_relation"] == "abc"
+
+    def test_cc_section6_example(self, capsys):
+        assert main(["cc", "--json", "abg,bcg,acf,ad,de,ea", "abc"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["canonical_connection"] == "abg,bcg,ac"
+        assert payload["irrelevant_relations"] == ["ad", "de", "ae"]
+        assert payload["relevant_relations"] == ["abg", "bcg", "acf"]
+
+    def test_lossless_implied(self, capsys):
+        assert main(["lossless", "--json", "ab,bc,cd", "ab,bc"]) == 0
+        assert json.loads(capsys.readouterr().out)["lossless"] is True
+
+    def test_lossless_not_implied_exits_one(self, capsys):
+        assert main(["lossless", "--json", "abc,ab,bc", "ab,bc"]) == 1
+        assert json.loads(capsys.readouterr().out)["lossless"] is False
+
+    def test_treefy_cyclic(self, capsys):
+        assert main(["treefy", "--json", "ab,bc,cd,da"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["already_tree"] is False
+        assert payload["added_relation"] == "abcd"
+        assert payload["treefied"].endswith("abcd")
+
+    def test_treefy_tree_schema(self, capsys):
+        assert main(["treefy", "--json", "ab,bc"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["already_tree"] is True
+        assert payload["added_relation"] is None
+
+    def test_json_with_attribute_separator(self, capsys):
+        assert main(
+            ["--attribute-separator", " ", "analyze", "--json", "emp dept, dept mgr"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["alpha_acyclic"] is True
+
+
+class TestParser:
+    def test_parser_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_missing_positional_exits_nonzero(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cc", "ab,bc"])  # target missing
+
+    @pytest.mark.parametrize("command", ["analyze", "cc", "lossless", "treefy"])
+    def test_every_subcommand_has_json_flag(self, command):
+        parser = build_parser()
+        argv = {
+            "analyze": ["analyze", "--json", "ab"],
+            "cc": ["cc", "--json", "ab", "a"],
+            "lossless": ["lossless", "--json", "ab", "a"],
+            "treefy": ["treefy", "--json", "ab"],
+        }[command]
+        arguments = parser.parse_args(argv)
+        assert arguments.json is True
+        assert arguments.command == command
+
+    def test_json_defaults_to_false(self):
+        arguments = build_parser().parse_args(["analyze", "ab,bc"])
+        assert arguments.json is False
+
+    def test_prog_name(self):
+        assert build_parser().prog == "repro"
