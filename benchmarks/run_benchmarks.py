@@ -46,6 +46,7 @@ if _SRC not in sys.path:
 
 from repro.engine import analyze, clear_analysis_cache  # noqa: E402
 from repro.hypergraph import (  # noqa: E402
+    DatabaseSchema,
     RelationSchema,
     aring,
     chain_schema,
@@ -56,7 +57,12 @@ from repro.hypergraph import (  # noqa: E402
 )
 from repro.relational import naive_join_project, yannakakis  # noqa: E402
 from repro.relational.universal import random_ur_database  # noqa: E402
-from repro.tableau import canonical_connection  # noqa: E402
+from repro.tableau import (  # noqa: E402
+    canonical_connection,
+    find_isomorphism,
+    minimize_tableau,
+    standard_tableau,
+)
 
 GYO_SIZES = (25, 100, 400)
 GYO_FAMILIES = {
@@ -78,6 +84,17 @@ YANNAKAKIS_CASES = (
 NAIVE_CASES = {(3, 90, 24), (4, 90, 24), (5, 90, 24)}
 
 CC_SIZES = (4, 6, 8)
+
+#: Tableau-kernel workloads (PR 3).  ``collapse`` families build the standard
+#: tableau with a one-attribute target, so minimization folds every row onto a
+#: single survivor — the canonical-connection hot path; ``minimal`` families
+#: are already minimal, so every row-removal attempt fails and the benchmark
+#: times the refutation path; ``iso`` compares row-permuted minimal tableaux.
+TABLEAU_COLLAPSE_CHAIN_SIZES = (16, 24, 32)
+TABLEAU_COLLAPSE_STAR_SIZES = (24, 32)
+TABLEAU_MINIMAL_CHAIN_SIZES = (10, 12, 14)
+TABLEAU_CC_CHAIN_SIZES = (12, 16)
+TABLEAU_ISO_CHAIN_SIZES = (12, 16)
 
 #: (schema family, size, tuples per relation, domain size, state count) for
 #: the plan-reuse benchmark: 1 PreparedQuery amortized over ``state count``
@@ -195,6 +212,69 @@ def bench_cc(repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
+def bench_tableau(repeats: int) -> List[Dict[str, Any]]:
+    """Tableau-layer workloads: minimization, canonical connections, isomorphism.
+
+    Every case rebuilds nothing per call except the operation under test: the
+    standard tableaux are constructed outside the timed region (construction
+    is linear and not the hot path), and ``canonical_connection`` runs with a
+    cold engine cache so it times the full build → minimize → read-off
+    derivation.
+    """
+    rows: List[Dict[str, Any]] = []
+
+    def add(case: str, fn: Callable[[], Any], **extra: Any) -> None:
+        rows.append({"case": case, "median_s": _median_time(fn, repeats), **extra})
+
+    for size in TABLEAU_COLLAPSE_CHAIN_SIZES:
+        tab = standard_tableau(chain_schema(size), {"x0"})
+        result = minimize_tableau(tab)
+        add(
+            f"minimize-collapse-chain-{size}",
+            lambda tab=tab: minimize_tableau(tab),
+            rows_before=len(tab),
+            rows_after=len(result.minimal),
+        )
+    for size in TABLEAU_COLLAPSE_STAR_SIZES:
+        tab = standard_tableau(star_schema(size), {"x_hub"})
+        result = minimize_tableau(tab)
+        add(
+            f"minimize-collapse-star-{size}",
+            lambda tab=tab: minimize_tableau(tab),
+            rows_before=len(tab),
+            rows_after=len(result.minimal),
+        )
+    for size in TABLEAU_MINIMAL_CHAIN_SIZES:
+        tab = standard_tableau(chain_schema(size), {"x0", f"x{size}"})
+        result = minimize_tableau(tab)
+        assert result.removed_count == 0, "chain endpoint tableau must be minimal"
+        add(
+            f"minimize-minimal-chain-{size}",
+            lambda tab=tab: minimize_tableau(tab),
+            rows_before=len(tab),
+            rows_after=len(tab),
+        )
+    for size in TABLEAU_CC_CHAIN_SIZES:
+        schema = chain_schema(size)
+        target = RelationSchema({"x0"})
+        add(
+            f"cc-collapse-chain-{size}",
+            _cold(lambda schema=schema, target=target: canonical_connection(schema, target)),
+        )
+    for size in TABLEAU_ISO_CHAIN_SIZES:
+        schema = chain_schema(size)
+        permuted = DatabaseSchema(tuple(reversed(schema.relations)))
+        target = {"x0", f"x{size}"}
+        first = standard_tableau(schema, target)
+        second = standard_tableau(permuted, target)
+        assert find_isomorphism(first, second) is not None
+        add(
+            f"iso-permuted-chain-{size}",
+            lambda first=first, second=second: find_isomorphism(first, second),
+        )
+    return rows
+
+
 def bench_engine(repeats: int) -> List[Dict[str, Any]]:
     """Plan-reuse amortization: N executions per 1 PreparedQuery.
 
@@ -273,6 +353,7 @@ def run_all(repeats: int) -> Dict[str, Any]:
         "gyo_reduce": bench_gyo(repeats),
         "yannakakis": bench_yannakakis(repeats),
         "canonical_connection": bench_cc(repeats),
+        "tableau": bench_tableau(repeats),
         "engine": bench_engine(repeats),
     }
 
@@ -280,7 +361,13 @@ def run_all(repeats: int) -> Dict[str, Any]:
 def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
     """Per-case and aggregate before/after speedup factors."""
     summary: Dict[str, Any] = {}
-    for section in ("gyo_reduce", "yannakakis", "canonical_connection", "engine"):
+    for section in (
+        "gyo_reduce",
+        "yannakakis",
+        "canonical_connection",
+        "tableau",
+        "engine",
+    ):
         before_rows = {row["case"]: row for row in before.get(section, ())}
         cases: Dict[str, float] = {}
         total_before = total_after = 0.0
@@ -301,7 +388,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--phase", choices=("before", "after"), default="after")
-    parser.add_argument("--out", default="BENCH_PR2.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_PR3.json", help="output JSON path")
     parser.add_argument(
         "--before",
         default=None,

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``):
    $ repro cc "abg,bcg,acf,ad,de,ea" abc
    $ repro lossless "abc,ab,bc" "ab,bc"
    $ repro treefy "ab,bc,cd,da"
+   $ repro tableau "abg,bcg,acf,ad,de,ea" abc
 
 Schemas are written in the paper's notation (relations separated by commas,
 single-character attributes concatenated); multi-character attribute names
@@ -83,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     treefy.add_argument("schema", help="database schema D")
     add_json_flag(treefy)
+
+    tableau = commands.add_parser(
+        "tableau",
+        help="build and minimize the standard tableau Tab(D, X)",
+    )
+    tableau.add_argument("schema", help="database schema D")
+    tableau.add_argument("target", help="query target X, e.g. abc")
+    add_json_flag(tableau)
 
     return parser
 
@@ -193,6 +202,50 @@ def _lossless(
     return 0 if implied else 1
 
 
+def _tableau(
+    schema_text: str,
+    target_text: str,
+    attribute_separator: Optional[str],
+    as_json: bool,
+) -> int:
+    analysis = analyze(schema_text, attribute_separator=attribute_separator)
+    target = parse_schema(target_text, attribute_separator=attribute_separator)
+    target_relation = target.attributes
+    result = analysis.canonical_connection_result(target_relation)
+    minimization = result.minimization
+    standard = result.standard
+    minimal = minimization.minimal
+    if as_json:
+        _emit_json(
+            {
+                "schema": analysis.schema.to_notation(),
+                "target": target_relation.to_notation(),
+                "columns": list(standard.columns),
+                "rows": len(standard),
+                "minimal_rows": len(minimal),
+                "kept_rows": list(minimization.kept_rows),
+                "removed_rows": list(minimization.removed_rows),
+                "canonical_connection": result.connection.to_notation(),
+            }
+        )
+        return 0
+    print(f"D  = {analysis.schema}")
+    print(f"X  = {target_relation.to_notation()}")
+    print()
+    print(f"standard tableau Tab(D, X) ({len(standard)} rows):")
+    print(standard.render())
+    print()
+    if minimization.removed_count == 0:
+        print("already minimal; no rows removed")
+    else:
+        removed = ", ".join(f"r{index}" for index in minimization.removed_rows)
+        print(f"minimization removed {minimization.removed_count} rows ({removed}):")
+        print(minimal.render())
+    print()
+    print(f"CC(D, X) = {result.connection}")
+    return 0
+
+
 def _treefy(schema_text: str, attribute_separator: Optional[str], as_json: bool) -> int:
     analysis = analyze(schema_text, attribute_separator=attribute_separator)
     result = analysis.treefication
@@ -235,6 +288,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _lossless(arguments.schema, arguments.subschema, separator, as_json)
     if arguments.command == "treefy":
         return _treefy(arguments.schema, separator, as_json)
+    if arguments.command == "tableau":
+        return _tableau(arguments.schema, arguments.target, separator, as_json)
     parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Union
 
+from ..engine.analysis import analyze
 from ..hypergraph.acyclicity import (
     find_weak_gamma_cycle,
     is_gamma_acyclic,
@@ -29,10 +30,7 @@ from ..hypergraph.join_tree import is_subtree
 from ..hypergraph.schema import Attribute, DatabaseSchema, RelationSchema
 from ..relational.database import DatabaseState
 from ..relational.query import NaturalJoinQuery
-from ..tableau.canonical import canonical_connection
-from ..tableau.containment import tableaux_equivalent, tableaux_isomorphic
-from ..tableau.minimize import minimize_tableau
-from ..tableau.tableau import standard_tableau
+from ..tableau.containment import tableaux_equivalent
 from .gamma import check_gamma_equivalences
 from .lossless import jd_implies
 from .query_planning import queries_weakly_equivalent
@@ -79,13 +77,15 @@ def check_lemma_3_2(
 
     The tableau side is decided exactly; the query side is decided through
     canonical connections (Lemma 3.5 / Theorem 4.1), and additionally
-    cross-checked on ``state`` when one is supplied.
+    cross-checked on ``state`` when one is supplied.  Both sides run against
+    the engine façade's memoized tableaux, so checking several lemmas on the
+    same query shares one tableau build and one minimization per schema.
     """
     target_schema = _as_relation(target)
     universe = first.attributes.union(second.attributes).union(target_schema)
     tab_side = tableaux_equivalent(
-        standard_tableau(first, target_schema, universe=universe),
-        standard_tableau(second, target_schema, universe=universe),
+        analyze(first).standard_tableau(target_schema, universe=universe),
+        analyze(second).standard_tableau(target_schema, universe=universe),
     )
     query_side = queries_weakly_equivalent(first, second, target_schema)
     if tab_side != query_side:
@@ -114,13 +114,15 @@ def check_lemma_3_5(
     """
     target_schema = _as_relation(target)
     universe = first.attributes.union(second.attributes).union(target_schema)
+    first_analysis = analyze(first)
+    second_analysis = analyze(second)
     tableau_equal = tableaux_equivalent(
-        standard_tableau(first, target_schema, universe=universe),
-        standard_tableau(second, target_schema, universe=universe),
+        first_analysis.standard_tableau(target_schema, universe=universe),
+        second_analysis.standard_tableau(target_schema, universe=universe),
     )
-    cc_equal = canonical_connection(
-        first, target_schema, universe=universe
-    ) == canonical_connection(second, target_schema, universe=universe)
+    cc_equal = first_analysis.canonical_connection(
+        target_schema, universe=universe
+    ) == second_analysis.canonical_connection(target_schema, universe=universe)
     return tableau_equal == cc_equal
 
 
@@ -212,11 +214,12 @@ def check_theorem_3_3(
     """Theorem 3.3: (i) ``CC(D, X) <= GR(D, X)``; (ii) equality for tree
     schemas; (iii) equality when ``U(GR(D, X)) ⊆ X``."""
     target_schema = _as_relation(target)
-    connection = canonical_connection(schema, target_schema)
-    reduction = gyo_reduction(schema, target_schema)
+    analysis = analyze(schema)
+    connection = analysis.canonical_connection(target_schema)
+    reduction = analysis.gyo_residue(target_schema)
     if not reduction.covers(connection):
         return False
-    if is_tree_schema(schema) and connection != reduction.reduction():
+    if analysis.is_tree_schema and connection != reduction.reduction():
         return False
     if reduction.attributes <= target_schema and connection != reduction.reduction():
         return False
@@ -241,14 +244,18 @@ def check_theorem_4_1(
     """
     target_schema = _as_relation(target)
     universe = schema.attributes.union(target_schema)
-    condition_cc_covered = sub_schema.covers(canonical_connection(schema, target_schema))
-    condition_tableau = tableaux_equivalent(
-        standard_tableau(schema, target_schema, universe=universe),
-        standard_tableau(sub_schema, target_schema, universe=universe),
+    analysis = analyze(schema)
+    sub_analysis = analyze(sub_schema)
+    condition_cc_covered = sub_schema.covers(
+        analysis.canonical_connection(target_schema)
     )
-    condition_cc_equal = canonical_connection(
-        schema, target_schema, universe=universe
-    ) == canonical_connection(sub_schema, target_schema, universe=universe)
+    condition_tableau = tableaux_equivalent(
+        analysis.standard_tableau(target_schema, universe=universe),
+        sub_analysis.standard_tableau(target_schema, universe=universe),
+    )
+    condition_cc_equal = analysis.canonical_connection(
+        target_schema, universe=universe
+    ) == sub_analysis.canonical_connection(target_schema, universe=universe)
     if not (condition_cc_covered == condition_tableau == condition_cc_equal):
         return False
     if state is not None and condition_cc_covered:
@@ -277,14 +284,16 @@ def check_theorem_5_1(
     checked semantically on the state's join.
     """
     universe_target = sub_schema.attributes
+    analysis = analyze(schema)
+    sub_analysis = analyze(sub_schema)
     condition_covered = sub_schema.covers(
-        canonical_connection(schema, universe_target)
+        analysis.canonical_connection(universe_target)
     )
     condition_equiv = queries_weakly_equivalent(schema, sub_schema, universe_target)
-    condition_cc_equal = canonical_connection(
-        schema, universe_target, universe=schema.attributes
-    ) == canonical_connection(
-        sub_schema, universe_target, universe=schema.attributes
+    condition_cc_equal = analysis.canonical_connection(
+        universe_target, universe=schema.attributes
+    ) == sub_analysis.canonical_connection(
+        universe_target, universe=schema.attributes
     )
     if not (condition_covered == condition_equiv == condition_cc_equal):
         return False
@@ -322,10 +331,11 @@ def check_theorem_5_2(
     reduced schema ``CC(D, X)``, so it has at least as many relations).
     """
     target_schema = _as_relation(target)
-    connection = canonical_connection(schema, target_schema)
+    analysis = analyze(schema)
+    connection = analysis.canonical_connection(target_schema)
     if len(connection) == 0:
         return True
-    recovered = canonical_connection(schema, connection.attributes)
+    recovered = analysis.canonical_connection(connection.attributes)
     return recovered == connection
 
 

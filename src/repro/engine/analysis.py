@@ -39,6 +39,8 @@ from ..tableau.canonical import (
     CanonicalConnectionResult,
     canonical_connection_result,
 )
+from ..tableau.minimize import MinimizationResult
+from ..tableau.tableau import Tableau, standard_tableau as build_standard_tableau
 from ..treefication.single import SingleTreefication, single_relation_treefication
 from .prepared import PreparedQuery
 
@@ -106,6 +108,7 @@ class AnalyzedSchema:
         "_qual_tree",
         "_flags",
         "_treefication",
+        "_tableaux",
         "_connections",
         "_join_plans",
         "_prepared",
@@ -119,6 +122,7 @@ class AnalyzedSchema:
         object.__setattr__(self, "_qual_tree", _UNSET)
         object.__setattr__(self, "_flags", {})
         object.__setattr__(self, "_treefication", None)
+        object.__setattr__(self, "_tableaux", OrderedDict())
         object.__setattr__(self, "_connections", OrderedDict())
         object.__setattr__(self, "_join_plans", OrderedDict())
         object.__setattr__(self, "_prepared", OrderedDict())
@@ -209,6 +213,39 @@ class AnalyzedSchema:
 
     # -- per-target artifacts --------------------------------------------------
 
+    def standard_tableau(
+        self, target: TargetLike, universe: Optional[TargetLike] = None
+    ) -> Tableau:
+        """``Tab(D, X)``, memoized per ``(X, universe)``.
+
+        The interned-symbol compiled form
+        (:meth:`~repro.tableau.tableau.Tableau.compiled`) is cached on the
+        returned instance, so every consumer of the memo — containment
+        checks, minimization, canonical-connection read-off — shares one
+        compilation.
+        """
+        target_schema = _as_relation_schema(target)
+        universe_schema = None if universe is None else _as_relation_schema(universe)
+        key = (target_schema, universe_schema)
+        tableau = _memo_get(self._tableaux, key)
+        if tableau is None:
+            tableau = build_standard_tableau(
+                self._schema, target_schema, universe=universe_schema
+            )
+            _memo_put(self._tableaux, key, tableau)
+        return tableau
+
+    def tableau_minimization(
+        self, target: TargetLike, universe: Optional[TargetLike] = None
+    ) -> MinimizationResult:
+        """The minimization of ``Tab(D, X)``, memoized per ``(X, universe)``.
+
+        This is the same minimization the canonical connection and join plan
+        for ``X`` are built from, so Lemma 3.5 / Theorem 3.3 style checks and
+        serving paths share one core computation per sacred set.
+        """
+        return self.canonical_connection_result(target, universe=universe).minimization
+
     def canonical_connection_result(
         self, target: TargetLike, universe: Optional[TargetLike] = None
     ) -> CanonicalConnectionResult:
@@ -219,7 +256,10 @@ class AnalyzedSchema:
         result = _memo_get(self._connections, key)
         if result is None:
             result = canonical_connection_result(
-                self._schema, target_schema, universe=universe_schema
+                self._schema,
+                target_schema,
+                universe=universe_schema,
+                tableau=self.standard_tableau(target_schema, universe=universe_schema),
             )
             _memo_put(self._connections, key, result)
         return result

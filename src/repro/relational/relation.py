@@ -344,7 +344,16 @@ class Relation:
         return Relation._from_trusted(result_schema, result_columns, frozenset(combined_rows))
 
     def semijoin(self, other: "Relation") -> "Relation":
-        """``R ⋉ S = π_R(R ⋈ S)`` — keep rows of ``R`` that join with ``S``."""
+        """``R ⋉ S = π_R(R ⋈ S)`` — keep rows of ``R`` that join with ``S``.
+
+        The filtered result inherits this relation's hash indexes instead of
+        rebuilding them on first use: the semijoin-key index is exactly the
+        matched buckets, and every other cached index is filtered to the
+        surviving rows.  A full-reducer program therefore builds each
+        relation's index once per (relation, key) pair per database state —
+        the root-to-leaf pass and the bottom-up join reuse the leaf-to-root
+        pass's indexes even when rows were dropped in between.
+        """
         shared = self._schema.attributes & other._schema.attributes
         if not shared:
             # With no shared attributes the semijoin keeps everything iff the
@@ -355,13 +364,34 @@ class Relation:
         shared_columns = tuple(sorted(shared))
         left_index = self.key_index(shared_columns)
         right_index = other.key_index(shared_columns)
-        matched = [
-            bucket for key, bucket in left_index.items() if key in right_index
-        ]
-        if sum(map(len, matched)) == len(self._rows):
+        # The buckets partition the rows, so the semijoin is the identity
+        # exactly when every key has a join partner; on globally consistent
+        # states (e.g. the root-to-leaf pass after a no-drop leaf-to-root
+        # pass) this returns without materializing anything.
+        if all(key in right_index for key in left_index):
             return self
-        kept = frozenset(row for bucket in matched for row in bucket)
-        return Relation._from_trusted(self._schema, self._columns, kept)
+        matched = {
+            key: bucket for key, bucket in left_index.items() if key in right_index
+        }
+        kept = frozenset(row for bucket in matched.values() for row in bucket)
+        result = Relation._from_trusted(self._schema, self._columns, kept)
+        derived = result._indexes
+        derived[shared_columns] = matched
+        # Each inherited index is filtered in O(|self|); a relation carries at
+        # most one cached index per distinct join key it participates in
+        # (bounded by its arity), so a full-reducer pass stays linear per
+        # step.  Rebuilding lazily instead would be no cheaper and would
+        # re-scan once per key after every filtering step.
+        for key_columns, index in self._indexes.items():
+            if key_columns in derived:
+                continue
+            filtered = {}
+            for key, bucket in index.items():
+                survivors = tuple(row for row in bucket if row in kept)
+                if survivors:
+                    filtered[key] = survivors
+            derived[key_columns] = filtered
+        return result
 
     def select(self, predicate: Callable[[Dict[Attribute, Any]], bool]) -> "Relation":
         """``σ_p(R)`` — keep rows satisfying ``predicate`` (given as dicts)."""

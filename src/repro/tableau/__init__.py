@@ -12,6 +12,7 @@ from .containment import (
     tableaux_isomorphic,
 )
 from .minimize import MinimizationResult, is_minimal_tableau, minimize_tableau
+from .kernel import CompiledTableau
 from .canonical import (
     CanonicalConnectionResult,
     canonical_connection,
@@ -37,6 +38,7 @@ __all__ = [
     "MinimizationResult",
     "minimize_tableau",
     "is_minimal_tableau",
+    "CompiledTableau",
     "CanonicalConnectionResult",
     "canonical_connection",
     "canonical_connection_result",

@@ -14,6 +14,13 @@ schema of a **minimal** tableau for ``(D, X)``.  By Lemmas 3.3 and 3.4 it does
 not depend on which minimal tableau is used, so ``CC(D, X)`` is a well-defined
 function of the query.
 
+The read-off runs on the interned-symbol compiled form
+(:mod:`repro.tableau.kernel`) in one column-wise pass: a cell contributes its
+attribute when its code is distinguished or its per-column occurrence bitmask
+has more than one row set.  ``canonical_connection_result`` reads the
+canonical schema directly off the *original* compiled tableau restricted to
+the kept-row bitmask, so the derivation compiles exactly one tableau.
+
 Key facts reproduced elsewhere in the library:
 
 * Lemma 3.5 — ``(D, X) ≡ (D', X)`` iff ``CC(D, X) = CC(D', X)``;
@@ -24,9 +31,10 @@ Key facts reproduced elsewhere in the library:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Iterable, Optional, Union
 
 from ..hypergraph.schema import Attribute, DatabaseSchema, RelationSchema
+from .kernel import CompiledTableau, iter_bits
 from .minimize import MinimizationResult, minimize_tableau
 from .tableau import Tableau, standard_tableau
 
@@ -38,26 +46,34 @@ __all__ = [
 ]
 
 
+def _canonical_schema_from_kernel(
+    compiled: CompiledTableau, rows_mask: Optional[int] = None
+) -> DatabaseSchema:
+    """The canonical schema of the rows in ``rows_mask``, in one column pass."""
+    if rows_mask is None:
+        rows_mask = compiled.all_rows_mask
+    row_attributes = {row_index: [] for row_index in iter_bits(rows_mask)}
+    columns = compiled.tableau.columns
+    n_distinguished = compiled.n_distinguished
+    for position in range(compiled.n_columns):
+        attribute = columns[position]
+        for code, mask in compiled.occurrence_masks[position].items():
+            present = mask & rows_mask
+            if not present:
+                continue
+            if code < n_distinguished or present.bit_count() > 1:
+                for row_index in iter_bits(present):
+                    row_attributes[row_index].append(attribute)
+    relations = [
+        RelationSchema(row_attributes[row_index])
+        for row_index in sorted(row_attributes)
+    ]
+    return DatabaseSchema(relations).reduction()
+
+
 def canonical_schema(tableau: Tableau) -> DatabaseSchema:
     """The canonical schema ``CS`` of a tableau (reduction included)."""
-    relations: List[RelationSchema] = []
-    rows = tableau.rows
-    for row_index, row in enumerate(rows):
-        attributes: List[Attribute] = []
-        for column_index, attribute in enumerate(tableau.columns):
-            symbol = row.cells[column_index]
-            if symbol.is_distinguished:
-                attributes.append(attribute)
-                continue
-            repeated = any(
-                other_index != row_index
-                and rows[other_index].cells[column_index] == symbol
-                for other_index in range(len(rows))
-            )
-            if repeated:
-                attributes.append(attribute)
-        relations.append(RelationSchema(attributes))
-    return DatabaseSchema(relations).reduction()
+    return _canonical_schema_from_kernel(tableau.compiled())
 
 
 @dataclass(frozen=True)
@@ -80,18 +96,31 @@ def canonical_connection_result(
     schema: DatabaseSchema,
     target: Union[RelationSchema, Iterable[Attribute]],
     universe: Optional[Union[RelationSchema, Iterable[Attribute]]] = None,
+    *,
+    tableau: Optional[Tableau] = None,
 ) -> CanonicalConnectionResult:
     """Compute ``CC(D, X)`` returning the full derivation.
 
     The derivation is: build ``Tab(D, X)``, minimize it, read off the
-    canonical schema of the minimal tableau.
+    canonical schema of the minimal tableau.  All three steps share the one
+    compiled form of ``Tab(D, X)``: minimization works on row bitmasks over
+    it, and the canonical schema is read off it restricted to the kept rows.
+
+    ``tableau`` lets a caller holding a memoized ``Tab(D, X)`` (the engine's
+    :meth:`~repro.engine.analysis.AnalyzedSchema.standard_tableau`) supply it
+    so its cached compiled form is reused; it must equal the standard tableau
+    for ``(schema, target, universe)``.
     """
     target_schema = (
         target if isinstance(target, RelationSchema) else RelationSchema(target)
     )
-    tableau = standard_tableau(schema, target_schema, universe=universe)
+    if tableau is None:
+        tableau = standard_tableau(schema, target_schema, universe=universe)
     minimization = minimize_tableau(tableau)
-    connection = canonical_schema(minimization.minimal)
+    kept_mask = 0
+    for row_index in minimization.kept_rows:
+        kept_mask |= 1 << row_index
+    connection = _canonical_schema_from_kernel(tableau.compiled(), kept_mask)
     return CanonicalConnectionResult(
         schema=schema,
         target=target_schema,

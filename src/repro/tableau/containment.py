@@ -11,18 +11,23 @@ componentwise to any row of ``T`` yields a row of ``T'``.
   containment mapping in both directions.
 
 Finding a containment mapping is NP-complete in general; the implementation
-is a backtracking search over row assignments with symbol-consistency
-propagation, which handles the tableau sizes arising from the paper's schemas
-comfortably.
+is a backtracking search over the interned-symbol compiled form of the
+tableaux (:mod:`repro.tableau.kernel`): candidate target rows come from
+intersecting per-column occurrence bitmasks, distinguished codes prune before
+any backtracking, and symbol consistency is propagated through integer
+arrays.  The pre-kernel dictionary-based search is retained in
+:mod:`repro.tableau.reference` as the oracle the property tests compare
+against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..exceptions import TableauError
-from .tableau import Tableau, TableauRow
+from .kernel import find_isomorphism_mapping, find_row_mapping
+from .tableau import Tableau
 from .variables import Variable
 
 __all__ = [
@@ -64,9 +69,10 @@ def find_containment_mapping(
 ) -> Optional[ContainmentMapping]:
     """Find a containment mapping from ``source`` to ``target`` or return ``None``.
 
-    The search assigns source rows to target rows one at a time (most
-    constrained source rows first), maintaining a partial symbol mapping and
-    failing fast on conflicts.
+    The search runs on the compiled forms (built once per tableau and
+    cached): source rows are assigned to target rows most-constrained first,
+    candidates are the bitwise intersection of per-column occurrence masks,
+    and conflicts fail fast on the integer symbol-mapping array.
     """
     _check_compatible(source, target)
     if len(source) == 0:
@@ -74,75 +80,20 @@ def find_containment_mapping(
     if len(target) == 0:
         return None
 
-    columns = source.columns
-    n_columns = len(columns)
-    source_rows = [row.cells for row in source.rows]
-    target_rows = [row.cells for row in target.rows]
-
-    # Precompute, for each source row, the target rows that are locally
-    # feasible: distinguished symbols must map to themselves and a symbol may
-    # never map to two different images within the same row.
-    def locally_feasible(src: Tuple[Variable, ...], dst: Tuple[Variable, ...]) -> bool:
-        local: Dict[Variable, Variable] = {}
-        for position in range(n_columns):
-            symbol = src[position]
-            image = dst[position]
-            if symbol.is_distinguished and symbol != image:
-                return False
-            seen = local.get(symbol)
-            if seen is None:
-                local[symbol] = image
-            elif seen != image:
-                return False
-        return True
-
-    candidates: List[List[int]] = []
-    for src in source_rows:
-        feasible = [
-            target_index
-            for target_index, dst in enumerate(target_rows)
-            if locally_feasible(src, dst)
-        ]
-        if not feasible:
-            return None
-        candidates.append(feasible)
-
-    order = sorted(range(len(source_rows)), key=lambda index: len(candidates[index]))
-    assignment: Dict[int, int] = {}
-    symbol_mapping: Dict[Variable, Variable] = {}
-
-    def assign(position: int) -> bool:
-        if position == len(order):
-            return True
-        source_index = order[position]
-        src = source_rows[source_index]
-        for target_index in candidates[source_index]:
-            dst = target_rows[target_index]
-            added: List[Variable] = []
-            conflict = False
-            for column in range(n_columns):
-                symbol = src[column]
-                image = dst[column]
-                existing = symbol_mapping.get(symbol)
-                if existing is None:
-                    symbol_mapping[symbol] = image
-                    added.append(symbol)
-                elif existing != image:
-                    conflict = True
-                    break
-            if not conflict:
-                assignment[source_index] = target_index
-                if assign(position + 1):
-                    return True
-                del assignment[source_index]
-            for symbol in added:
-                del symbol_mapping[symbol]
-        return False
-
-    if not assign(0):
+    compiled_source = source.compiled()
+    compiled_target = target.compiled()
+    found = find_row_mapping(compiled_source, compiled_target)
+    if found is None:
         return None
-    row_mapping = tuple(assignment[index] for index in range(len(source_rows)))
-    return ContainmentMapping(row_mapping=row_mapping, symbol_mapping=dict(symbol_mapping))
+    row_image, symbol_codes = found
+    row_mapping = tuple(row_image[index] for index in range(len(source)))
+    target_symbols = compiled_target.symbols
+    symbol_mapping = {
+        compiled_source.symbols[code]: target_symbols[image]
+        for code, image in enumerate(symbol_codes)
+        if image >= 0
+    }
+    return ContainmentMapping(row_mapping=row_mapping, symbol_mapping=symbol_mapping)
 
 
 def has_containment_mapping(source: Tableau, target: Tableau) -> bool:
@@ -169,71 +120,35 @@ def find_isomorphism(
     Returns the forward mapping, or ``None`` when the tableaux are not
     isomorphic.  Per Lemma 3.4, two equivalent tableaux that are both minimal
     are always isomorphic.
+
+    Two short-circuits run before any backtracking: mismatched row counts,
+    and mismatched per-column symbol-arity multisets
+    (:meth:`~repro.tableau.kernel.CompiledTableau.column_profiles` — the
+    multiset, per column, of each cell's ``(distinguishedness,
+    occurrences-in-column)`` fingerprint, which any isomorphism preserves).
     """
     _check_compatible(first, second)
     if len(first) != len(second):
         return None
+    if len(first) == 0:
+        return ContainmentMapping(row_mapping=(), symbol_mapping={})
 
-    columns = first.columns
-    n_columns = len(columns)
-    first_rows = [row.cells for row in first.rows]
-    second_rows = [row.cells for row in second.rows]
-
-    symbol_forward: Dict[Variable, Variable] = {}
-    symbol_backward: Dict[Variable, Variable] = {}
-    assignment: Dict[int, int] = {}
-    used_targets: set = set()
-
-    def try_pair(src: Tuple[Variable, ...], dst: Tuple[Variable, ...]) -> Optional[List[Tuple[Variable, Variable]]]:
-        added: List[Tuple[Variable, Variable]] = []
-        for column in range(n_columns):
-            symbol = src[column]
-            image = dst[column]
-            if symbol.is_distinguished != image.is_distinguished:
-                self_rollback(added)
-                return None
-            if symbol.is_distinguished and symbol != image:
-                self_rollback(added)
-                return None
-            fwd = symbol_forward.get(symbol)
-            bwd = symbol_backward.get(image)
-            if fwd is None and bwd is None:
-                symbol_forward[symbol] = image
-                symbol_backward[image] = symbol
-                added.append((symbol, image))
-            elif fwd != image or bwd != symbol:
-                self_rollback(added)
-                return None
-        return added
-
-    def self_rollback(added: List[Tuple[Variable, Variable]]) -> None:
-        for symbol, image in added:
-            del symbol_forward[symbol]
-            del symbol_backward[image]
-
-    def assign(source_index: int) -> bool:
-        if source_index == len(first_rows):
-            return True
-        src = first_rows[source_index]
-        for target_index, dst in enumerate(second_rows):
-            if target_index in used_targets:
-                continue
-            added = try_pair(src, dst)
-            if added is None:
-                continue
-            assignment[source_index] = target_index
-            used_targets.add(target_index)
-            if assign(source_index + 1):
-                return True
-            used_targets.discard(target_index)
-            del assignment[source_index]
-            self_rollback(added)
-        return False
-
-    if not assign(0):
+    compiled_first = first.compiled()
+    compiled_second = second.compiled()
+    if compiled_first.column_profiles() != compiled_second.column_profiles():
         return None
-    row_mapping = tuple(assignment[index] for index in range(len(first_rows)))
-    return ContainmentMapping(row_mapping=row_mapping, symbol_mapping=dict(symbol_forward))
+    found = find_isomorphism_mapping(compiled_first, compiled_second)
+    if found is None:
+        return None
+    row_image, forward = found
+    row_mapping = tuple(row_image[index] for index in range(len(first)))
+    second_symbols = compiled_second.symbols
+    symbol_mapping = {
+        compiled_first.symbols[code]: second_symbols[image]
+        for code, image in enumerate(forward)
+        if image >= 0
+    }
+    return ContainmentMapping(row_mapping=row_mapping, symbol_mapping=symbol_mapping)
 
 
 def tableaux_isomorphic(first: Tableau, second: Tableau) -> bool:

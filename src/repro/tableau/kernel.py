@@ -1,0 +1,409 @@
+"""The interned-symbol tableau kernel.
+
+Containment-mapping search, minimization and canonical-schema read-off all
+operate on the same compiled representation of a tableau
+(:class:`CompiledTableau`):
+
+* every symbol is interned to an integer **code**, with the distinguished
+  variables occupying the reserved low range ``[0, n_distinguished)`` so that
+  "is this symbol distinguished?" is a single integer comparison;
+* the matrix is stored both row-major and column-major as tuples of codes;
+* each column carries an **occurrence index** mapping every code to the
+  bitmask of rows it occurs in (row ``r`` is bit ``1 << r``).
+
+The bitmasks are what make the searches fast: the candidate target rows for a
+source row are the intersection (bitwise AND) of the per-column occurrence
+masks of the images its already-mapped symbols must land on, so constants and
+distinguished codes prune the search space before any backtracking happens,
+and the symbol-consistency propagation is an integer-array walk rather than a
+dict-of-Variables dance.
+
+The compiled form is built once per :class:`~repro.tableau.tableau.Tableau`
+(via :meth:`~repro.tableau.tableau.Tableau.compiled`, which caches it on the
+instance — tableaux are immutable) and is shared by
+:mod:`repro.tableau.containment`, :mod:`repro.tableau.minimize` and
+:mod:`repro.tableau.canonical`.  Row subsets are everywhere represented as
+bitmasks over the *original* row indices, which is what lets minimization
+re-use one compiled tableau (and its occurrence indexes) across every
+row-removal attempt instead of recompiling per candidate subtableau.
+
+This module is internal: the public API lives in the sibling modules.  The
+pre-kernel implementations are retained verbatim in
+:mod:`repro.tableau.reference` as the executable specification the property
+tests compare against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .tableau import Tableau
+    from .variables import Variable
+
+__all__ = [
+    "CompiledTableau",
+    "iter_bits",
+    "find_row_mapping",
+    "find_isomorphism_mapping",
+]
+
+#: Sentinel in a symbol-mapping array: "this distinguished symbol has no
+#: occurrence in the target, so any source row containing it is unmappable".
+_IMPOSSIBLE = -2
+#: Sentinel in a symbol-mapping array: "not mapped yet".
+_UNMAPPED = -1
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class CompiledTableau:
+    """The interned integer form of a tableau (see the module docstring).
+
+    Instances are immutable once built; obtain them through
+    :meth:`Tableau.compiled`, not by calling the constructor directly, so the
+    per-tableau cache is shared.
+    """
+
+    __slots__ = (
+        "tableau",
+        "n_rows",
+        "n_columns",
+        "n_symbols",
+        "n_distinguished",
+        "symbols",
+        "code_of",
+        "row_codes",
+        "column_codes",
+        "occurrence_masks",
+        "all_rows_mask",
+        "_profiles",
+        "_invariant_masks",
+    )
+
+    def __init__(self, tableau: "Tableau") -> None:
+        rows = tableau.rows
+        n_rows = len(rows)
+        n_columns = len(tableau.columns)
+
+        # Interning: distinguished symbols first (sorted, so the coding is a
+        # function of the symbol set alone), then nondistinguished symbols in
+        # row-major first-occurrence order.
+        distinguished = sorted(
+            {cell for row in rows for cell in row.cells if cell.is_distinguished}
+        )
+        code_of: Dict["Variable", int] = {
+            symbol: code for code, symbol in enumerate(distinguished)
+        }
+        symbols: List["Variable"] = list(distinguished)
+        row_codes: List[Tuple[int, ...]] = []
+        for row in rows:
+            codes = []
+            for cell in row.cells:
+                code = code_of.get(cell)
+                if code is None:
+                    code = len(symbols)
+                    code_of[cell] = code
+                    symbols.append(cell)
+                codes.append(code)
+            row_codes.append(tuple(codes))
+
+        occurrence_masks: List[Dict[int, int]] = []
+        column_codes: List[Tuple[int, ...]] = []
+        for position in range(n_columns):
+            column = tuple(codes[position] for codes in row_codes)
+            column_codes.append(column)
+            masks: Dict[int, int] = {}
+            for row_index, code in enumerate(column):
+                masks[code] = masks.get(code, 0) | (1 << row_index)
+            occurrence_masks.append(masks)
+
+        self.tableau = tableau
+        self.n_rows = n_rows
+        self.n_columns = n_columns
+        self.n_symbols = len(symbols)
+        self.n_distinguished = len(distinguished)
+        self.symbols = tuple(symbols)
+        self.code_of = code_of
+        self.row_codes = tuple(row_codes)
+        self.column_codes = tuple(column_codes)
+        self.occurrence_masks = tuple(occurrence_masks)
+        self.all_rows_mask = (1 << n_rows) - 1
+        self._profiles: Optional[Tuple[Tuple[Tuple[bool, int], ...], ...]] = None
+        self._invariant_masks: Optional[Tuple[Dict[Tuple[bool, int], int], ...]] = None
+
+    # -- isomorphism invariants ------------------------------------------------
+
+    def column_profiles(self) -> Tuple[Tuple[Tuple[bool, int], ...], ...]:
+        """Per column, the sorted multiset of cell invariants.
+
+        The invariant of a cell is ``(is distinguished, number of rows its
+        symbol occurs in within this column)``.  A row-bijective containment
+        mapping in both directions preserves both components cell-wise, so two
+        isomorphic tableaux have equal profiles — a cheap necessary condition
+        checked before any backtracking.
+        """
+        if self._profiles is None:
+            n_distinguished = self.n_distinguished
+            profiles = []
+            for position in range(self.n_columns):
+                masks = self.occurrence_masks[position]
+                counts = {code: mask.bit_count() for code, mask in masks.items()}
+                profiles.append(
+                    tuple(
+                        sorted(
+                            (code < n_distinguished, counts[code])
+                            for code in self.column_codes[position]
+                        )
+                    )
+                )
+            self._profiles = tuple(profiles)
+        return self._profiles
+
+    def invariant_masks(self) -> Tuple[Dict[Tuple[bool, int], int], ...]:
+        """Per column, a map from cell invariant to the bitmask of rows
+        whose cell in that column carries the invariant."""
+        if self._invariant_masks is None:
+            n_distinguished = self.n_distinguished
+            tables: List[Dict[Tuple[bool, int], int]] = []
+            for position in range(self.n_columns):
+                masks = self.occurrence_masks[position]
+                table: Dict[Tuple[bool, int], int] = {}
+                for code, mask in masks.items():
+                    invariant = (code < n_distinguished, mask.bit_count())
+                    table[invariant] = table.get(invariant, 0) | mask
+                tables.append(table)
+            self._invariant_masks = tuple(tables)
+        return self._invariant_masks
+
+
+def _initial_symbol_mapping(source: CompiledTableau, target: CompiledTableau) -> List[int]:
+    """The symbol-mapping array seeded with the distinguished constraints.
+
+    ``mapping[code]`` is the target code a source code is mapped to,
+    ``_UNMAPPED`` when free, ``_IMPOSSIBLE`` when the source code is a
+    distinguished variable the target does not contain (any source row using
+    it is then unmappable).
+    """
+    mapping = [_UNMAPPED] * source.n_symbols
+    if source is target:
+        for code in range(source.n_distinguished):
+            mapping[code] = code
+        return mapping
+    target_codes = target.code_of
+    for code in range(source.n_distinguished):
+        image = target_codes.get(source.symbols[code])
+        mapping[code] = _IMPOSSIBLE if image is None else image
+    return mapping
+
+
+def find_row_mapping(
+    source: CompiledTableau,
+    target: CompiledTableau,
+    *,
+    source_rows: Optional[int] = None,
+    target_rows: Optional[int] = None,
+) -> Optional[Tuple[Dict[int, int], List[int]]]:
+    """Find a containment mapping between compiled tableaux, as integers.
+
+    ``source_rows`` / ``target_rows`` are row bitmasks restricting the search
+    to subtableaux (defaulting to all rows) — this is how minimization tests
+    row removals without materializing candidate tableaux.  Returns
+    ``(row_image, symbol_mapping)`` where ``row_image`` maps each active
+    source row index to its target row index and ``symbol_mapping`` is the
+    final code-to-code array, or ``None`` when no containment mapping exists.
+
+    Both tableaux must be over the same columns (the callers check).
+    """
+    if source_rows is None:
+        source_rows = source.all_rows_mask
+    if target_rows is None:
+        target_rows = target.all_rows_mask
+    active = list(iter_bits(source_rows))
+    mapping = _initial_symbol_mapping(source, target)
+    if not active:
+        return {}, mapping
+
+    n_columns = source.n_columns
+    occurrence = target.occurrence_masks
+    row_codes = source.row_codes
+    target_codes = target.row_codes
+
+    # Candidate masks from the pre-seeded (distinguished/constant) constraints
+    # alone: intersect, per column, the target occurrence masks of the images
+    # the already-mapped symbols must land on.  A row with an empty mask — or
+    # one using a distinguished symbol absent from the target — refutes the
+    # whole search before any backtracking.
+    base_masks: Dict[int, int] = {}
+    for row_index in active:
+        mask = target_rows
+        for position, code in enumerate(row_codes[row_index]):
+            image = mapping[code]
+            if image == _IMPOSSIBLE:
+                return None
+            if image >= 0:
+                mask &= occurrence[position].get(image, 0)
+                if not mask:
+                    return None
+        base_masks[row_index] = mask
+
+    order = sorted(active, key=lambda row_index: base_masks[row_index].bit_count())
+    row_image: Dict[int, int] = {}
+
+    def assign(position_in_order: int) -> bool:
+        if position_in_order == len(order):
+            return True
+        row_index = order[position_in_order]
+        codes = row_codes[row_index]
+        # Refine the candidate mask with everything mapped so far.
+        mask = base_masks[row_index]
+        for position in range(n_columns):
+            image = mapping[codes[position]]
+            if image >= 0:
+                mask &= occurrence[position].get(image, 0)
+                if not mask:
+                    return False
+        while mask:
+            low = mask & -mask
+            target_index = low.bit_length() - 1
+            mask ^= low
+            images = target_codes[target_index]
+            trail: List[int] = []
+            consistent = True
+            for position in range(n_columns):
+                code = codes[position]
+                image = images[position]
+                current = mapping[code]
+                if current < 0:
+                    mapping[code] = image
+                    trail.append(code)
+                elif current != image:
+                    consistent = False
+                    break
+            if consistent:
+                row_image[row_index] = target_index
+                if assign(position_in_order + 1):
+                    return True
+                del row_image[row_index]
+            for code in trail:
+                mapping[code] = _UNMAPPED
+        return False
+
+    if not assign(0):
+        return None
+    return row_image, mapping
+
+
+def find_isomorphism_mapping(
+    first: CompiledTableau, second: CompiledTableau
+) -> Optional[Tuple[Dict[int, int], List[int]]]:
+    """Find a row-bijective containment mapping whose inverse is also one.
+
+    Returns ``(row_image, forward)`` over integer codes or ``None``.  The
+    caller is expected to have short-circuited on mismatched row counts and
+    column profiles (:meth:`CompiledTableau.column_profiles`) already; this
+    function additionally prunes candidates with the per-column invariant
+    masks, so each source row only ever tries target rows whose cells carry
+    the same (distinguishedness, occurrence-count) fingerprint.
+    """
+    n_rows = first.n_rows
+    if n_rows != second.n_rows:
+        return None
+    if n_rows == 0:
+        return {}, []
+
+    forward = [_UNMAPPED] * first.n_symbols
+    backward = [_UNMAPPED] * second.n_symbols
+    # Distinguished variables must map to themselves, bijectively.
+    if first.n_distinguished != second.n_distinguished:
+        return None
+    for code in range(first.n_distinguished):
+        image = second.code_of.get(first.symbols[code])
+        if image is None:
+            return None
+        forward[code] = image
+        backward[image] = code
+
+    n_columns = first.n_columns
+    occurrence_first = first.occurrence_masks
+    occurrence_second = second.occurrence_masks
+    invariant_masks = second.invariant_masks()
+    n_distinguished = first.n_distinguished
+
+    base_masks: List[int] = []
+    for row_index in range(n_rows):
+        mask = second.all_rows_mask
+        codes = first.row_codes[row_index]
+        for position in range(n_columns):
+            code = codes[position]
+            if code < n_distinguished:
+                mask &= occurrence_second[position].get(forward[code], 0)
+            else:
+                invariant = (
+                    False,
+                    occurrence_first[position][code].bit_count(),
+                )
+                mask &= invariant_masks[position].get(invariant, 0)
+            if not mask:
+                return None
+        base_masks.append(mask)
+
+    order = sorted(range(n_rows), key=lambda row_index: base_masks[row_index].bit_count())
+    row_image: Dict[int, int] = {}
+    used_targets = 0
+    second_rows = second.row_codes
+    first_rows = first.row_codes
+
+    def assign(position_in_order: int) -> bool:
+        nonlocal used_targets
+        if position_in_order == n_rows:
+            return True
+        row_index = order[position_in_order]
+        codes = first_rows[row_index]
+        mask = base_masks[row_index] & ~used_targets
+        for position in range(n_columns):
+            image = forward[codes[position]]
+            if image >= 0:
+                mask &= occurrence_second[position].get(image, 0)
+                if not mask:
+                    return False
+        while mask:
+            low = mask & -mask
+            target_index = low.bit_length() - 1
+            mask ^= low
+            images = second_rows[target_index]
+            trail: List[Tuple[int, int]] = []
+            consistent = True
+            for position in range(n_columns):
+                code = codes[position]
+                image = images[position]
+                mapped = forward[code]
+                inverse = backward[image]
+                if mapped == _UNMAPPED and inverse == _UNMAPPED:
+                    forward[code] = image
+                    backward[image] = code
+                    trail.append((code, image))
+                elif mapped != image or inverse != code:
+                    consistent = False
+                    break
+            if consistent:
+                row_image[row_index] = target_index
+                used_targets |= low
+                if assign(position_in_order + 1):
+                    return True
+                used_targets &= ~low
+                del row_image[row_index]
+            for code, image in trail:
+                forward[code] = _UNMAPPED
+                backward[image] = _UNMAPPED
+        return False
+
+    if not assign(0):
+        return None
+    return row_image, forward

@@ -8,16 +8,27 @@ query are isomorphic, so minimization is well defined up to isomorphism.
 The classical fact used here is that a tableau is equivalent to one of its
 subtableaux iff there is a containment mapping onto that subtableau (the
 reverse mapping is the identity on the remaining rows), and that greedily
-removing one redundant row at a time terminates in a minimum-size equivalent
-subtableau (the *core*).
+removing redundant rows terminates in a minimum-size equivalent subtableau
+(the *core*).
+
+The implementation is incremental on the interned-symbol kernel
+(:mod:`repro.tableau.kernel`): one compiled form of the *original* tableau —
+with its per-column occurrence bitmask indexes — is shared across every
+row-removal attempt, candidate subtableaux are just row bitmasks, and when a
+containment mapping ``h : T → T - {r}`` is found, **every** active row
+outside the image of ``h`` is removed at once (``h`` is a containment mapping
+onto the image subtableau, and the identity maps the image back), so one
+successful search can retire many rows instead of one.  The pre-kernel
+one-row-at-a-time implementation is retained in
+:mod:`repro.tableau.reference` as the property-test oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
-from .containment import find_containment_mapping, has_containment_mapping
+from .kernel import find_row_mapping, iter_bits
 from .tableau import Tableau
 
 __all__ = ["MinimizationResult", "minimize_tableau", "is_minimal_tableau"]
@@ -46,42 +57,72 @@ class MinimizationResult:
 def minimize_tableau(tableau: Tableau) -> MinimizationResult:
     """Compute a minimal tableau equivalent to ``tableau``.
 
-    Rows are examined in order; a row is dropped when the current tableau has
-    a containment mapping into the tableau without that row.  The result is a
-    subtableau of the input, so the identity is a containment mapping back and
-    equivalence is guaranteed by construction.
+    Active rows are examined in ascending order; when the active subtableau
+    has a containment mapping into itself-minus-one-row, all active rows
+    outside the mapping's image are dropped together.  The result is a
+    subtableau of the input, so the identity is a containment mapping back
+    and equivalence is guaranteed by construction.
     """
-    kept: List[int] = list(range(len(tableau)))
+    n_rows = len(tableau)
+    if n_rows <= 1:
+        return MinimizationResult(
+            original=tableau,
+            minimal=tableau,
+            kept_rows=tuple(range(n_rows)),
+            removed_rows=(),
+        )
+
+    compiled = tableau.compiled()
+    active = compiled.all_rows_mask
     removed: List[int] = []
-    current = tableau
 
     changed = True
-    while changed:
+    while changed and active.bit_count() > 1:
         changed = False
-        for position in range(len(current)):
-            candidate = current.without_row(position)
-            if len(candidate) == 0:
+        for row_index in iter_bits(active):
+            found = find_row_mapping(
+                compiled,
+                compiled,
+                source_rows=active,
+                target_rows=active & ~(1 << row_index),
+            )
+            if found is None:
                 continue
-            if has_containment_mapping(current, candidate):
-                removed.append(kept.pop(position))
-                current = candidate
-                changed = True
-                break
+            row_image, _ = found
+            image = 0
+            for target_index in row_image.values():
+                image |= 1 << target_index
+            removed.extend(iter_bits(active & ~image))
+            active = image
+            changed = True
+            break
 
+    kept = tuple(iter_bits(active))
+    minimal = tableau if not removed else tableau.subtableau(kept)
     return MinimizationResult(
         original=tableau,
-        minimal=current,
-        kept_rows=tuple(kept),
+        minimal=minimal,
+        kept_rows=kept,
         removed_rows=tuple(removed),
     )
 
 
 def is_minimal_tableau(tableau: Tableau) -> bool:
     """True when no proper subtableau is equivalent to ``tableau``."""
-    for position in range(len(tableau)):
-        candidate = tableau.without_row(position)
-        if len(candidate) == 0:
-            continue
-        if has_containment_mapping(tableau, candidate):
+    n_rows = len(tableau)
+    if n_rows <= 1:
+        return True
+    compiled = tableau.compiled()
+    full = compiled.all_rows_mask
+    for row_index in range(n_rows):
+        if (
+            find_row_mapping(
+                compiled,
+                compiled,
+                source_rows=full,
+                target_rows=full & ~(1 << row_index),
+            )
+            is not None
+        ):
             return False
     return True

@@ -1,0 +1,151 @@
+"""Brute-force reference implementations of the tableau operations.
+
+These are the pre-kernel implementations of containment-mapping search and
+minimization, retained verbatim as the *executable specification* for the
+interned-symbol kernel (:mod:`repro.tableau.kernel`): the property tests
+generate random small tableaux and require the kernel-backed public functions
+to agree with these on every instance.
+
+They operate directly on :class:`~repro.tableau.variables.Variable` objects
+with dictionary bookkeeping — clear, slow, and independent of the interning,
+bitmask indexes and incremental minimization the kernel introduces.  Do not
+"optimize" this module; its value is being an oracle that shares no code with
+the fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .containment import ContainmentMapping, _check_compatible
+from .minimize import MinimizationResult
+from .tableau import Tableau
+from .variables import Variable
+
+__all__ = [
+    "find_containment_mapping_reference",
+    "has_containment_mapping_reference",
+    "minimize_tableau_reference",
+    "is_minimal_tableau_reference",
+]
+
+
+def find_containment_mapping_reference(
+    source: Tableau, target: Tableau
+) -> Optional[ContainmentMapping]:
+    """Backtracking containment-mapping search over ``Variable`` dicts."""
+    _check_compatible(source, target)
+    if len(source) == 0:
+        return ContainmentMapping(row_mapping=(), symbol_mapping={})
+    if len(target) == 0:
+        return None
+
+    columns = source.columns
+    n_columns = len(columns)
+    source_rows = [row.cells for row in source.rows]
+    target_rows = [row.cells for row in target.rows]
+
+    def locally_feasible(src: Tuple[Variable, ...], dst: Tuple[Variable, ...]) -> bool:
+        local: Dict[Variable, Variable] = {}
+        for position in range(n_columns):
+            symbol = src[position]
+            image = dst[position]
+            if symbol.is_distinguished and symbol != image:
+                return False
+            seen = local.get(symbol)
+            if seen is None:
+                local[symbol] = image
+            elif seen != image:
+                return False
+        return True
+
+    candidates: List[List[int]] = []
+    for src in source_rows:
+        feasible = [
+            target_index
+            for target_index, dst in enumerate(target_rows)
+            if locally_feasible(src, dst)
+        ]
+        if not feasible:
+            return None
+        candidates.append(feasible)
+
+    order = sorted(range(len(source_rows)), key=lambda index: len(candidates[index]))
+    assignment: Dict[int, int] = {}
+    symbol_mapping: Dict[Variable, Variable] = {}
+
+    def assign(position: int) -> bool:
+        if position == len(order):
+            return True
+        source_index = order[position]
+        src = source_rows[source_index]
+        for target_index in candidates[source_index]:
+            dst = target_rows[target_index]
+            added: List[Variable] = []
+            conflict = False
+            for column in range(n_columns):
+                symbol = src[column]
+                image = dst[column]
+                existing = symbol_mapping.get(symbol)
+                if existing is None:
+                    symbol_mapping[symbol] = image
+                    added.append(symbol)
+                elif existing != image:
+                    conflict = True
+                    break
+            if not conflict:
+                assignment[source_index] = target_index
+                if assign(position + 1):
+                    return True
+                del assignment[source_index]
+            for symbol in added:
+                del symbol_mapping[symbol]
+        return False
+
+    if not assign(0):
+        return None
+    row_mapping = tuple(assignment[index] for index in range(len(source_rows)))
+    return ContainmentMapping(row_mapping=row_mapping, symbol_mapping=dict(symbol_mapping))
+
+
+def has_containment_mapping_reference(source: Tableau, target: Tableau) -> bool:
+    """True when the reference search finds a containment mapping."""
+    return find_containment_mapping_reference(source, target) is not None
+
+
+def minimize_tableau_reference(tableau: Tableau) -> MinimizationResult:
+    """One-row-at-a-time greedy minimization (the classical core algorithm)."""
+    kept: List[int] = list(range(len(tableau)))
+    removed: List[int] = []
+    current = tableau
+
+    changed = True
+    while changed:
+        changed = False
+        for position in range(len(current)):
+            candidate = current.without_row(position)
+            if len(candidate) == 0:
+                continue
+            if has_containment_mapping_reference(current, candidate):
+                removed.append(kept.pop(position))
+                current = candidate
+                changed = True
+                break
+
+    return MinimizationResult(
+        original=tableau,
+        minimal=current,
+        kept_rows=tuple(kept),
+        removed_rows=tuple(removed),
+    )
+
+
+def is_minimal_tableau_reference(tableau: Tableau) -> bool:
+    """True when no single-row removal admits a containment mapping back."""
+    for position in range(len(tableau)):
+        candidate = tableau.without_row(position)
+        if len(candidate) == 0:
+            continue
+        if has_containment_mapping_reference(tableau, candidate):
+            return False
+    return True

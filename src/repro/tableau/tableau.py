@@ -88,6 +88,9 @@ class Tableau:
         self._column_index: Dict[Attribute, int] = {
             attribute: position for position, attribute in enumerate(self._columns)
         }
+        # Lazily-built interned-symbol form (see repro.tableau.kernel); safe
+        # to cache because tableaux are immutable.
+        self._compiled = None
 
     # -- basic accessors -----------------------------------------------------------
 
@@ -119,6 +122,25 @@ class Tableau:
     def cell(self, row_index: int, attribute: Attribute) -> Variable:
         """The symbol in the given row and column."""
         return self._rows[row_index].cells[self.column_position(attribute)]
+
+    def compiled(self):
+        """The interned-symbol compiled form of this tableau, built once.
+
+        Returns a :class:`repro.tableau.kernel.CompiledTableau`: every symbol
+        interned to an integer code (distinguished variables in the reserved
+        low range), column-major code tuples, and per-column occurrence
+        bitmask indexes.  Containment search, minimization and canonical
+        schema read-off all run on this form; it is cached on the instance,
+        so the cost is paid once per tableau however many operations consume
+        it.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            from .kernel import CompiledTableau  # deferred: kernel imports us for typing
+
+            compiled = CompiledTableau(self)
+            self._compiled = compiled
+        return compiled
 
     def symbols(self) -> FrozenSet[Variable]:
         """Every symbol occurring in the tableau."""

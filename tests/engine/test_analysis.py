@@ -158,6 +158,42 @@ class TestPerTargetArtifacts:
         widened = analysis.canonical_connection_result("ac", universe="abcz")
         assert plain is not widened
 
+    def test_standard_tableau_memoized_and_shared_with_connection(self):
+        from repro.tableau import standard_tableau
+
+        schema = parse_schema("abg,bcg,acf,ad,de,ea")
+        analysis = analyze(schema)
+        tableau = analysis.standard_tableau("abc")
+        assert analysis.standard_tableau(RelationSchema("abc")) is tableau
+        assert tableau == standard_tableau(schema, RelationSchema("abc"))
+        # The canonical-connection derivation runs on the memoized tableau
+        # (and hence on its cached compiled form), not a rebuilt copy.
+        result = analysis.canonical_connection_result("abc")
+        assert result.standard is tableau
+        assert result.minimization.original is tableau
+
+    def test_tableau_minimization_shared_across_consumers(self):
+        analysis = analyze("abg,bcg,acf,ad,de,ea")
+        minimization = analysis.tableau_minimization("abc")
+        assert analysis.tableau_minimization("abc") is minimization
+        assert analysis.canonical_connection_result("abc").minimization is minimization
+        assert set(minimization.kept_rows) == {0, 1, 2}
+
+    def test_canonical_connection_free_function_peeks_the_tableau_memos(self):
+        from repro.tableau import canonical_connection
+
+        clear_analysis_cache()
+        schema = parse_schema("abg,bcg,acf,ad,de,ea")
+        # Cold: computes directly, creates no cache entry.
+        cold = canonical_connection(schema, RelationSchema("abc"))
+        assert analysis_cache_size() == 0
+        # Warm: the free function consumes the analysis's memoized
+        # minimization (one shared tableau compile + core per target).
+        analysis = analyze(schema)
+        warm = analysis.tableau_minimization("abc")
+        assert canonical_connection(schema, RelationSchema("abc")) == cold
+        assert analysis.tableau_minimization("abc") is warm
+
     def test_join_plan_matches_plan_join_query(self):
         from repro import plan_join_query
 

@@ -178,3 +178,118 @@ class TestValidation:
         assert prepared.root == 0
         assert len(prepared.semijoin_steps) == 2 * (len(schema) - 1)
         assert len(prepared.join_steps) == len(schema) - 1
+
+
+class TestSemijoinIndexSharing:
+    """The full-reducer program builds each relation's semijoin hash index
+    once per (relation, key) pair per state (ROADMAP PR-2 follow-up)."""
+
+    @staticmethod
+    def _filtering_chain_state(schema, length):
+        """A chain state where every relation has dangling rows, so every
+        semijoin of the leaf-to-root pass drops rows (no identity shortcut —
+        every intermediate is a fresh ``Relation`` instance)."""
+        from repro.relational import Relation
+
+        relations = []
+        for index in range(length):
+            rows = [{f"x{index}": value, f"x{index + 1}": value} for value in (1, 2)]
+            # Dangling on both sides: joins with neither neighbour.
+            rows.append({f"x{index}": 100 + index, f"x{index + 1}": 200 + index})
+            relations.append(Relation.from_dicts({f"x{index}", f"x{index + 1}"}, rows))
+        return DatabaseState(schema, relations)
+
+    @staticmethod
+    def _install_build_tracking(monkeypatch):
+        """Attribute every ``key_index`` build to its original relation.
+
+        Patches ``key_index`` to record cache-miss builds as
+        ``(lineage root id, key columns)`` and ``semijoin`` to remember which
+        relation each filtered result descends from, so a rebuild of an index
+        a semijoin should have inherited shows up as a duplicate pair.
+        Returns ``(builds, lineage)``; every touched relation is pinned so
+        ``id()`` keys stay unique for the test's lifetime.
+        """
+        from repro.relational.relation import Relation
+
+        pinned = []
+        lineage = {}
+        builds = []
+        real_key_index = Relation.key_index
+        real_semijoin = Relation.semijoin
+
+        def root_of(relation):
+            ident = id(relation)
+            while ident in lineage:
+                ident = lineage[ident]
+            return ident
+
+        def counting_key_index(self, attributes):
+            if isinstance(attributes, RelationSchema):
+                key_columns = attributes.sorted_attributes()
+            else:
+                key_columns = tuple(sorted(attributes))
+            fresh_build = key_columns not in self._indexes
+            index = real_key_index(self, attributes)
+            if fresh_build:
+                pinned.append(self)
+                builds.append((root_of(self), key_columns))
+            return index
+
+        def tracking_semijoin(self, other):
+            result = real_semijoin(self, other)
+            pinned.extend((self, other, result))
+            if result is not self:
+                lineage[id(result)] = id(self)
+            return result
+
+        monkeypatch.setattr(Relation, "key_index", counting_key_index)
+        monkeypatch.setattr(Relation, "semijoin", tracking_semijoin)
+        return builds, lineage
+
+    def test_no_duplicate_key_index_builds_per_state(self, monkeypatch):
+        length = 4
+        schema = chain_schema(length)
+        target = RelationSchema({"x0", f"x{length}"})
+        prepared = analyze(schema).prepare(target)
+        state = self._filtering_chain_state(schema, length)
+
+        builds, lineage = self._install_build_tracking(monkeypatch)
+        runs = prepared.execute_many([state])
+        assert runs[0].semijoin_count == 2 * (length - 1)
+        assert lineage, "expected the semijoins to actually filter rows"
+
+        # No (relation lineage, key) pair is ever built twice...
+        assert len(builds) == len(set(builds))
+
+        # ...and the semijoin program costs exactly one build per distinct
+        # (state slot, edge key) pair, despite 2·(length-1) semijoin calls
+        # touching each slot up to twice per key across the two passes.
+        slot_of = {id(relation): index for index, relation in enumerate(state.relations)}
+        expected = set()
+        for step in prepared.semijoin_steps:
+            key = tuple(
+                sorted(
+                    schema[step.target].attributes & schema[step.source].attributes
+                )
+            )
+            expected.add((step.target, key))
+            expected.add((step.source, key))
+        observed = {
+            (slot_of[root], key) for root, key in builds if root in slot_of
+        }
+        assert observed == expected
+
+    def test_execute_many_shares_indexes_on_every_state(self, monkeypatch):
+        """Across many states, duplicate builds never appear (per-state
+        sharing; states do not share indexes with each other)."""
+        length = 3
+        schema = chain_schema(length)
+        target = RelationSchema(schema.attributes)
+        prepared = analyze(schema).prepare(target)
+        states = [self._filtering_chain_state(schema, length) for _ in range(5)]
+
+        builds, _ = self._install_build_tracking(monkeypatch)
+        runs = prepared.execute_many(states)
+        assert len(runs) == len(states)
+        assert len(builds) == len(set(builds))

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis): the interned-symbol kernel agrees with
+the retained brute-force reference on random small tableaux.
+
+The reference implementations (:mod:`repro.tableau.reference`) are the
+pre-kernel dictionary-based searches; they share no code with the kernel's
+bitmask machinery, so agreement on random instances is strong evidence the
+compilation, occurrence indexing and incremental minimization are faithful.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph import DatabaseSchema, RelationSchema
+from repro.tableau import (
+    find_containment_mapping,
+    is_minimal_tableau,
+    minimize_tableau,
+    standard_tableau,
+    tableaux_equivalent,
+    tableaux_isomorphic,
+)
+from repro.tableau.reference import (
+    find_containment_mapping_reference,
+    is_minimal_tableau_reference,
+    minimize_tableau_reference,
+)
+from repro.tableau.tableau import Tableau
+
+# A modest attribute universe keeps the NP-hard searches small while still
+# exercising folds, distinguished pruning and shared-variable chains.
+ATTRIBUTES = "abcde"
+
+relation_schemas = st.sets(
+    st.sampled_from(list(ATTRIBUTES)), min_size=1, max_size=3
+).map(RelationSchema)
+
+database_schemas = st.lists(relation_schemas, min_size=1, max_size=4).map(
+    DatabaseSchema
+)
+
+targets = st.sets(st.sampled_from(list(ATTRIBUTES)), max_size=3).map(RelationSchema)
+
+
+def _tableau(schema: DatabaseSchema, target: RelationSchema) -> Tableau:
+    # A fixed universe makes every generated tableau share one column tuple,
+    # so any two of them are containment-comparable.
+    return standard_tableau(schema, target, universe=ATTRIBUTES)
+
+
+def _witness_is_valid(mapping, source: Tableau, target: Tableau) -> bool:
+    """Check a claimed containment mapping cell by cell."""
+    if len(mapping.row_mapping) != len(source):
+        return False
+    for symbol, image in mapping.symbol_mapping.items():
+        if symbol.is_distinguished and symbol != image:
+            return False
+    for row_index, row in enumerate(source.rows):
+        image_row = target.rows[mapping.row_mapping[row_index]]
+        for position, symbol in enumerate(row.cells):
+            if mapping.symbol_mapping[symbol] != image_row.cells[position]:
+                return False
+    return True
+
+
+@given(database_schemas, database_schemas, targets)
+@settings(max_examples=100, deadline=None)
+def test_containment_agrees_with_reference(first, second, target):
+    source = _tableau(first, target)
+    destination = _tableau(second, target)
+    kernel = find_containment_mapping(source, destination)
+    reference = find_containment_mapping_reference(source, destination)
+    assert (kernel is None) == (reference is None)
+    if kernel is not None:
+        assert _witness_is_valid(kernel, source, destination)
+        assert _witness_is_valid(reference, source, destination)
+
+
+@given(database_schemas, targets)
+@settings(max_examples=80, deadline=None)
+def test_minimization_agrees_with_reference(schema, target):
+    tableau = _tableau(schema, target)
+    kernel = minimize_tableau(tableau)
+    reference = minimize_tableau_reference(tableau)
+    # Cores are unique up to isomorphism (Lemma 3.4), not up to row identity.
+    assert len(kernel.minimal) == len(reference.minimal)
+    assert tableaux_isomorphic(kernel.minimal, reference.minimal)
+    assert kernel.minimal.is_subtableau_of(tableau)
+    assert tableaux_equivalent(tableau, kernel.minimal)
+    assert sorted(kernel.kept_rows + kernel.removed_rows) == list(range(len(tableau)))
+
+
+@given(database_schemas, targets)
+@settings(max_examples=80, deadline=None)
+def test_is_minimal_agrees_with_reference(schema, target):
+    tableau = _tableau(schema, target)
+    assert is_minimal_tableau(tableau) == is_minimal_tableau_reference(tableau)
+
+
+@given(database_schemas, targets)
+@settings(max_examples=80, deadline=None)
+def test_minimize_is_idempotent(schema, target):
+    minimal = minimize_tableau(_tableau(schema, target)).minimal
+    again = minimize_tableau(minimal)
+    assert again.removed_count == 0
+    assert again.minimal == minimal
+    assert is_minimal_tableau(minimal)
+
+
+@given(database_schemas, targets, st.randoms(use_true_random=False))
+@settings(max_examples=80, deadline=None)
+def test_minimization_isomorphic_under_row_permutation(schema, target, rng):
+    """Lemma 3.4: the core does not depend on the row (relation) order."""
+    relations = list(schema.relations)
+    rng.shuffle(relations)
+    permuted = DatabaseSchema(relations)
+    first = minimize_tableau(_tableau(schema, target)).minimal
+    second = minimize_tableau(_tableau(permuted, target)).minimal
+    assert len(first) == len(second)
+    assert tableaux_isomorphic(first, second)

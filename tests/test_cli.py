@@ -60,6 +60,26 @@ class TestTreefy:
         assert "already a tree schema" in capsys.readouterr().out
 
 
+class TestTableau:
+    def test_section6_example_folds_three_rows(self, capsys):
+        assert main(["tableau", "abg,bcg,acf,ad,de,ea", "abc"]) == 0
+        output = capsys.readouterr().out
+        assert "standard tableau Tab(D, X) (6 rows):" in output
+        assert "minimization removed 3 rows (r3, r4, r5):" in output
+        assert "CC(D, X) = (abg, bcg, ac)" in output
+
+    def test_already_minimal(self, capsys):
+        assert main(["tableau", "ab,bc,cd", "ad"]) == 0
+        output = capsys.readouterr().out
+        assert "already minimal; no rows removed" in output
+        assert "CC(D, X) =" in output
+
+    def test_renders_summary_row(self, capsys):
+        assert main(["tableau", "ab,bc", "ac"]) == 0
+        output = capsys.readouterr().out
+        assert "summary" in output
+
+
 class TestJsonOutput:
     def test_analyze_tree_schema(self, capsys):
         assert main(["analyze", "--json", "ab,bc,cd"]) == 0
@@ -107,6 +127,15 @@ class TestJsonOutput:
         assert payload["already_tree"] is True
         assert payload["added_relation"] is None
 
+    def test_tableau_section6_example(self, capsys):
+        assert main(["tableau", "--json", "abg,bcg,acf,ad,de,ea", "abc"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == 6
+        assert payload["minimal_rows"] == 3
+        assert payload["kept_rows"] == [0, 1, 2]
+        assert sorted(payload["removed_rows"]) == [3, 4, 5]
+        assert payload["canonical_connection"] == "abg,bcg,ac"
+
     def test_json_with_attribute_separator(self, capsys):
         assert main(
             ["--attribute-separator", " ", "analyze", "--json", "emp dept, dept mgr"]
@@ -125,7 +154,9 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["cc", "ab,bc"])  # target missing
 
-    @pytest.mark.parametrize("command", ["analyze", "cc", "lossless", "treefy"])
+    @pytest.mark.parametrize(
+        "command", ["analyze", "cc", "lossless", "treefy", "tableau"]
+    )
     def test_every_subcommand_has_json_flag(self, command):
         parser = build_parser()
         argv = {
@@ -133,6 +164,7 @@ class TestParser:
             "cc": ["cc", "--json", "ab", "a"],
             "lossless": ["lossless", "--json", "ab", "a"],
             "treefy": ["treefy", "--json", "ab"],
+            "tableau": ["tableau", "--json", "ab", "a"],
         }[command]
         arguments = parser.parse_args(argv)
         assert arguments.json is True
