@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``):
    $ repro lossless "abc,ab,bc" "ab,bc"
    $ repro treefy "ab,bc,cd,da"
    $ repro tableau "abg,bcg,acf,ad,de,ea" abc
+   $ repro query "ab,bc,cd" ad --random 30
+   $ repro query "ab,bc,cd" ad --data state.json --backend classic --json
 
 Schemas are written in the paper's notation (relations separated by commas,
 single-character attributes concatenated); multi-character attribute names
@@ -92,6 +94,48 @@ def build_parser() -> argparse.ArgumentParser:
     tableau.add_argument("schema", help="database schema D")
     tableau.add_argument("target", help="query target X, e.g. abc")
     add_json_flag(tableau)
+
+    query = commands.add_parser(
+        "query",
+        help="evaluate π_X(⋈ D) over a database state (Yannakakis plan)",
+    )
+    query.add_argument("schema", help="tree schema D")
+    query.add_argument("target", help="projection target X, e.g. ad")
+    query.add_argument(
+        "--data",
+        default=None,
+        help="JSON file with one rows-list per relation (rows are "
+        "attribute -> value objects); '-' reads stdin",
+    )
+    query.add_argument(
+        "--random",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate against random UR state(s) with N tuples per universal relation",
+    )
+    query.add_argument(
+        "--states",
+        type=int,
+        default=1,
+        metavar="M",
+        help="with --random: number of states to batch through execute_many",
+    )
+    query.add_argument(
+        "--domain", type=int, default=8, help="random value domain size (default 8)"
+    )
+    query.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    query.add_argument(
+        "--backend",
+        choices=("auto", "classic", "compiled"),
+        default="auto",
+        help="execution backend: the compiled interned-value kernel "
+        "(auto/compiled) or the classic object-tuple operators",
+    )
+    query.add_argument(
+        "--max-rows", type=int, default=20, help="answer rows to print (text mode)"
+    )
+    add_json_flag(query)
 
     return parser
 
@@ -246,6 +290,118 @@ def _tableau(
     return 0
 
 
+def _load_state(data_path: str, schema) -> "DatabaseState":
+    """Read a database state from a JSON file (or stdin with ``-``).
+
+    The payload is a list with one entry per relation schema, each entry a
+    list of rows given as attribute -> value objects (a ``{"relations":
+    [...]}`` wrapper is also accepted).
+    """
+    from .relational import DatabaseState, Relation
+
+    if data_path == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(data_path) as handle:
+            payload = json.load(handle)
+    if isinstance(payload, dict):
+        payload = payload.get("relations", payload)
+    if not isinstance(payload, list) or len(payload) != len(schema):
+        raise SystemExit(
+            f"--data must hold one rows-list per relation "
+            f"({len(schema)} expected)"
+        )
+    relations = [
+        Relation.from_dicts(relation_schema, rows)
+        for relation_schema, rows in zip(schema.relations, payload)
+    ]
+    return DatabaseState(schema, relations)
+
+
+def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) -> int:
+    """``repro query``: evaluate ``π_X(⋈ D)`` through the engine façade."""
+    import time
+
+    from .relational.universal import random_ur_database
+
+    as_json = arguments.json
+    analysis = analyze(arguments.schema, attribute_separator=attribute_separator)
+    schema = analysis.schema
+    target = parse_schema(
+        arguments.target, attribute_separator=attribute_separator
+    ).attributes
+    prepared = analysis.prepare(target)
+
+    if arguments.data is not None and arguments.random is not None:
+        raise SystemExit("--data and --random are mutually exclusive")
+    if arguments.data is None and arguments.random is None:
+        raise SystemExit("query needs a database state: pass --data FILE or --random N")
+    if arguments.data is not None:
+        if arguments.states != 1:
+            raise SystemExit("--states requires --random (a --data file is one state)")
+        states = [_load_state(arguments.data, schema)]
+    else:
+        states = [
+            random_ur_database(
+                schema,
+                tuple_count=arguments.random,
+                domain_size=arguments.domain,
+                rng=arguments.seed + index,
+            )
+            for index in range(max(arguments.states, 1))
+        ]
+
+    start = time.perf_counter()
+    runs = prepared.execute_many(states, backend=arguments.backend)
+    elapsed = time.perf_counter() - start
+    run = runs[0]
+    stats = run.stats
+
+    if as_json:
+        payload: Dict[str, Any] = {
+            "schema": schema.to_notation(),
+            "target": target.to_notation(),
+            "backend": run.backend,
+            "states": len(states),
+            "elapsed_s": elapsed,
+            "semijoin_count": run.semijoin_count,
+            "join_count": run.join_count,
+            "answer_rows": [len(r.result) for r in runs],
+            "max_intermediate_size": max(r.max_intermediate_size for r in runs),
+            "result": runs[0].result.to_dicts() if len(states) == 1 else None,
+        }
+        if stats is not None:
+            payload["compiled_stats"] = {
+                "states_executed": stats.states,
+                "states_deduped": stats.deduped_states,
+                "slots_encoded": stats.encoded_slots,
+                "slots_from_cache": stats.cached_slots,
+                "keyset_builds": stats.total_keyset_builds(),
+                "bucket_builds": stats.total_bucket_builds(),
+            }
+        _emit_json(payload)
+        return 0
+
+    print(f"D  = {schema}")
+    print(f"X  = {target.to_notation()}")
+    print(f"plan: {len(prepared.semijoin_steps)} semijoins, "
+          f"{len(prepared.join_steps)} joins (root R{prepared.root})")
+    print(f"backend: {run.backend}; {len(states)} state(s) in {elapsed * 1e3:.2f} ms")
+    if stats is not None and len(states) > 1:
+        print(
+            f"batch: {stats.states} executed, {stats.deduped_states} deduped, "
+            f"{stats.cached_slots} slot encodings reused"
+        )
+    if len(states) == 1:
+        print(f"answer ({len(run.result)} rows):")
+        print(run.result.render(max_rows=arguments.max_rows))
+    else:
+        sizes = ", ".join(str(len(r.result)) for r in runs[:10])
+        more = "..." if len(runs) > 10 else ""
+        print(f"answer sizes: [{sizes}{more}]")
+    return 0
+
+
 def _treefy(schema_text: str, attribute_separator: Optional[str], as_json: bool) -> int:
     analysis = analyze(schema_text, attribute_separator=attribute_separator)
     result = analysis.treefication
@@ -290,6 +446,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _treefy(arguments.schema, separator, as_json)
     if arguments.command == "tableau":
         return _tableau(arguments.schema, arguments.target, separator, as_json)
+    if arguments.command == "query":
+        return _query(arguments, separator)
     parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -10,7 +10,9 @@ This package is the primary public API of the library:
   reducer + Yannakakis join order + early-projection schedule, derived once)
   whose :meth:`~PreparedQuery.execute` / :meth:`~PreparedQuery.execute_many`
   evaluate the query against any number of database states with zero
-  re-planning cost.
+  re-planning cost, routed by default through the columnar interned-value
+  backend of :mod:`repro.relational.compiled` (``backend="classic"``
+  selects the object-tuple oracle operators).
 
 The classic free functions (``gyo_reduce``, ``canonical_connection``,
 ``plan_join_query``, ``yannakakis``) remain available and now delegate here,
@@ -24,7 +26,7 @@ from .analysis import (
     clear_analysis_cache,
     peek_analysis,
 )
-from .prepared import JoinStep, PreparedQuery
+from .prepared import JoinStep, PreparedQuery, resolve_backend
 
 __all__ = [
     "AnalyzedSchema",
@@ -34,4 +36,5 @@ __all__ = [
     "analysis_cache_size",
     "clear_analysis_cache",
     "peek_analysis",
+    "resolve_backend",
 ]

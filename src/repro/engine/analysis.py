@@ -304,6 +304,16 @@ class AnalyzedSchema:
         """Compile ``π_X(⋈ D)`` into a :class:`PreparedQuery`, memoized per
         ``(X, root)``.
 
+        The memo is also the plan→compiled-plan map: each cached
+        :class:`PreparedQuery` lazily builds and holds its
+        :class:`~repro.relational.compiled.CompiledPlan` (interning
+        dictionaries, positional step programs, encoding cache), so every
+        caller that prepares the same ``(X, root)`` shares one compiled
+        backend — and one interner — per analysis.  Eviction from this LRU
+        is what ultimately releases a compiled plan's interner; callers
+        holding a reference can drop theirs early with
+        :meth:`PreparedQuery.reset_compiled`.
+
         Raises :class:`~repro.exceptions.SchemaError` when ``X ⊄ U(D)`` and
         :class:`~repro.exceptions.NotATreeSchemaError` when ``D`` is cyclic.
         """

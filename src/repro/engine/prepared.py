@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..exceptions import NotATreeSchemaError, SchemaError
 from ..hypergraph.qual_graph import QualGraph
 from ..hypergraph.schema import Attribute, DatabaseSchema, RelationSchema
+from ..relational.compiled import CompiledPlan, compile_plan
 from ..relational.database import DatabaseState
 from ..relational.relation import Relation
 from ..relational.yannakakis import (
@@ -36,7 +37,25 @@ from ..relational.yannakakis import (
     rooted_orientation,
 )
 
-__all__ = ["JoinStep", "PreparedQuery"]
+__all__ = ["JoinStep", "PreparedQuery", "resolve_backend"]
+
+#: Execution backends accepted by :meth:`PreparedQuery.execute`.
+_BACKENDS = ("auto", "classic", "compiled")
+
+
+def resolve_backend(backend: str) -> str:
+    """Normalize a backend name: ``auto`` resolves to ``compiled``.
+
+    The compiled interned-value kernel computes exactly what the classic
+    object-tuple operators compute (the equivalence suite holds on every
+    exposed entry point), so ``auto`` always takes the fast path; ``classic``
+    remains available as the oracle and for A/B timing.
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {', '.join(_BACKENDS)}"
+        )
+    return "compiled" if backend == "auto" else backend
 
 
 def _subtree_intervals(
@@ -103,6 +122,7 @@ class PreparedQuery:
         "_semijoin_steps",
         "_join_steps",
         "_final_projection",
+        "_compiled",
     )
 
     def __init__(
@@ -120,6 +140,7 @@ class PreparedQuery:
         object.__setattr__(self, "_schema", schema)
         object.__setattr__(self, "_target", target)
         object.__setattr__(self, "_root", root)
+        object.__setattr__(self, "_compiled", None)
 
         if len(schema) == 0:
             object.__setattr__(self, "_tree", None)
@@ -231,6 +252,35 @@ class PreparedQuery:
         """The bottom-up join schedule with early projections, in order."""
         return self._join_steps
 
+    @property
+    def final_projection(self) -> RelationSchema:
+        """The projection applied to the root relation after the joins."""
+        return self._final_projection
+
+    @property
+    def compiled(self) -> CompiledPlan:
+        """The interned-value compiled plan, built lazily and cached.
+
+        The plan owns interning dictionaries and an encoding cache shared by
+        every state this query executes (keyed per plan, not per state); see
+        :mod:`repro.relational.compiled` for the lifecycle.  Building is
+        idempotent, so a benign duplicate under concurrency is harmless.
+        """
+        plan = self._compiled
+        if plan is None:
+            plan = compile_plan(self)
+            object.__setattr__(self, "_compiled", plan)
+        return plan
+
+    def reset_compiled(self) -> None:
+        """Drop the compiled plan (interner and encoding cache included).
+
+        Long-running serving processes can use this to release interning
+        dictionaries that accumulated values from states no longer in
+        rotation; the next compiled execution rebuilds the plan.
+        """
+        object.__setattr__(self, "_compiled", None)
+
     def describe(self) -> str:
         """The whole plan as human-readable program text."""
         lines = [
@@ -255,14 +305,20 @@ class PreparedQuery:
 
     # -- execution ------------------------------------------------------------
 
-    def execute(self, state: DatabaseState) -> YannakakisRun:
+    def execute(self, state: DatabaseState, *, backend: str = "auto") -> YannakakisRun:
         """Run the compiled plan against a state; no planning happens here.
 
-        The returned :class:`~repro.relational.yannakakis.YannakakisRun`
-        matches what ``yannakakis(schema, target, state)`` returns for the
-        same inputs, including the intermediate-size accounting.
+        ``backend`` selects the execution kernel: ``"auto"`` (the default)
+        routes through the interned-value columnar backend of
+        :mod:`repro.relational.compiled`, ``"classic"`` forces the
+        object-tuple :class:`~repro.relational.relation.Relation` operators,
+        and ``"compiled"`` requires the compiled backend explicitly.  Both
+        backends return the same :class:`~repro.relational.yannakakis.
+        YannakakisRun` — result, semijoin/join counts and intermediate-size
+        accounting — and the run's ``backend`` field reports which one ran.
         """
-        if state.schema != self._schema:
+        resolved = resolve_backend(backend)
+        if state.schema is not self._schema and state.schema != self._schema:
             raise SchemaError("the state is for a different schema than the query")
         if len(self._schema) == 0:
             return YannakakisRun(
@@ -270,8 +326,16 @@ class PreparedQuery:
                 semijoin_count=0,
                 join_count=0,
                 max_intermediate_size=1,
+                backend=resolved,
             )
+        if resolved == "compiled":
+            # Single executions skip the stats object; execute_many attaches
+            # a shared ExecutionStats to every run of the batch.
+            return self.compiled.execute_state(state)
+        return self._execute_classic(state)
 
+    def _execute_classic(self, state: DatabaseState) -> YannakakisRun:
+        """The object-tuple reference executor (also the property-test oracle)."""
         relations = list(state.relations)
         for step in self._semijoin_steps:
             relations[step.target] = relations[step.target].semijoin(
@@ -300,8 +364,24 @@ class PreparedQuery:
             semijoin_count=len(self._semijoin_steps),
             join_count=join_count,
             max_intermediate_size=max_intermediate,
+            backend="classic",
         )
 
-    def execute_many(self, states: Iterable[DatabaseState]) -> List[YannakakisRun]:
-        """Execute the plan against each state, amortizing the planning cost."""
-        return [self.execute(state) for state in states]
+    def execute_many(
+        self, states: Iterable[DatabaseState], *, backend: str = "auto"
+    ) -> List[YannakakisRun]:
+        """Execute the plan against each state, amortizing the planning cost.
+
+        With the compiled backend (the ``"auto"`` default) this is a true
+        batch: all states share the plan's interning dictionaries and
+        per-slot encoding cache, so a slot whose rows repeat across states is
+        encoded — and its key indexes built — once for the whole batch.  The
+        returned runs all carry one shared
+        :class:`~repro.relational.compiled.ExecutionStats` describing the
+        batch; with ``backend="classic"`` each state is executed
+        independently by the object-tuple operators.
+        """
+        resolved = resolve_backend(backend)
+        if resolved == "compiled" and len(self._schema) > 0:
+            return self.compiled.execute_batch(states)
+        return [self.execute(state, backend=resolved) for state in states]

@@ -179,6 +179,12 @@ class GYOReduction:
         }
         self._steps: List[GYOStep] = []
         self._parents: Dict[int, int] = {}
+        # Relations whose attribute set shrank (operation 1).  Survivors not
+        # in this set still equal their original schema object, which
+        # ``current_schema`` reuses instead of rebuilding — sacred-set
+        # reductions (GR(D, X)) typically leave most relations untouched, so
+        # packaging their result used to dominate the whole reduction.
+        self._modified: Set[int] = set()
 
     # -- inspection -----------------------------------------------------------
 
@@ -204,12 +210,27 @@ class GYOReduction:
     def current_attributes(self, index: int) -> RelationSchema:
         """The current (possibly attribute-deleted) content of relation ``index``."""
         self._require_alive(index)
+        if index not in self._modified:
+            return self._original[index]
         return RelationSchema(self._current[index])
 
     def current_schema(self) -> DatabaseSchema:
-        """The current partially reduced schema, in original index order."""
+        """The current partially reduced schema, in original index order.
+
+        Survivors untouched by attribute deletions contribute their original
+        :class:`RelationSchema` objects verbatim; when no operation applied
+        at all the original schema itself is returned.  This keeps the trace
+        packaging of no-op and sacred-set reductions near-free instead of
+        rebuilding every relation schema.
+        """
+        if not self._steps:
+            return self._original
+        originals = self._original.relations
+        modified = self._modified
+        current = self._current
         return DatabaseSchema(
-            RelationSchema(self._current[index]) for index in sorted(self._current)
+            RelationSchema(current[index]) if index in modified else originals[index]
+            for index in sorted(current)
         )
 
     def result(self) -> DatabaseSchema:
@@ -262,6 +283,7 @@ class GYOReduction:
                 "isolated attribute deletion does not apply"
             )
         self._current[index].discard(attribute)
+        self._modified.add(index)
         step = AttributeDeletion(relation_index=index, attribute=attribute)
         self._steps.append(step)
         return step
@@ -409,6 +431,7 @@ class GYOReduction:
                     continue
                 (index,) = holders
                 current[index].discard(attribute)
+                self._modified.add(index)
                 del occurrence[attribute]
                 self._steps.append(
                     AttributeDeletion(relation_index=index, attribute=attribute)
@@ -422,9 +445,18 @@ class GYOReduction:
                 continue
             attrs = current[index]
             if attrs:
-                # Only relations sharing the rarest attribute can be supersets.
-                pivot = min(attrs, key=lambda a: len(occurrence[a]))
-                candidates: Iterable[int] = occurrence[pivot]
+                # Only relations sharing the rarest attribute can be
+                # supersets.  Open-coded min: this runs once per dirty
+                # relation even on no-op (sacred-set) reductions, and a
+                # keyed ``min`` pays a lambda frame per attribute.
+                candidates: Optional[Iterable[int]] = None
+                best = -1
+                for attribute in attrs:
+                    holders = occurrence[attribute]
+                    count = len(holders)
+                    if candidates is None or count < best:
+                        candidates = holders
+                        best = count
             else:
                 candidates = current
             # First match wins (any witness yields the same unique fixpoint);

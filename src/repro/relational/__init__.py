@@ -14,9 +14,18 @@ indexes are cached per (immutable) instance, so repeated semijoins/joins on
 the same key — e.g. the two passes of a full reducer — share one index.
 See ``docs/performance.md`` for the full invariant list and the PR-1
 benchmark baseline recorded in ``BENCH_PR1.json``.
+
+Since PR 4 the serving hot path no longer runs on these object-tuple
+operators at all: :mod:`repro.relational.compiled` compiles each prepared
+query into a columnar, interned-value program (``CompiledPlan`` /
+``CompiledState``) that executes on tuples of dense integer codes and only
+decodes the final answer back into a :class:`Relation`.  The operators here
+remain the semantics reference — the equivalence suite checks the compiled
+kernel against them on random schemas and states.
 """
 
 from .relation import Relation, Row
+from .compiled import CompiledPlan, CompiledState, ExecutionStats, compile_plan
 from .algebra import (
     intermediate_join_sizes,
     join_all,
@@ -64,6 +73,10 @@ from .program import (
 __all__ = [
     "Relation",
     "Row",
+    "CompiledPlan",
+    "CompiledState",
+    "ExecutionStats",
+    "compile_plan",
     "project",
     "natural_join",
     "semijoin",

@@ -170,6 +170,43 @@ class Relation:
         return self
 
     @classmethod
+    def from_interned(
+        cls,
+        schema: RelationSchema,
+        columns: Tuple[Attribute, ...],
+        code_rows: Iterable[Tuple[Any, ...]],
+        decoders: Sequence[Optional[Callable[[Any], Any]]],
+    ) -> "Relation":
+        """Decode rows of interned codes back into a relation.
+
+        The column-major decode path of the compiled execution backend
+        (:mod:`repro.relational.compiled`): ``decoders[i]`` maps the codes of
+        column ``i`` back to values, with ``None`` meaning the codes *are*
+        the values (identity-mode integer columns).  When every column is an
+        identity column the rows pass through untouched.  Like
+        :meth:`_from_trusted`, callers must pass ``columns ==
+        schema.sorted_attributes()``; decode runs column-wise so the per-cell
+        work is a C-level ``map`` over each column.
+        """
+        if not columns or all(decoder is None for decoder in decoders):
+            rows: FrozenSet[Tuple[Any, ...]] = frozenset(code_rows)
+        else:
+            materialized = (
+                code_rows
+                if isinstance(code_rows, (tuple, list, set, frozenset))
+                else tuple(code_rows)
+            )
+            if materialized:
+                decoded_columns = [
+                    column if decoder is None else tuple(map(decoder, column))
+                    for decoder, column in zip(decoders, zip(*materialized))
+                ]
+                rows = frozenset(zip(*decoded_columns))
+            else:
+                rows = frozenset()
+        return cls._from_trusted(schema, columns, rows)
+
+    @classmethod
     def from_dicts(
         cls, attributes: _AttributesLike, rows: Iterable[Row]
     ) -> "Relation":

@@ -21,14 +21,17 @@ benchmarks measure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..exceptions import NotATreeSchemaError, SchemaError
 from ..hypergraph.qual_graph import QualGraph
 from ..hypergraph.schema import DatabaseSchema, RelationSchema
 from .database import DatabaseState
 from .relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compiled imports us)
+    from .compiled import ExecutionStats
 
 __all__ = [
     "SemijoinStep",
@@ -143,12 +146,25 @@ class YannakakisRun:
     point (after semijoins, during the bottom-up joins, and the final
     result) — the quantity whose boundedness distinguishes tree from cyclic
     query processing.
+
+    ``backend`` reports which execution backend produced the run
+    (``"classic"`` object-tuple operators or the ``"compiled"``
+    interned-value kernel of :mod:`repro.relational.compiled`); ``stats``
+    carries the compiled backend's instrumentation
+    (:class:`~repro.relational.compiled.ExecutionStats`, shared by all runs
+    of one batch) and is ``None`` on classic runs.  Neither field
+    participates in equality: two runs that computed the same answer with
+    the same accounting compare equal regardless of the backend.
     """
 
     result: Relation
     semijoin_count: int
     join_count: int
     max_intermediate_size: int
+    backend: str = field(default="classic", compare=False)
+    stats: Optional["ExecutionStats"] = field(  # noqa: F821 - see compiled.py
+        default=None, compare=False, repr=False
+    )
 
 
 def yannakakis(
@@ -158,6 +174,7 @@ def yannakakis(
     *,
     tree: Optional[QualGraph] = None,
     root: int = 0,
+    backend: str = "auto",
 ) -> YannakakisRun:
     """Compute ``π_X(⋈ D)`` over a tree schema via full reduction + guarded joins.
 
@@ -167,7 +184,10 @@ def yannakakis(
     :meth:`repro.engine.analysis.AnalyzedSchema.prepare` and cached, so
     repeated calls over different states only pay for execution.  Passing an
     explicit ``tree`` bypasses the cache and compiles a one-off plan for that
-    tree.  For bulk evaluation prefer
+    tree.  ``backend`` selects the execution kernel (``"auto"`` routes to the
+    interned-value compiled backend; ``"classic"`` forces the object-tuple
+    operators) — the returned run's ``backend`` field reports which one ran.
+    For bulk evaluation prefer
     ``analyze(schema).prepare(target).execute_many(states)``.
     """
     if not isinstance(target, RelationSchema):
@@ -181,7 +201,7 @@ def yannakakis(
         prepared = PreparedQuery(schema, target, tree=tree, root=root)
     else:
         prepared = analyze(schema).prepare(target, root=root)
-    return prepared.execute(state)
+    return prepared.execute(state, backend=backend)
 
 
 def naive_join_project(

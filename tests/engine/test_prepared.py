@@ -255,7 +255,9 @@ class TestSemijoinIndexSharing:
         state = self._filtering_chain_state(schema, length)
 
         builds, lineage = self._install_build_tracking(monkeypatch)
-        runs = prepared.execute_many([state])
+        # This test pins the *classic* kernel's index inheritance; the
+        # compiled backend has its own build-count tests.
+        runs = prepared.execute_many([state], backend="classic")
         assert runs[0].semijoin_count == 2 * (length - 1)
         assert lineage, "expected the semijoins to actually filter rows"
 
@@ -290,6 +292,130 @@ class TestSemijoinIndexSharing:
         states = [self._filtering_chain_state(schema, length) for _ in range(5)]
 
         builds, _ = self._install_build_tracking(monkeypatch)
-        runs = prepared.execute_many(states)
+        runs = prepared.execute_many(states, backend="classic")
         assert len(runs) == len(states)
         assert len(builds) == len(set(builds))
+
+
+class TestCompiledBackendRouting:
+    """Backend selection, run flags, and the compiled-plan lifecycle."""
+
+    def _state(self, schema, seed=0, tuple_count=20):
+        return random_ur_database(schema, tuple_count=tuple_count, domain_size=5, rng=seed)
+
+    def test_auto_resolves_to_compiled(self):
+        schema = chain_schema(3)
+        prepared = analyze(schema).prepare(RelationSchema({"x0", "x3"}))
+        state = self._state(schema)
+        assert prepared.execute(state).backend == "compiled"
+        assert prepared.execute(state, backend="auto").backend == "compiled"
+        assert prepared.execute(state, backend="classic").backend == "classic"
+        assert prepared.execute(state, backend="compiled").backend == "compiled"
+
+    def test_unknown_backend_rejected(self):
+        schema = chain_schema(3)
+        prepared = analyze(schema).prepare(RelationSchema({"x0"}))
+        with pytest.raises(ValueError):
+            prepared.execute(self._state(schema), backend="gpu")
+        with pytest.raises(ValueError):
+            prepared.execute_many([self._state(schema)], backend="")
+
+    def test_classic_runs_carry_no_stats(self):
+        schema = chain_schema(3)
+        prepared = analyze(schema).prepare(RelationSchema({"x0"}))
+        run = prepared.execute(self._state(schema), backend="classic")
+        assert run.stats is None
+
+    def test_empty_schema_reports_resolved_backend(self):
+        prepared = PreparedQuery(parse_schema(""), RelationSchema(()))
+        state = DatabaseState(parse_schema(""), [])
+        assert prepared.execute(state).backend == "compiled"
+        assert prepared.execute(state, backend="classic").backend == "classic"
+
+    def test_compiled_plan_cached_and_resettable(self):
+        schema = chain_schema(3)
+        prepared = analyze(schema).prepare(RelationSchema({"x0", "x3"}))
+        plan = prepared.compiled
+        assert prepared.compiled is plan
+        prepared.execute(self._state(schema))
+        prepared.reset_compiled()
+        assert prepared.compiled is not plan
+
+    def test_runs_compare_equal_across_backends(self):
+        schema = chain_schema(4)
+        prepared = analyze(schema).prepare(RelationSchema({"x0", "x4"}))
+        state = self._state(schema, seed=3)
+        assert prepared.execute(state, backend="classic") == prepared.execute(state)
+
+
+class TestCompiledIndexAmortization:
+    """Lineage-attributed call counts: key indexes are built at most once
+    per (slot, key) per batch when slot contents repeat across states."""
+
+    def test_one_build_per_slot_key_across_batch(self):
+        length = 4
+        schema = chain_schema(length)
+        target = RelationSchema({"x0", f"x{length}"})
+        prepared = analyze(schema).prepare(target)
+        prepared.reset_compiled()
+        # One globally consistent state repeated verbatim: the batch
+        # executes it once and shares the immutable run.
+        state = random_ur_database(schema, tuple_count=30, domain_size=4, rng=1)
+        states = [state] * 6
+        runs = prepared.execute_many(states)
+        stats = runs[0].stats
+        assert stats is runs[-1].stats
+        assert stats.states == 1
+        assert stats.deduped_states == len(states) - 1
+        # Slots are encoded exactly once for the whole batch.
+        assert stats.encoded_slots == len(schema)
+        assert stats.cached_slots == 0
+        # Every key index lineage was built exactly once for the whole batch.
+        assert stats.keyset_builds, "expected the reducer to build key sets"
+        assert set(stats.keyset_builds.values()) == {1}
+        assert set(stats.bucket_builds.values()) == {1}
+        # Lineages are (slot, key positions) pairs within the schema.
+        for slot, positions in list(stats.keyset_builds) + list(stats.bucket_builds):
+            assert 0 <= slot < len(schema)
+            assert isinstance(positions, tuple)
+
+    def test_shared_dimension_slots_amortize_under_varying_fact(self):
+        schema = star_schema(6)
+        attrs = schema.attributes.sorted_attributes()
+        target = RelationSchema({"x_hub", attrs[0]})
+        prepared = analyze(schema).prepare(target)
+        prepared.reset_compiled()
+        base = random_ur_database(schema, tuple_count=25, domain_size=4, rng=7)
+        states = []
+        for seed in range(8):
+            relations = list(base.relations)
+            relations[0] = random_ur_database(
+                schema, tuple_count=25, domain_size=4, rng=100 + seed
+            ).relations[0]
+            states.append(DatabaseState(schema, relations))
+        runs = prepared.execute_many(states)
+        stats = runs[0].stats
+        # The varying fact slot (0) re-encodes per state; every shared
+        # dimension slot is encoded exactly once for the batch.
+        assert stats.encoded_slots == len(states) + (len(schema) - 1)
+        assert stats.cached_slots == (len(states) - 1) * (len(schema) - 1)
+        # Dimension-slot indexes were each built at most once for the batch.
+        for (slot, _key), count in stats.keyset_builds.items():
+            if slot != 0:
+                assert count == 1
+        for (slot, _key), count in stats.bucket_builds.items():
+            if slot != 0:
+                assert count == 1
+
+    def test_single_state_builds_each_keyset_once(self):
+        length = 5
+        schema = chain_schema(length)
+        target = RelationSchema({"x0", f"x{length}"})
+        prepared = analyze(schema).prepare(target)
+        prepared.reset_compiled()
+        state = random_ur_database(schema, tuple_count=40, domain_size=5, rng=2)
+        runs = prepared.execute_many([state])
+        stats = runs[0].stats
+        # A consistent state never filters, so both reducer passes share one
+        # key-set build per (slot, key) lineage.
+        assert set(stats.keyset_builds.values()) == {1}

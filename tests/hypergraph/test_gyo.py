@@ -8,6 +8,7 @@ from repro.exceptions import GYOError
 from repro.hypergraph import (
     AttributeDeletion,
     GYOReduction,
+    RelationSchema,
     SubsetElimination,
     aclique,
     aring,
@@ -159,3 +160,66 @@ class TestPartialReductionMembership:
     def test_full_reduction_is_member(self, figure1_tree):
         target = gyo_reduction(figure1_tree)
         assert is_partial_gyo_reduction(figure1_tree, "", target)
+
+
+class TestTracePackagingReuse:
+    """Sacred-set (and no-op) reductions reuse original schema objects
+    instead of rebuilding every surviving relation schema (PR-4)."""
+
+    def test_noop_sacred_reduction_returns_original_schema_object(self):
+        schema = chain_schema(6)
+        sacred = RelationSchema(schema.attributes)  # everything sacred: no-op
+        reducer = GYOReduction(schema, sacred)
+        reducer.run_to_completion()
+        assert reducer.steps == ()
+        assert reducer.current_schema() is schema
+        trace = reducer.trace()
+        assert trace.result is schema
+        assert trace.survivors == tuple(range(len(schema)))
+
+    def test_chain_endpoint_sacred_reduction_is_fixpoint(self):
+        schema = chain_schema(5)
+        trace = gyo_reduce(schema, RelationSchema({"x0", "x5"}))
+        assert trace.result == schema  # nothing applies: GR(D, X) = D
+        assert not trace.steps
+        # The direct reducer hands back its input object verbatim (the
+        # cached-analysis path may serve an equal schema instead).
+        direct = GYOReduction(schema, RelationSchema({"x0", "x5"}))
+        assert direct.run_to_completion().trace().result is schema
+
+    def test_untouched_survivors_share_relation_schema_objects(self):
+        schema = parse_schema("ab,bc,cd,d")
+        # Sacred {a, b}: relation 3 ("d") has d isolated? d occurs in cd and
+        # d -> not isolated; "d" ⊆ "cd" -> eliminated; then d isolated in cd.
+        reducer = GYOReduction(schema, RelationSchema("ab"))
+        reducer.run_to_completion()
+        trace = reducer.trace()
+        survivors = dict(zip(trace.survivors, trace.result.relations))
+        for index, relation in survivors.items():
+            if relation == schema[index]:
+                # Unmodified survivors are the original objects, not copies.
+                assert relation is schema[index]
+
+    def test_modified_survivors_are_rebuilt_correctly(self):
+        schema = parse_schema("ab,bc,cd")
+        # No sacred set: the chain collapses; attribute deletions modify
+        # relations, and the packaged contents must reflect the deletions.
+        trace = gyo_reduce(schema)
+        assert trace.is_fully_reduced_to_empty
+        reducer = GYOReduction(schema, RelationSchema("ac"))
+        reducer.run_to_completion()
+        result = reducer.trace().result
+        # b is deletable nowhere (occurs twice) until an elimination; the
+        # exact shape matters less than internal consistency:
+        assert result == reducer.current_schema()
+        for index in reducer.alive_indices():
+            assert reducer.current_attributes(index).attributes == frozenset(
+                reducer._current[index]
+            )
+
+    def test_current_attributes_reuses_unmodified_schema(self):
+        schema = parse_schema("ab,bc")
+        reducer = GYOReduction(schema, RelationSchema("abc"))
+        reducer.run_to_completion()
+        assert reducer.current_attributes(0) is schema[0]
+        assert reducer.current_attributes(1) is schema[1]

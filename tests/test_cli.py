@@ -176,3 +176,83 @@ class TestParser:
 
     def test_prog_name(self):
         assert build_parser().prog == "repro"
+
+
+class TestQuery:
+    def test_random_state_text_output(self, capsys):
+        assert main(["query", "ab,bc,cd", "ad", "--random", "15"]) == 0
+        output = capsys.readouterr().out
+        assert "backend: compiled" in output
+        assert "semijoins" in output and "answer" in output
+
+    def test_backend_flag_routes_classic(self, capsys):
+        assert main(
+            ["query", "ab,bc,cd", "ad", "--random", "10", "--backend", "classic"]
+        ) == 0
+        assert "backend: classic" in capsys.readouterr().out
+
+    def test_json_reports_backend_and_stats(self, capsys):
+        assert main(
+            ["query", "ab,bc,cd", "ad", "--random", "10", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "compiled"
+        assert payload["semijoin_count"] == 4
+        assert payload["join_count"] == 2
+        assert payload["compiled_stats"]["slots_encoded"] >= 3
+        assert isinstance(payload["result"], list)
+
+    def test_classic_json_has_no_compiled_stats(self, capsys):
+        assert main(
+            [
+                "query", "ab,bc,cd", "ad",
+                "--random", "10", "--backend", "classic", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "classic"
+        assert "compiled_stats" not in payload
+
+    def test_data_file_state(self, tmp_path, capsys):
+        data = tmp_path / "state.json"
+        data.write_text(json.dumps([
+            [{"a": 1, "b": 2}],
+            [{"b": 2, "c": 3}],
+            [{"c": 3, "d": 4}],
+        ]))
+        assert main(["query", "ab,bc,cd", "ad", "--data", str(data), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"] == [{"a": 1, "d": 4}]
+
+    def test_batch_of_states(self, capsys):
+        assert main(
+            ["query", "ab,bc,cd", "ad", "--random", "8", "--states", "4"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "4 state(s)" in output
+        assert "answer sizes" in output
+
+    def test_data_and_random_are_exclusive(self, tmp_path):
+        data = tmp_path / "state.json"
+        data.write_text("[]")
+        with pytest.raises(SystemExit):
+            main(["query", "ab,bc", "a", "--data", str(data), "--random", "5"])
+
+    def test_wrong_relation_count_rejected(self, tmp_path):
+        data = tmp_path / "state.json"
+        data.write_text(json.dumps([[{"a": 1, "b": 2}]]))
+        with pytest.raises(SystemExit):
+            main(["query", "ab,bc,cd", "ad", "--data", str(data)])
+
+    def test_missing_data_source_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "ab,bc", "a"])
+
+    def test_states_requires_random(self, tmp_path):
+        data = tmp_path / "state.json"
+        data.write_text(json.dumps([
+            [{"a": 1, "b": 2}],
+            [{"b": 2, "c": 3}],
+        ]))
+        with pytest.raises(SystemExit):
+            main(["query", "ab,bc", "a", "--data", str(data), "--states", "3"])
