@@ -2,10 +2,12 @@
 
 This script re-runs the three scaling benchmarks (``bench_scaling_gyo``,
 ``bench_yannakakis_vs_naive`` and ``bench_scaling_cc``) plus the engine
-plan-reuse benchmark and the PR-4 ``serving`` section (classic vs compiled
-vs batched per-state medians) outside pytest and records sizes, median wall
-times and max-intermediate sizes as JSON so that every PR has a regression
-baseline to compare against.
+plan-reuse benchmark, the PR-4 ``serving`` section (classic vs compiled vs
+batched per-state medians) and the PR-5 ``parallel`` section (single-process
+batched compiled vs the sharded multi-process executor at 2/4 workers, pool
+reuse timed separately from cold spawn) outside pytest and records sizes,
+median wall times and max-intermediate sizes as JSON so that every PR has a
+regression baseline to compare against.
 
 Usage::
 
@@ -544,10 +546,113 @@ def bench_serving(repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
+#: Many-small serving families for the PR-5 parallel section — the cases
+#: where the compiled backend already wins per core and the batch is
+#: embarrassingly parallel across states.  (The few-large families are
+#: deliberately excluded: a handful of big states leaves most of a pool
+#: idle and measures shard-count luck, not the executor.)
+PARALLEL_CASES = tuple(
+    entry for entry in SERVING_CASES if entry[0].startswith("msmall-")
+)
+PARALLEL_WORKER_COUNTS = (2, 4)
+
+
+def bench_parallel(repeats: int) -> List[Dict[str, Any]]:
+    """Sharded multi-process serving vs single-process batched compiled.
+
+    One row per (case, worker count).  ``serial_per_state_s`` is the
+    single-process ``execute_many`` control (the PR-4 serving path);
+    ``parallel_per_state_s`` times batches on a *reused* pool — the pool is
+    spun up and the workers' per-spec plan compile is paid on an untimed
+    warm-up batch first, and that one-off cost is reported separately as
+    ``pool_spawn_s`` (``ensure_started``) and ``cold_batch_s`` (first batch
+    on the fresh pool).  Every timed pass uses fresh state sets, exactly as
+    in the serving section.  ``host_cpus`` records what the numbers can
+    possibly mean: process parallelism cannot beat serial on a one-core
+    container, so compare speedups against the core count, not the worker
+    count.
+    """
+    from repro.engine.parallel import ParallelExecutor
+
+    rows: List[Dict[str, Any]] = []
+    host_cpus = os.cpu_count() or 1
+    for case, family, size, tuple_count, domain_size, count, mode in PARALLEL_CASES:
+        schema, target = _serving_schema(family, size)
+        clear_analysis_cache()
+        prepared = analyze(schema).prepare(target)
+
+        def fresh_sets(salt: int) -> List[List[Any]]:
+            return [
+                _serving_states(
+                    schema,
+                    mode,
+                    tuple_count,
+                    domain_size,
+                    count,
+                    salt + 10_000 * (r + 1),
+                )
+                for r in range(repeats)
+            ]
+
+        def timed(fn, state_sets) -> float:
+            times = []
+            for states in state_sets:
+                start = time.perf_counter()
+                fn(states)
+                times.append(time.perf_counter() - start)
+            return statistics.median(times)
+
+        serial_s = timed(
+            lambda states: prepared.execute_many(states),
+            fresh_sets(5_000_000),
+        )
+        for workers in PARALLEL_WORKER_COUNTS:
+            with ParallelExecutor(workers=workers) as executor:
+                start = time.perf_counter()
+                executor.ensure_started()
+                spawn_s = time.perf_counter() - start
+                # First batch on the fresh pool: workers resolve (and, unless
+                # fork inherited a compiled plan, compile) the plan.
+                cold_states = _serving_states(
+                    schema, mode, tuple_count, domain_size, count, 6_000_000
+                )
+                start = time.perf_counter()
+                cold_runs = executor.execute_many(prepared, cold_states)
+                cold_s = time.perf_counter() - start
+                parallel_s = timed(
+                    lambda states, executor=executor: executor.execute_many(
+                        prepared, states
+                    ),
+                    fresh_sets(7_000_000 + workers),
+                )
+            rows.append(
+                {
+                    "case": f"par-{case}-w{workers}",
+                    "family": family,
+                    "states": count,
+                    "mode": mode,
+                    "workers": workers,
+                    "workers_resolved": executor.workers,
+                    "host_cpus": host_cpus,
+                    "backend": cold_runs[0].backend,
+                    "pool_spawn_s": spawn_s,
+                    "cold_batch_s": cold_s,
+                    "serial_per_state_s": serial_s / count,
+                    "parallel_per_state_s": parallel_s / count,
+                    "median_s": parallel_s / count,
+                    "parallel_speedup_vs_serial": (
+                        serial_s / parallel_s if parallel_s else None
+                    ),
+                }
+            )
+    return rows
+
+
 def run_all(repeats: int) -> Dict[str, Any]:
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpus": os.cpu_count(),
         "repeats": repeats,
         "gyo_reduce": bench_gyo(repeats),
         "yannakakis": bench_yannakakis(repeats),
@@ -555,6 +660,7 @@ def run_all(repeats: int) -> Dict[str, Any]:
         "tableau": bench_tableau(repeats),
         "engine": bench_engine(repeats),
         "serving": bench_serving(repeats),
+        "parallel": bench_parallel(repeats),
     }
 
 
@@ -568,6 +674,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
         "tableau",
         "engine",
         "serving",
+        "parallel",
     ):
         before_rows = {row["case"]: row for row in before.get(section, ())}
         cases: Dict[str, float] = {}
@@ -589,7 +696,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--phase", choices=("before", "after"), default="after")
-    parser.add_argument("--out", default="BENCH_PR4.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_PR5.json", help="output JSON path")
     parser.add_argument(
         "--before",
         default=None,

@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``):
    $ repro tableau "abg,bcg,acf,ad,de,ea" abc
    $ repro query "ab,bc,cd" ad --random 30
    $ repro query "ab,bc,cd" ad --data state.json --backend classic --json
+   $ repro query "ab,bc,cd" ad --random 30 --states 64 --backend parallel --workers 4
 
 Schemas are written in the paper's notation (relations separated by commas,
 single-character attributes concatenated); multi-character attribute names
@@ -127,10 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
     query.add_argument(
         "--backend",
-        choices=("auto", "classic", "compiled"),
+        choices=("auto", "classic", "compiled", "parallel"),
         default="auto",
         help="execution backend: the compiled interned-value kernel "
-        "(auto/compiled) or the classic object-tuple operators",
+        "(auto/compiled), the classic object-tuple operators, or the "
+        "sharded multi-process pool (parallel)",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --backend parallel: process-pool width "
+        "(default: one per CPU, clamped by REPRO_PARALLEL_MAX_WORKERS)",
     )
     query.add_argument(
         "--max-rows", type=int, default=20, help="answer rows to print (text mode)"
@@ -351,11 +361,23 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
             for index in range(max(arguments.states, 1))
         ]
 
+    if arguments.workers is not None and arguments.backend != "parallel":
+        raise SystemExit("--workers requires --backend parallel")
     start = time.perf_counter()
-    runs = prepared.execute_many(states, backend=arguments.backend)
+    runs = prepared.execute_many(
+        states, backend=arguments.backend, workers=arguments.workers
+    )
     elapsed = time.perf_counter() - start
     run = runs[0]
     stats = run.stats
+    parallel_stats = None
+    if run.backend == "parallel":
+        # Gated on the backend so classic/compiled queries never pay the
+        # multiprocessing import the engine package defers on purpose.
+        from .engine import ParallelStats
+
+        if isinstance(stats, ParallelStats):
+            parallel_stats = stats
 
     if as_json:
         payload: Dict[str, Any] = {
@@ -378,6 +400,18 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
                 "slots_from_cache": stats.cached_slots,
                 "keyset_builds": stats.total_keyset_builds(),
                 "bucket_builds": stats.total_bucket_builds(),
+                "interner_resets": stats.interner_resets,
+            }
+        if parallel_stats is not None:
+            payload["parallel_stats"] = {
+                "workers": parallel_stats.workers,
+                "shard_count": parallel_stats.shard_count,
+                "shard_sizes": parallel_stats.shard_sizes,
+                "plan_compiles": parallel_stats.plan_compiles,
+                "per_worker": {
+                    str(pid): dict(info)
+                    for pid, info in parallel_stats.per_worker.items()
+                },
             }
         _emit_json(payload)
         return 0
@@ -391,6 +425,14 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
         print(
             f"batch: {stats.states} executed, {stats.deduped_states} deduped, "
             f"{stats.cached_slots} slot encodings reused"
+        )
+    if parallel_stats is not None:
+        sizes = ", ".join(str(size) for size in parallel_stats.shard_sizes)
+        print(
+            f"parallel: {parallel_stats.workers} workers, "
+            f"{parallel_stats.shard_count} shards [{sizes}], "
+            f"{parallel_stats.plan_compiles} plan compile(s) across "
+            f"{len(parallel_stats.per_worker)} worker(s)"
         )
     if len(states) == 1:
         print(f"answer ({len(run.result)} rows):")

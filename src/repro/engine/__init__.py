@@ -14,6 +14,11 @@ This package is the primary public API of the library:
   backend of :mod:`repro.relational.compiled` (``backend="classic"``
   selects the object-tuple oracle operators).
 
+* :class:`ParallelExecutor` — the sharded multi-process serving layer
+  (:mod:`repro.engine.parallel`): batches of independent states shard across
+  a reusable process pool (``backend="parallel"``), workers rebuilding and
+  caching plans from picklable :class:`PlanSpec` identities.
+
 The classic free functions (``gyo_reduce``, ``canonical_connection``,
 ``plan_join_query``, ``yannakakis``) remain available and now delegate here,
 so they amortize across calls automatically.  See ``docs/api.md``.
@@ -25,16 +30,39 @@ from .analysis import (
     analyze,
     clear_analysis_cache,
     peek_analysis,
+    prepared_from_spec,
 )
 from .prepared import JoinStep, PreparedQuery, resolve_backend
 
+#: Re-exported lazily via __getattr__: repro.engine.parallel pulls in
+#: multiprocessing/concurrent.futures, which every plain `import repro`
+#: (CLI startup included) should not pay for.  `from repro.engine import
+#: ParallelExecutor` still works — PEP 562 routes it through __getattr__.
+_PARALLEL_EXPORTS = ("ParallelExecutor", "ParallelStats", "PlanSpec")
+
+
+def __getattr__(name: str):
+    if name in _PARALLEL_EXPORTS:
+        from . import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_PARALLEL_EXPORTS))
+
 __all__ = [
     "AnalyzedSchema",
+    "ParallelExecutor",
+    "ParallelStats",
+    "PlanSpec",
     "PreparedQuery",
     "JoinStep",
     "analyze",
     "analysis_cache_size",
     "clear_analysis_cache",
     "peek_analysis",
+    "prepared_from_spec",
     "resolve_backend",
 ]

@@ -50,6 +50,7 @@ __all__ = [
     "analysis_cache_size",
     "clear_analysis_cache",
     "peek_analysis",
+    "prepared_from_spec",
 ]
 
 _UNSET = object()
@@ -420,6 +421,23 @@ def peek_analysis(
         if analysis is not None:
             _ANALYSIS_CACHE.move_to_end(key)
         return analysis
+
+
+def prepared_from_spec(spec) -> PreparedQuery:
+    """Rebuild the :class:`PreparedQuery` a :class:`~repro.engine.parallel.
+    PlanSpec` identifies, through the analysis LRU.
+
+    The spec's ``relations`` tuple is the *ordered* relation tuple — exactly
+    the key the analysis cache uses — so the round-trip hits every layer of
+    caching: an unpickled spec in a process whose LRU already holds the
+    schema's analysis gets back the **same** :class:`AnalyzedSchema`, and its
+    per-``(target, root)`` memo then returns the same ``PreparedQuery``
+    object (compiled plan included).  This is what makes worker-side plan
+    rebuilds pay analysis at most once per (worker, spec): the first call
+    computes, every later call is two cache lookups.
+    """
+    analysis = analyze(DatabaseSchema(spec.relations))
+    return analysis.prepare(spec.target, root=spec.root)
 
 
 def clear_analysis_cache() -> None:

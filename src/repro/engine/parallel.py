@@ -1,0 +1,508 @@
+"""Sharded multi-process execution for batched plan serving.
+
+Semijoin-program serving is embarrassingly parallel across database states:
+one full-reducer pass plus bottom-up join per Yannakakis touches only its own
+state, so a batch of independent states shards cleanly across a process pool.
+This module puts that behind two entry points:
+
+* ``PreparedQuery.execute_many(states, backend="parallel", workers=N)`` — a
+  one-shot pool per call (pays pool spawn every time; fine for large batches);
+* :class:`ParallelExecutor` — a reusable context manager owning a long-lived
+  pool, so serving processes pay the spawn cost once and every later batch is
+  pure dispatch.
+
+**The serialization boundary.**  Compiled plans hold ``itemgetter`` programs
+and closures and are deliberately not picklable, so nothing plan-shaped ever
+crosses a process boundary.  What does cross is a :class:`PlanSpec` — the
+ordered relation tuple, the target, the root and the backend knobs — plus the
+shard's database states; each worker rebuilds the prepared query from the
+spec through :func:`repro.engine.analysis.prepared_from_spec` (hitting the
+worker's own analysis LRU) and caches it in worker-local storage keyed by the
+spec.  The first shard a worker sees for a spec pays analysis + compilation
+once; every later shard is pure execution.  Worker interners are independent
+by construction, which is sound because integer codes are a process-private
+encoding detail: answers are decoded to plain values inside the worker before
+they are shipped back (see the lifecycle notes in
+:mod:`repro.relational.compiled`).
+
+**Sharding.**  States are deduplicated (verbatim duplicates execute once),
+then grouped by estimated cost — total tuple count, assigned largest-first to
+the least-loaded shard (LPT scheduling) — so one heavy state cannot serialize
+the batch behind it.  Shards are submitted heaviest-first and results are
+reassembled in input order; per-shard :class:`ExecutionStats` are merged into
+one :class:`ParallelStats` with per-worker attribution, shared by every run
+of the batch, and every run reports ``backend="parallel"``.
+
+Worker-count resolution honours the ``REPRO_PARALLEL_MAX_WORKERS``
+environment variable (a hard cap, used by CI to keep the suite stable on
+small runners); the start method defaults to ``fork`` on Linux (cheapest
+spawn; see ``docs/api.md`` for the fork/spawn trade-offs) and ``spawn``
+elsewhere, and can be forced with ``REPRO_PARALLEL_START_METHOD`` or the
+constructor argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from heapq import heappop, heappush
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..relational.compiled import DEFAULT_MAX_INTERNED_VALUES, ExecutionStats
+from ..relational.database import DatabaseState
+from ..relational.yannakakis import YannakakisRun
+from ..hypergraph.schema import RelationSchema
+
+__all__ = [
+    "ENV_MAX_WORKERS",
+    "ENV_START_METHOD",
+    "ParallelExecutor",
+    "ParallelStats",
+    "PlanSpec",
+    "plan_shards",
+    "resolve_start_method",
+    "resolve_worker_count",
+]
+
+#: Environment variable holding a hard cap on resolved worker counts.
+ENV_MAX_WORKERS = "REPRO_PARALLEL_MAX_WORKERS"
+
+#: Environment variable forcing the multiprocessing start method.
+ENV_START_METHOD = "REPRO_PARALLEL_START_METHOD"
+
+
+def resolve_worker_count(workers: Optional[int]) -> int:
+    """Resolve a requested worker count.
+
+    ``None`` means one worker per available CPU; explicit requests are taken
+    at face value (a pool wider than the machine still overlaps pickling with
+    execution).  Either way the :data:`ENV_MAX_WORKERS` cap clamps the
+    result, so operators and CI can bound fan-out without touching call
+    sites.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cap_text = os.environ.get(ENV_MAX_WORKERS)
+    if cap_text:
+        try:
+            cap = int(cap_text)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_MAX_WORKERS} must be an integer, got {cap_text!r}"
+            ) from None
+        if cap < 1:
+            # A cap of 0 or less is a misconfiguration; ignoring it would
+            # silently unclamp the very pools it was set to bound.
+            raise ValueError(f"{ENV_MAX_WORKERS} must be >= 1, got {cap}")
+        workers = min(workers, cap)
+    return workers
+
+
+def resolve_start_method(method: Optional[str] = None) -> str:
+    """Pick the multiprocessing start method for a pool.
+
+    Explicit argument beats :data:`ENV_START_METHOD` beats the platform
+    default: ``fork`` on Linux (by far the cheapest spawn, and the child
+    inherits warm analysis caches), ``spawn`` everywhere else.  macOS lists
+    ``fork`` as available but forking there is unsafe under Apple system
+    libraries (CPython itself switched its default to ``spawn`` in 3.8), so
+    only Linux opts into it by default.
+    """
+    if method is None:
+        method = os.environ.get(ENV_START_METHOD) or None
+    available = multiprocessing.get_all_start_methods()
+    if method is None:
+        if sys.platform.startswith("linux") and "fork" in available:
+            return "fork"
+        return "spawn"
+    if method not in available:
+        raise ValueError(
+            f"start method {method!r} not available here (have: {', '.join(available)})"
+        )
+    return method
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """The picklable identity of a prepared query.
+
+    Everything a worker needs to rebuild (and cache) the plan: the **ordered**
+    relation tuple (plans are positional — order is part of the identity, see
+    the analysis-cache notes in :mod:`repro.engine.analysis`), the projection
+    target, the qual-tree root, and the backend knobs.
+    ``max_interned_values`` is carried *resolved* (the literal cap, ``None``
+    meaning unbounded); it **seeds** the plan a worker builds fresh for this
+    spec.  A plan already resident in the worker — inherited over ``fork``,
+    or shared through the analysis LRU with a spec differing only in cap —
+    keeps its existing policy (one plan has one interner and therefore one
+    rollover policy; see ``_plan_for_spec``).
+
+    Specs are frozen, hashable and comparable, which makes them directly
+    usable as worker-side cache keys; an unpickled spec compares equal to the
+    original, so a worker that already compiled it never compiles again.
+    """
+
+    relations: Tuple[RelationSchema, ...]
+    target: RelationSchema
+    root: int = 0
+    max_interned_values: Optional[int] = DEFAULT_MAX_INTERNED_VALUES
+
+    @classmethod
+    def of(cls, prepared) -> "PlanSpec":
+        """The spec of a :class:`~repro.engine.prepared.PreparedQuery`
+        (normally reached through ``prepared.plan_spec()``)."""
+        plan = prepared._compiled
+        cap = (
+            plan.max_interned_values
+            if plan is not None
+            else DEFAULT_MAX_INTERNED_VALUES
+        )
+        return cls(
+            relations=prepared.schema.relations,
+            target=prepared.target,
+            root=prepared.root,
+            max_interned_values=cap,
+        )
+
+    def describe(self) -> str:
+        """Human readable one-liner (for logs and CLI output)."""
+        relations = ",".join(r.to_notation() for r in self.relations)
+        return f"π_{self.target.to_notation() or '{}'}(⋈ {relations}) @R{self.root}"
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: Worker-local plan cache: spec → PreparedQuery (with its compiled plan
+#: forced).  Lives in the worker process's module globals; bounded so a
+#: worker serving many distinct plans cannot grow without limit.  Within the
+#: bound, each spec is compiled at most once per worker — the property the
+#: call-count tests pin down.
+_PLAN_CACHE_MAX = 128
+_worker_plans: "OrderedDict[PlanSpec, Any]" = OrderedDict()
+
+
+def _plan_for_spec(spec: PlanSpec) -> Tuple[Any, int]:
+    """The worker's prepared query for ``spec`` plus a did-compile flag (0/1).
+
+    On a miss the query is rebuilt through the analysis LRU
+    (:func:`~repro.engine.analysis.prepared_from_spec`) and its compiled plan
+    is forced immediately, so the compile cost lands on the first shard and
+    later shards are pure execution.
+    """
+    prepared = _worker_plans.get(spec)
+    if prepared is not None:
+        _worker_plans.move_to_end(spec)
+        return prepared, 0
+    from .analysis import prepared_from_spec
+
+    prepared = prepared_from_spec(spec)
+    # `compiled_now` counts *actual* plan builds: a fork-started worker
+    # inherits the parent's analysis LRU, so the rebuilt query may already
+    # carry its compiled plan and the first shard pays nothing.
+    compiled_now = 1 if prepared._compiled is None else 0
+    # The spec's interner cap *seeds* a freshly built plan.  A plan already
+    # resident in this process — inherited over fork, or shared through the
+    # analysis LRU with a spec differing only in cap — keeps its existing
+    # policy: a plan has one interner and therefore one rollover policy, and
+    # silently overwriting it would re-enable (or un-bound) epochs behind
+    # the back of whichever client configured it first.
+    if compiled_now:
+        prepared.compiled.max_interned_values = spec.max_interned_values
+    _worker_plans[spec] = prepared
+    if len(_worker_plans) > _PLAN_CACHE_MAX:
+        _worker_plans.popitem(last=False)
+    return prepared, compiled_now
+
+
+def _execute_shard(
+    spec: PlanSpec, states: Tuple[DatabaseState, ...]
+) -> Tuple[int, int, List[YannakakisRun], ExecutionStats]:
+    """Worker entry point: execute one shard against the cached plan.
+
+    Returns ``(pid, plans_compiled, runs, shard_stats)``; runs are decoded
+    (plain-value relations) before pickling back, so worker-local interner
+    codes never leave the process.
+    """
+    prepared, compiled_now = _plan_for_spec(spec)
+    stats = ExecutionStats()
+    # The compiled plan handles every schema, the empty one included, and
+    # its encode path is what keeps ``stats.states`` accounting truthful.
+    plan = prepared.compiled
+    runs = [plan.execute_state(state, stats=stats) for state in states]
+    return os.getpid(), compiled_now, runs, stats
+
+
+def _warmup() -> int:
+    """No-op task used to spin a worker up ahead of real traffic."""
+    return os.getpid()
+
+
+# -- sharding ------------------------------------------------------------------
+
+
+def plan_shards(costs: Sequence[int], shard_count: int) -> List[List[int]]:
+    """Group item indices into at most ``shard_count`` cost-balanced shards.
+
+    Longest-processing-time scheduling: items are taken largest-first and
+    each goes to the currently lightest shard, so one heavy item ends up
+    alone in its shard instead of serializing a whole chunk behind it.
+    Deterministic (ties break on index), every index appears exactly once,
+    empty shards are dropped, and within a shard indices stay in input order
+    (reassembly relies on per-shard order).
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    count = len(costs)
+    shard_count = min(shard_count, count)
+    if shard_count <= 1:
+        return [list(range(count))] if count else []
+    order = sorted(range(count), key=lambda index: (-costs[index], index))
+    heap: List[Tuple[int, int]] = [(0, shard) for shard in range(shard_count)]
+    shards: List[List[int]] = [[] for _ in range(shard_count)]
+    for index in order:
+        load, shard = heappop(heap)
+        shards[shard].append(index)
+        # +1 per item so zero-cost (empty) states still spread across shards.
+        heappush(heap, (load + costs[index] + 1, shard))
+    result = [sorted(shard) for shard in shards if shard]
+    return result
+
+
+# -- merged instrumentation ----------------------------------------------------
+
+
+class ParallelStats(ExecutionStats):
+    """Batch instrumentation merged across every shard of a parallel batch.
+
+    Extends :class:`~repro.relational.compiled.ExecutionStats` (all counters
+    summed over shards; lineage maps merged per (slot, key) — note that
+    across *workers* the same (slot, key) index is built once per worker that
+    touched the slot, since encodings are worker-local) with the parallel
+    layer's own accounting: resolved ``workers``, shard count and sizes,
+    total ``plan_compiles``, and ``per_worker`` attribution keyed by worker
+    pid.
+    """
+
+    __slots__ = ("workers", "shard_sizes", "plan_compiles", "per_worker")
+
+    def __init__(self, workers: int) -> None:
+        super().__init__()
+        self.workers = workers
+        #: States per shard, in dispatch (heaviest-first) order.
+        self.shard_sizes: List[int] = []
+        self.plan_compiles = 0
+        self.per_worker: Dict[int, Dict[str, int]] = {}
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards the batch was split into."""
+        return len(self.shard_sizes)
+
+    def record_shard(
+        self,
+        pid: int,
+        compiled_now: int,
+        state_count: int,
+        shard_stats: ExecutionStats,
+    ) -> None:
+        """Fold one shard's result metadata into the merged view."""
+        self.absorb(shard_stats)
+        self.plan_compiles += compiled_now
+        self.shard_sizes.append(state_count)
+        info = self.per_worker.setdefault(
+            pid,
+            {
+                "shards": 0,
+                "states": 0,
+                "plan_compiles": 0,
+                "encoded_slots": 0,
+                "keyset_builds": 0,
+                "bucket_builds": 0,
+                "interner_resets": 0,
+            },
+        )
+        info["shards"] += 1
+        info["states"] += state_count
+        info["plan_compiles"] += compiled_now
+        info["encoded_slots"] += shard_stats.encoded_slots
+        info["keyset_builds"] += shard_stats.total_keyset_builds()
+        info["bucket_builds"] += shard_stats.total_bucket_builds()
+        info["interner_resets"] += shard_stats.interner_resets
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ParallelStats(workers={self.workers}, shards={self.shard_count}, "
+            f"states={self.states}, plan_compiles={self.plan_compiles})"
+        )
+
+
+# -- the executor --------------------------------------------------------------
+
+
+class ParallelExecutor:
+    """A reusable process pool for sharded batched plan execution.
+
+    Lifecycle: construct once, call :meth:`execute_many` any number of times
+    (for any number of distinct prepared queries — workers cache plans per
+    spec), close via the context-manager protocol or :meth:`close`.  The pool
+    itself is created lazily on first use; :meth:`ensure_started` forces it
+    eagerly (and round-trips one no-op per worker) so serving processes can
+    pay the spawn cost at startup instead of on the first request — the
+    benchmarks time exactly this distinction.
+
+    One-shot use (``PreparedQuery.execute_many(..., backend="parallel")``
+    without an executor) constructs, uses and closes a pool per call, which
+    only amortizes on large batches; long-lived serving should hold one
+    executor.
+    """
+
+    #: Default shards per worker.  Oversharding (rather than one shard per
+    #: worker) lets the pool rebalance when cost estimates are off: a worker
+    #: that finishes its light shards early picks up queued ones instead of
+    #: idling behind a mis-estimated heavy shard.
+    DEFAULT_SHARDS_PER_WORKER = 4
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        start_method: Optional[str] = None,
+        shards_per_worker: Optional[int] = None,
+    ) -> None:
+        self._workers = resolve_worker_count(workers)
+        self._start_method = resolve_start_method(start_method)
+        shards = (
+            self.DEFAULT_SHARDS_PER_WORKER
+            if shards_per_worker is None
+            else shards_per_worker
+        )
+        if shards < 1:
+            raise ValueError(f"shards_per_worker must be >= 1, got {shards}")
+        self._shards_per_worker = shards
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count (request clamped by the env cap)."""
+        return self._workers
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method the pool uses."""
+        return self._start_method
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("ParallelExecutor is closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=multiprocessing.get_context(self._start_method),
+            )
+        return self._pool
+
+    def ensure_started(self) -> int:
+        """Create the pool and spin up every worker; returns the worker count.
+
+        Round-trips one no-op task per worker so that later batches measure
+        pure dispatch + execution, never process spawn.  (Workers that race
+        to steal two no-ops leave a sibling cold — harmless, the pool tops
+        itself up — but submitting ``workers`` tasks makes full spin-up the
+        overwhelmingly common case.)
+        """
+        pool = self._ensure_pool()
+        futures = [pool.submit(_warmup) for _ in range(self._workers)]
+        for future in futures:
+            future.result()
+        return self._workers
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the executor is unusable after."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        status = "closed" if self._closed else ("idle" if self._pool is None else "live")
+        return (
+            f"ParallelExecutor(workers={self._workers}, "
+            f"start_method={self._start_method!r}, {status})"
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def execute_many(
+        self, prepared, states: Iterable[DatabaseState]
+    ) -> List[YannakakisRun]:
+        """Execute a prepared query against every state across the pool.
+
+        Semantics match ``prepared.execute_many(states)`` exactly — same
+        results, same per-run accounting — with results in input order;
+        verbatim duplicate states are executed once and share a run.  Every
+        returned run reports ``backend="parallel"`` and carries one shared
+        :class:`ParallelStats` for the batch.
+        """
+        state_list = list(states)
+        if not state_list:
+            return []
+        spec = prepared.plan_spec()
+
+        # Verbatim-duplicate dedup (mirrors CompiledPlan.execute_batch):
+        # duplicate requests ride along for free and never cross the wire
+        # twice.
+        unique_states: List[DatabaseState] = []
+        unique_of: Dict[DatabaseState, int] = {}
+        positions: List[int] = []
+        for state in state_list:
+            index = unique_of.get(state)
+            if index is None:
+                index = len(unique_states)
+                unique_of[state] = index
+                unique_states.append(state)
+            positions.append(index)
+
+        costs = [state.total_rows() for state in unique_states]
+        shards = plan_shards(costs, self._workers * self._shards_per_worker)
+        # Heaviest shard first: it starts executing while the rest are still
+        # being pickled onto the queue.
+        shards.sort(key=lambda indices: -sum(costs[index] for index in indices))
+
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                _execute_shard,
+                spec,
+                tuple(unique_states[index] for index in indices),
+            )
+            for indices in shards
+        ]
+
+        stats = ParallelStats(self._workers)
+        unique_runs: List[Optional[YannakakisRun]] = [None] * len(unique_states)
+        for indices, future in zip(shards, futures):
+            pid, compiled_now, runs, shard_stats = future.result()
+            stats.record_shard(pid, compiled_now, len(indices), shard_stats)
+            for index, run in zip(indices, runs):
+                unique_runs[index] = run
+        stats.deduped_states += len(state_list) - len(unique_states)
+
+        retagged = [
+            replace(run, backend="parallel", stats=stats) for run in unique_runs
+        ]
+        return [retagged[index] for index in positions]

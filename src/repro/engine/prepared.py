@@ -39,8 +39,9 @@ from ..relational.yannakakis import (
 
 __all__ = ["JoinStep", "PreparedQuery", "resolve_backend"]
 
-#: Execution backends accepted by :meth:`PreparedQuery.execute`.
-_BACKENDS = ("auto", "classic", "compiled")
+#: Execution backends accepted by :meth:`PreparedQuery.execute` /
+#: :meth:`PreparedQuery.execute_many` (``parallel`` is batch-only).
+_BACKENDS = ("auto", "classic", "compiled", "parallel")
 
 
 def resolve_backend(backend: str) -> str:
@@ -49,7 +50,10 @@ def resolve_backend(backend: str) -> str:
     The compiled interned-value kernel computes exactly what the classic
     object-tuple operators compute (the equivalence suite holds on every
     exposed entry point), so ``auto`` always takes the fast path; ``classic``
-    remains available as the oracle and for A/B timing.
+    remains available as the oracle and for A/B timing.  ``parallel`` (the
+    sharded process-pool layer of :mod:`repro.engine.parallel`) resolves to
+    itself — it batches states across workers and is therefore accepted only
+    by :meth:`PreparedQuery.execute_many`.
     """
     if backend not in _BACKENDS:
         raise ValueError(
@@ -277,9 +281,43 @@ class PreparedQuery:
 
         Long-running serving processes can use this to release interning
         dictionaries that accumulated values from states no longer in
-        rotation; the next compiled execution rebuilds the plan.
+        rotation; the next compiled execution rebuilds the plan.  (Since the
+        interner cap landed, plans also bound themselves: see
+        ``CompiledPlan.max_interned_values`` and the epoch notes in
+        :mod:`repro.relational.compiled`.)
         """
         object.__setattr__(self, "_compiled", None)
+
+    def plan_spec(self):
+        """The picklable :class:`~repro.engine.parallel.PlanSpec` identifying
+        this query across process boundaries.
+
+        The spec captures the *ordered* relation tuple, target, root and the
+        compiled backend's knobs — everything a worker needs to rebuild the
+        plan via :func:`repro.engine.analysis.prepared_from_spec`.  Workers
+        re-derive the canonical qual tree for the schema, so a query built
+        with an explicit non-canonical ``tree=`` has no spec: the rebuilt
+        plan would compute the same answers (``π_X(⋈ D)`` does not depend on
+        the join tree) but with different step accounting, and the parallel
+        layer promises accounting parity with serial execution — such
+        queries are rejected here rather than silently re-planned.
+        """
+        from .analysis import analyze
+        from .parallel import PlanSpec
+
+        if self._tree is not None:
+            canonical = analyze(self._schema).qual_tree
+            if canonical is None or (
+                self._tree is not canonical
+                and self._tree.edges != canonical.edges
+            ):
+                raise ValueError(
+                    "this query was planned over an explicit non-canonical "
+                    "qual tree; it cannot be shipped to worker processes "
+                    "(workers rebuild plans over the schema's canonical "
+                    "tree, which would change the run accounting)"
+                )
+        return PlanSpec.of(self)
 
     def describe(self) -> str:
         """The whole plan as human-readable program text."""
@@ -318,6 +356,12 @@ class PreparedQuery:
         accounting — and the run's ``backend`` field reports which one ran.
         """
         resolved = resolve_backend(backend)
+        if resolved == "parallel":
+            raise ValueError(
+                "the parallel backend batches states across processes; "
+                "use execute_many(states, backend='parallel') or a "
+                "ParallelExecutor"
+            )
         if state.schema is not self._schema and state.schema != self._schema:
             raise SchemaError("the state is for a different schema than the query")
         if len(self._schema) == 0:
@@ -368,7 +412,12 @@ class PreparedQuery:
         )
 
     def execute_many(
-        self, states: Iterable[DatabaseState], *, backend: str = "auto"
+        self,
+        states: Iterable[DatabaseState],
+        *,
+        backend: str = "auto",
+        workers: Optional[int] = None,
+        executor: Optional[object] = None,
     ) -> List[YannakakisRun]:
         """Execute the plan against each state, amortizing the planning cost.
 
@@ -380,8 +429,39 @@ class PreparedQuery:
         :class:`~repro.relational.compiled.ExecutionStats` describing the
         batch; with ``backend="classic"`` each state is executed
         independently by the object-tuple operators.
+
+        ``backend="parallel"`` shards the batch across a process pool
+        (:mod:`repro.engine.parallel`): ``workers`` sets the pool width
+        (default: one per CPU, clamped by ``REPRO_PARALLEL_MAX_WORKERS``) and
+        a one-shot pool is spawned and torn down around the call.  Long-lived
+        serving should instead pass a reusable
+        :class:`~repro.engine.parallel.ParallelExecutor` as ``executor``
+        (``workers`` must then be left unset — the pool already has a width),
+        which amortizes both the pool spawn and the workers' per-spec plan
+        compilation across calls.  Results come back in input order and every
+        run reports ``backend="parallel"`` with one merged
+        :class:`~repro.engine.parallel.ParallelStats` for the batch.
         """
         resolved = resolve_backend(backend)
+        # Validate the *raw* backend string: "auto" may opt into the pool an
+        # executor provides, but an explicit "compiled"/"classic" request
+        # must not be silently upgraded to parallel execution.
+        if executor is not None and backend not in ("parallel", "auto"):
+            raise ValueError("executor= requires backend='parallel' (or 'auto')")
+        if executor is not None or resolved == "parallel":
+            if executor is not None:
+                if workers is not None:
+                    raise ValueError(
+                        "workers= cannot be combined with executor=; the "
+                        "executor's pool width applies"
+                    )
+                return executor.execute_many(self, states)
+            from .parallel import ParallelExecutor
+
+            with ParallelExecutor(workers=workers) as pool:
+                return pool.execute_many(self, states)
+        if workers is not None:
+            raise ValueError("workers= requires backend='parallel'")
         if resolved == "compiled" and len(self._schema) > 0:
             return self.compiled.execute_batch(states)
         return [self.execute(state, backend=resolved) for state in states]

@@ -126,6 +126,12 @@ class RelationSchema:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("RelationSchema is immutable")
 
+    def __reduce__(self):
+        # The raising __setattr__ breaks pickle's default slot-state restore,
+        # so pickling round-trips through the constructor.  Needed by the
+        # multi-process executor (PlanSpec / shard payloads cross processes).
+        return (RelationSchema, (self.sorted_attributes(),))
+
     # -- ordering (subset relations) ----------------------------------------
 
     def issubset(self, other: AttributesLike) -> bool:
@@ -267,6 +273,12 @@ class DatabaseSchema:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("DatabaseSchema is immutable")
+
+    def __reduce__(self):
+        # Reconstructs through the constructor (see RelationSchema.__reduce__);
+        # the relation *order* is part of the pickled value — plans and traces
+        # are positional.
+        return (DatabaseSchema, (self._relations,))
 
     # -- basic protocol -------------------------------------------------------
 

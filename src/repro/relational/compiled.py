@@ -42,10 +42,34 @@ The classic operators remain in place as the property-test oracle
 ``repro.tableau.reference`` anchors the interned tableau kernel.
 
 Lifecycle: a :class:`CompiledPlan` (and its interning dictionaries) lives as
-long as the :class:`~repro.engine.prepared.PreparedQuery` that owns it; the
-dictionaries grow monotonically with the distinct values ever executed.  Use
-:meth:`repro.engine.prepared.PreparedQuery.reset_compiled` to drop a plan
-whose interner grew past its welcome.
+long as the :class:`~repro.engine.prepared.PreparedQuery` that owns it.  The
+dictionaries grow with the distinct values ever executed, but growth is
+*bounded*: each plan carries a ``max_interned_values`` cap (default
+:data:`DEFAULT_MAX_INTERNED_VALUES`), and when the interned-value count
+overflows it, the next :meth:`CompiledPlan.encode_state` opens a new interner
+*epoch* — the dictionary-mode interning maps and identity-mode stray tables
+are rebuilt empty and every cached slot encoding (whose code tuples reference
+the retired epoch's codes) is dropped.  Epochs are transparent to callers:
+codes never leak across an epoch boundary because the stale encodings are
+evicted with the epoch, and results are always decoded before the next state
+is encoded.  The number of rebuilds is surfaced as
+:attr:`CompiledPlan.interner_epoch` and, per batch, as
+:attr:`ExecutionStats.interner_resets`.
+:meth:`repro.engine.prepared.PreparedQuery.reset_compiled` remains the
+heavier hammer (drops the whole plan).
+
+Process boundaries: a ``CompiledPlan`` is **not** picklable by design — it is
+built from closures and ``itemgetter`` programs, and its interner is a
+process-local, mutable object.  The pickle-safe boundary is one level up:
+:class:`repro.engine.parallel.PlanSpec` (ordered relation tuple, target,
+root, backend knobs) crosses the process boundary and each worker rebuilds
+and caches its own plan from the spec.  Per-worker interners are therefore
+*independent*, which is sound because codes are a private encoding detail:
+every answer a worker ships back is decoded to plain values first
+(:meth:`Relation.from_interned` runs inside the worker, under that worker's
+own interner), so integer codes never cross a process boundary and two
+workers assigning different codes to the same value can never disagree about
+results.
 """
 
 from __future__ import annotations
@@ -61,7 +85,24 @@ from .database import DatabaseState
 from .relation import Relation, _tuple_getter
 from .yannakakis import YannakakisRun
 
-__all__ = ["CompiledPlan", "CompiledState", "ExecutionStats", "compile_plan"]
+__all__ = [
+    "CompiledPlan",
+    "CompiledState",
+    "DEFAULT_MAX_INTERNED_VALUES",
+    "ExecutionStats",
+    "compile_plan",
+]
+
+#: Default cap on distinct interned values per plan (dictionary-mode codes
+#: plus identity-mode strays).  Overflow opens a new interner epoch at the
+#: next state-encode boundary; see the module notes.  Sized so that ordinary
+#: serving never trips it while a long-lived process churning through
+#: unbounded string domains stays bounded.
+DEFAULT_MAX_INTERNED_VALUES = 1 << 20
+
+#: Sentinel distinguishing "use the default cap" from an explicit ``None``
+#: (= unbounded) in :class:`CompiledPlan`'s constructor.
+_USE_DEFAULT_CAP: Any = object()
 
 
 def _key_getter(positions: Sequence[int]):
@@ -99,6 +140,7 @@ class ExecutionStats:
         "bucket_builds",
         "identity_semijoins",
         "filtering_semijoins",
+        "interner_resets",
     )
 
     def __init__(self) -> None:
@@ -110,6 +152,24 @@ class ExecutionStats:
         self.bucket_builds: Dict[Tuple[int, Tuple[int, ...]], int] = {}
         self.identity_semijoins = 0
         self.filtering_semijoins = 0
+        #: Interner epochs opened while this batch ran (``max_interned_values``
+        #: overflows observed at state-encode boundaries).
+        self.interner_resets = 0
+
+    def absorb(self, other: "ExecutionStats") -> None:
+        """Fold another stats object into this one (used by stats merging
+        across shards/workers; lineage counts are summed per (slot, key))."""
+        self.states += other.states
+        self.deduped_states += other.deduped_states
+        self.encoded_slots += other.encoded_slots
+        self.cached_slots += other.cached_slots
+        self.identity_semijoins += other.identity_semijoins
+        self.filtering_semijoins += other.filtering_semijoins
+        self.interner_resets += other.interner_resets
+        for lineage, count in other.keyset_builds.items():
+            self.keyset_builds[lineage] = self.keyset_builds.get(lineage, 0) + count
+        for lineage, count in other.bucket_builds.items():
+            self.bucket_builds[lineage] = self.bucket_builds.get(lineage, 0) + count
 
     def total_keyset_builds(self) -> int:
         """Total number of key-set constructions across all (slot, key) pairs."""
@@ -306,9 +366,13 @@ class CompiledPlan:
         "_final_schema",
         "_slot_cache",
         "_cache_meta",
+        "max_interned_values",
+        "interner_epoch",
     )
 
-    def __init__(self, prepared) -> None:
+    def __init__(
+        self, prepared, *, max_interned_values: Optional[int] = _USE_DEFAULT_CAP
+    ) -> None:
         schema = prepared.schema
         self.schema = schema
         self.target = prepared.target
@@ -333,6 +397,16 @@ class CompiledPlan:
         )
         # Per slot: [consecutive miss count, cache disabled flag].
         self._cache_meta: List[List[int]] = [[0, 0] for _ in columns]
+        #: Interned-value cap; ``None`` disables epoch rollover entirely.
+        #: Plain-assignable: serving processes may tune it on a live plan
+        #: (the cap is only read at state-encode boundaries).
+        self.max_interned_values: Optional[int] = (
+            DEFAULT_MAX_INTERNED_VALUES
+            if max_interned_values is _USE_DEFAULT_CAP
+            else max_interned_values
+        )
+        #: Number of interner epochs opened so far (0 = the original epoch).
+        self.interner_epoch = 0
 
         # -- reducer program: positions of the shared attributes per side ----
         positions = tuple(
@@ -521,8 +595,23 @@ class CompiledPlan:
                         ]
                     )
                 continue
+            # Hot path of string-heavy encoding.  On the serving steady
+            # state the interner has already seen every value the column
+            # carries (fresh states drawing from a stable domain), so the
+            # whole column encodes as one C-level ``map`` over the interning
+            # dictionary — measured ~1.8× over the per-cell loop (see
+            # docs/performance.md).  A novel value raises ``KeyError`` and
+            # falls back to the interning loop with the dictionary locally
+            # bound; the map attempt is gated on a non-empty interner so the
+            # cold first column never pays a guaranteed-failing scan.
             intern_map = self._intern[attribute]
             values = self._values[attribute]
+            if intern_map:
+                try:
+                    coded_columns.append(list(map(intern_map.__getitem__, column)))
+                    continue
+                except KeyError:
+                    pass
             get = intern_map.get
             codes: List[int] = []
             append = codes.append
@@ -537,11 +626,14 @@ class CompiledPlan:
         return _Encoding(tuple(zip(*coded_columns)))
 
     def _decoders(self) -> Tuple[Optional[Any], ...]:
-        """Per-final-column decoders reflecting the current attribute modes.
+        """Per-final-column decoders for the *current* interner epoch.
 
         ``None`` means the column's codes are the values themselves (pure
         identity columns); identity columns that interned strays unwrap them;
-        dictionary columns index their value list.
+        dictionary columns index their value list.  Captured onto each
+        :class:`CompiledState` at encode time (under the encode lock), so a
+        state always decodes against the epoch that minted its codes — even
+        if the plan has rolled its interner over since.
         """
         decoders: List[Optional[Any]] = []
         for attribute in self._final_columns:
@@ -578,6 +670,11 @@ class CompiledPlan:
             raise SchemaError("the state is for a different schema than the query")
         encodings: List[_Encoding] = []
         with self._encode_lock:
+            cap = self.max_interned_values
+            if cap is not None and self.interned_value_count() > cap:
+                self._open_interner_epoch_locked()
+                if stats is not None:
+                    stats.interner_resets += 1
             for slot, relation in enumerate(state.relations):
                 meta = self._cache_meta[slot]
                 caching = use_cache and not meta[1]
@@ -604,9 +701,10 @@ class CompiledPlan:
                         meta[1] = 1
                         cache.clear()
                 encodings.append(encoding)
+            decoders = self._decoders()
         if stats is not None:
             stats.states += 1
-        return CompiledState(self, state, tuple(encodings))
+        return CompiledState(self, state, tuple(encodings), decoders)
 
     # -- execution -------------------------------------------------------------
 
@@ -806,7 +904,10 @@ class CompiledPlan:
         else:
             final_rows = set(map(self._final_get, root_rows))
         result = Relation.from_interned(
-            self._final_schema, self._final_columns, final_rows, self._decoders()
+            self._final_schema,
+            self._final_columns,
+            final_rows,
+            compiled_state.decoders,
         )
         if len(result) > max_intermediate:
             max_intermediate = len(result)
@@ -852,6 +953,35 @@ class CompiledPlan:
 
     # -- maintenance -----------------------------------------------------------
 
+    def _open_interner_epoch_locked(self) -> None:
+        """Rebuild the interner and retire every encoding of the old epoch.
+
+        Called at a state-encode boundary with the encode lock held, *before*
+        the incoming state is encoded: the dictionary-mode interning maps and
+        value lists (and the identity-mode stray tables living in the same
+        maps) are **replaced with fresh objects** — never cleared in place —
+        and the slot encoding caches are dropped wholesale, because every
+        cached encoding holds code tuples minted by the retired epoch and
+        must never mix with codes of the new one.  Attribute *modes* stay
+        pinned (they describe column shape, not code assignment).
+
+        Replacement rather than clearing is what makes rollover safe for
+        everything in flight: each :class:`CompiledState` captures its
+        epoch's decoders — bound to that epoch's value-list objects — at
+        encode time, so states encoded before a rollover (including ones a
+        concurrent thread is executing right now, and ones a caller pinned
+        long-term) keep decoding against the retired epoch's intact lists.
+        The retired objects die with the last such state.
+        """
+        self._intern = {attribute: {} for attribute in self._intern}
+        self._values = {attribute: [] for attribute in self._values}
+        for cache in self._slot_cache:
+            cache.clear()
+        for meta in self._cache_meta:
+            meta[0] = 0
+            meta[1] = 0
+        self.interner_epoch += 1
+
     def cache_sizes(self) -> Tuple[int, ...]:
         """Cached encodings per slot (diagnostic)."""
         return tuple(len(cache) for cache in self._slot_cache)
@@ -885,25 +1015,32 @@ class CompiledPlan:
 class CompiledState:
     """One database state encoded against a plan's interner.
 
-    Holds one (possibly cache-shared) :class:`_Encoding` per relation slot.
-    Immutable from the executor's point of view: execution replaces slot
-    views instead of mutating their rows, so a ``CompiledState`` can be
-    executed any number of times.  Under the GIL concurrent executions are
-    safe (they may redundantly fill an encoding's index caches); on
-    free-threaded builds those lazy cache fills are unsynchronized.
+    Holds one (possibly cache-shared) :class:`_Encoding` per relation slot,
+    plus the decoders of the interner epoch that minted its codes (so the
+    state stays executable across epoch rollovers).  Immutable from the
+    executor's point of view: execution replaces slot views instead of
+    mutating their rows, so a ``CompiledState`` can be executed any number
+    of times.  Under the GIL concurrent executions are safe (they may
+    redundantly fill an encoding's index caches); on free-threaded builds
+    those lazy cache fills are unsynchronized.
     """
 
-    __slots__ = ("plan", "state", "encodings")
+    __slots__ = ("plan", "state", "encodings", "decoders")
 
     def __init__(
         self,
         plan: CompiledPlan,
         state: DatabaseState,
         encodings: Tuple[_Encoding, ...],
+        decoders: Optional[Tuple[Optional[Any], ...]] = None,
     ) -> None:
         self.plan = plan
         self.state = state
         self.encodings = encodings
+        # Direct constructions (tests, tooling) default to the plan's
+        # current-epoch decoders; encode_state always passes the captured
+        # ones explicitly.
+        self.decoders = plan._decoders() if decoders is None else decoders
 
     @classmethod
     def from_state(
@@ -930,7 +1067,13 @@ class CompiledState:
         return f"CompiledState({self.plan.schema.to_notation()!r}, sizes=[{sizes}])"
 
 
-def compile_plan(prepared) -> CompiledPlan:
+def compile_plan(
+    prepared, *, max_interned_values: Optional[int] = _USE_DEFAULT_CAP
+) -> CompiledPlan:
     """Compile a :class:`~repro.engine.prepared.PreparedQuery` (see the
-    module notes; normally reached through ``prepared.compiled``)."""
-    return CompiledPlan(prepared)
+    module notes; normally reached through ``prepared.compiled``).
+
+    ``max_interned_values`` caps the plan's interner before an epoch rollover
+    (:data:`DEFAULT_MAX_INTERNED_VALUES` when omitted, ``None`` = unbounded).
+    """
+    return CompiledPlan(prepared, max_interned_values=max_interned_values)

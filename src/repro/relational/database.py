@@ -43,6 +43,12 @@ class DatabaseState:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("DatabaseState is immutable")
 
+    def __reduce__(self):
+        # Round-trips through the constructor (per-slot schema validation is
+        # one frozenset comparison per relation); required so states can be
+        # shipped to the sharded multi-process executor.
+        return (DatabaseState, (self._schema, self._relations))
+
     # -- accessors -------------------------------------------------------------
 
     @property

@@ -144,6 +144,20 @@ class Relation:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Relation is immutable")
 
+    def __reduce__(self):
+        """Pickle via the trusted restore path.
+
+        Rows are already canonical tuples, so unpickling skips validation;
+        cached key indexes are deliberately *not* pickled — they are cheap to
+        rebuild and would bloat cross-process shard payloads.
+        """
+        return (Relation._restore, (self._schema, tuple(self._rows)))
+
+    @classmethod
+    def _restore(cls, schema: RelationSchema, rows: Tuple[Tuple[Any, ...], ...]) -> "Relation":
+        """Unpickling counterpart of :meth:`__reduce__`."""
+        return cls._from_trusted(schema, schema.sorted_attributes(), frozenset(rows))
+
     # -- constructors -----------------------------------------------------------
 
     @classmethod

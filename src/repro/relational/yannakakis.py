@@ -147,14 +147,19 @@ class YannakakisRun:
     result) — the quantity whose boundedness distinguishes tree from cyclic
     query processing.
 
-    ``backend`` reports which execution backend produced the run
-    (``"classic"`` object-tuple operators or the ``"compiled"``
-    interned-value kernel of :mod:`repro.relational.compiled`); ``stats``
-    carries the compiled backend's instrumentation
+    ``backend`` reports which execution backend produced the run:
+    ``"classic"`` object-tuple operators, the ``"compiled"`` interned-value
+    kernel of :mod:`repro.relational.compiled`, or ``"parallel"`` when the
+    run came out of the sharded process-pool layer of
+    :mod:`repro.engine.parallel` (workers execute on the compiled kernel;
+    the batch entry point re-tags their runs).  ``stats`` carries the
+    compiled backend's instrumentation
     (:class:`~repro.relational.compiled.ExecutionStats`, shared by all runs
-    of one batch) and is ``None`` on classic runs.  Neither field
-    participates in equality: two runs that computed the same answer with
-    the same accounting compare equal regardless of the backend.
+    of one batch; parallel batches share one merged
+    :class:`~repro.engine.parallel.ParallelStats`) and is ``None`` on
+    classic runs.  Neither field participates in equality: two runs that
+    computed the same answer with the same accounting compare equal
+    regardless of the backend.
     """
 
     result: Relation

@@ -1,0 +1,155 @@
+"""Bounded interner growth: epoch rollover under ``max_interned_values``.
+
+PR-4 left plan interners growing monotonically (``reset_compiled`` was the
+only relief, and manual).  Plans now carry a cap checked at every
+state-encode boundary; overflow opens a new epoch — interning maps rebuilt,
+stale encodings evicted — without changing any answer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import analyze
+from repro.hypergraph import DatabaseSchema, RelationSchema
+from repro.relational import DatabaseState, Relation
+from repro.relational.compiled import DEFAULT_MAX_INTERNED_VALUES
+
+
+def _schema():
+    return DatabaseSchema([RelationSchema("ab"), RelationSchema("bc")])
+
+
+def _string_state(schema, salt: int, rows: int = 4) -> DatabaseState:
+    return DatabaseState(
+        schema,
+        [
+            Relation(
+                schema[0],
+                [(f"a{salt}.{i}", f"b{salt}.{i}") for i in range(rows)],
+            ),
+            Relation(
+                schema[1],
+                [(f"b{salt}.{i}", f"c{salt}.{i}") for i in range(rows)],
+            ),
+        ],
+    )
+
+
+def _fresh_plan(cap):
+    prepared = analyze(_schema()).prepare(RelationSchema("ac"))
+    prepared.reset_compiled()
+    plan = prepared.compiled
+    plan.max_interned_values = cap
+    return prepared, plan
+
+
+class TestEpochRollover:
+    def test_default_cap_is_finite(self):
+        _, plan = _fresh_plan(cap=DEFAULT_MAX_INTERNED_VALUES)
+        assert plan.max_interned_values == DEFAULT_MAX_INTERNED_VALUES
+        assert plan.interner_epoch == 0
+
+    def test_overflow_opens_epochs_and_bounds_growth(self):
+        schema = _schema()
+        prepared, plan = _fresh_plan(cap=20)
+        for salt in range(12):
+            prepared.execute(_string_state(schema, salt))
+        assert plan.interner_epoch > 0
+        # Growth is bounded by cap + one state's worth of fresh values.
+        assert plan.interned_value_count() <= 20 + 4 * 3
+
+    def test_results_stay_correct_across_rollovers(self):
+        schema = _schema()
+        prepared, plan = _fresh_plan(cap=10)
+        for salt in range(15):
+            state = _string_state(schema, salt)
+            compiled = prepared.execute(state)
+            classic = prepared.execute(state, backend="classic")
+            assert compiled.result == classic.result
+            assert compiled.max_intermediate_size == classic.max_intermediate_size
+        assert plan.interner_epoch >= 1
+
+    def test_batch_surfaces_reset_counter(self):
+        schema = _schema()
+        prepared, plan = _fresh_plan(cap=10)
+        states = [_string_state(schema, salt) for salt in range(10)]
+        runs = prepared.execute_many(states)
+        stats = runs[0].stats
+        assert stats.interner_resets > 0
+        assert stats.interner_resets == plan.interner_epoch
+
+    def test_rollover_drops_stale_slot_encodings(self):
+        schema = _schema()
+        prepared, plan = _fresh_plan(cap=10)
+        state = _string_state(schema, 0)
+        prepared.execute(state)
+        assert sum(plan.cache_sizes()) > 0
+        for salt in range(1, 8):
+            prepared.execute(_string_state(schema, salt))
+        assert plan.interner_epoch > 0
+        # Re-executing the very first state after rollovers re-encodes it
+        # against the new epoch and still answers correctly.
+        rerun = prepared.execute(state)
+        classic = prepared.execute(state, backend="classic")
+        assert rerun.result == classic.result
+
+    def test_pinned_compiled_state_survives_rollover(self):
+        """A CompiledState captures its epoch's decoders at encode time, so
+        executing it after rollovers still decodes the retired epoch's codes
+        to the right values."""
+        from repro.relational import CompiledState
+
+        schema = _schema()
+        prepared, plan = _fresh_plan(cap=10)
+        state = _string_state(schema, 0)
+        pinned = CompiledState.from_state(plan, state)
+        expected = prepared.execute(state, backend="classic").result
+        assert pinned.execute().result == expected
+        for salt in range(1, 9):
+            prepared.execute(_string_state(schema, salt))
+        assert plan.interner_epoch > 0
+        # Same pinned encoding, executed against a plan that has since
+        # rolled its interner over (possibly several times).
+        assert pinned.execute().result == expected
+
+    def test_unbounded_cap_never_rolls_over(self):
+        schema = _schema()
+        prepared, plan = _fresh_plan(cap=None)
+        for salt in range(10):
+            prepared.execute(_string_state(schema, salt))
+        assert plan.interner_epoch == 0
+        assert plan.interned_value_count() > 20
+
+    def test_identity_columns_unaffected_by_cap(self):
+        """Pure-int states intern nothing, so even a tiny cap never triggers."""
+        schema = _schema()
+        prepared, plan = _fresh_plan(cap=1)
+        for salt in range(6):
+            state = DatabaseState(
+                schema,
+                [
+                    Relation(schema[0], [(salt * 10 + i, i) for i in range(4)]),
+                    Relation(schema[1], [(i, salt * 10 + i) for i in range(4)]),
+                ],
+            )
+            compiled = prepared.execute(state)
+            classic = prepared.execute(state, backend="classic")
+            assert compiled.result == classic.result
+        assert plan.interner_epoch == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        cap=st.integers(1, 30),
+        salts=st.lists(st.integers(0, 6), min_size=1, max_size=10),
+    )
+    def test_equivalence_under_random_caps(self, cap, salts):
+        """Any cap, any (possibly repeating) state sequence: compiled with
+        rollovers ≡ classic."""
+        schema = _schema()
+        prepared, plan = _fresh_plan(cap=cap)
+        for salt in salts:
+            state = _string_state(schema, salt, rows=3)
+            compiled = prepared.execute(state)
+            classic = prepared.execute(state, backend="classic")
+            assert compiled.result == classic.result
