@@ -3,11 +3,14 @@
 This script re-runs the three scaling benchmarks (``bench_scaling_gyo``,
 ``bench_yannakakis_vs_naive`` and ``bench_scaling_cc``) plus the engine
 plan-reuse benchmark, the PR-4 ``serving`` section (classic vs compiled vs
-batched per-state medians) and the PR-5 ``parallel`` section (single-process
+batched per-state medians), the PR-5 ``parallel`` section (single-process
 batched compiled vs the sharded multi-process executor at 2/4 workers, pool
-reuse timed separately from cold spawn) outside pytest and records sizes,
-median wall times and max-intermediate sizes as JSON so that every PR has a
-regression baseline to compare against.
+reuse timed separately from cold spawn) and the PR-6 ``robustness`` section
+(supervision overhead when healthy, recovery latency under one injected
+worker crash) outside pytest and records sizes, median wall times and
+max-intermediate sizes as JSON so that every PR has a regression baseline to
+compare against.  Multi-process sections warn loudly on hosts with fewer
+than four cores and stamp ``host_cpus`` into every row.
 
 Usage::
 
@@ -557,6 +560,30 @@ PARALLEL_CASES = tuple(
 PARALLEL_WORKER_COUNTS = (2, 4)
 
 
+def _warn_few_cores(section: str) -> None:
+    """Shout when a multi-process section runs on a host that cannot show
+    parallel speedups (the BENCH_PR5 one-core-capture caveat, mechanized).
+
+    Per-state medians and overhead ratios stay meaningful on small hosts;
+    absolute speedups vs serial do not.  Every affected row also records
+    ``host_cpus`` so a reader of the JSON sees the caveat without this
+    stderr warning.
+    """
+    host_cpus = os.cpu_count() or 1
+    if host_cpus >= 4:
+        return
+    print(
+        "=" * 72
+        + f"\nWARNING: the '{section}' benchmark section is running on "
+        f"{host_cpus} CPU core(s).\n"
+        "Process parallelism cannot beat serial execution here: treat the\n"
+        "speedup columns as lower bounds and compare only per-state medians\n"
+        "and overhead ratios.  Re-run on >= 4 cores for meaningful speedups.\n"
+        + "=" * 72,
+        file=sys.stderr,
+    )
+
+
 def bench_parallel(repeats: int) -> List[Dict[str, Any]]:
     """Sharded multi-process serving vs single-process batched compiled.
 
@@ -574,6 +601,7 @@ def bench_parallel(repeats: int) -> List[Dict[str, Any]]:
     """
     from repro.engine.parallel import ParallelExecutor
 
+    _warn_few_cores("parallel")
     rows: List[Dict[str, Any]] = []
     host_cpus = os.cpu_count() or 1
     for case, family, size, tuple_count, domain_size, count, mode in PARALLEL_CASES:
@@ -648,11 +676,146 @@ def bench_parallel(repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
+#: Cases the robustness section exercises (a representative subset of the
+#: parallel section — the section times three executor configurations per
+#: case plus a crash-recovery pass per repeat, so it is the most expensive
+#: per case).
+ROBUSTNESS_CASES = ("msmall-chain-distinct", "msmall-star-shared-dims")
+ROBUSTNESS_WORKERS = 2
+
+
+def bench_robustness(repeats: int) -> List[Dict[str, Any]]:
+    """Supervision overhead when healthy, and recovery latency under faults.
+
+    Three measurements per case, all on a reused warmed pool:
+
+    * ``unsupervised_per_state_s`` — the executor with no timeout armed (the
+      PR-5-shaped healthy path; supervision still watches for pool breakage
+      but takes no per-wait deadline bookkeeping);
+    * ``supervised_per_state_s`` — the same batches with ``shard_timeout``
+      and retries armed; the acceptance bar is overhead within ~10% of the
+      unarmed path (``supervision_overhead_ratio``);
+    * ``crash_recovery_batch_s`` — wall time of one batch that absorbs one
+      injected worker crash (``REPRO_FAULT_CRASH=1`` against a fresh fault
+      directory per pass): pool respawn + lost-shard resubmission included.
+
+    ``host_cpus`` is recorded per row — on small hosts the absolute numbers
+    compress, but the overhead *ratio* stays meaningful.
+    """
+    import shutil
+    import tempfile
+
+    from repro.engine import faults
+    from repro.engine.parallel import ParallelExecutor
+
+    _warn_few_cores("robustness")
+    rows: List[Dict[str, Any]] = []
+    host_cpus = os.cpu_count() or 1
+    fault_vars = (
+        faults.ENV_FAULT_DIR,
+        faults.ENV_CRASH,
+        faults.ENV_HANG,
+        faults.ENV_TRANSIENT,
+        faults.ENV_POISON,
+    )
+    cases = [entry for entry in PARALLEL_CASES if entry[0] in ROBUSTNESS_CASES]
+    for case, family, size, tuple_count, domain_size, count, mode in cases:
+        schema, target = _serving_schema(family, size)
+        clear_analysis_cache()
+        prepared = analyze(schema).prepare(target)
+
+        def fresh_sets(salt: int) -> List[List[Any]]:
+            return [
+                _serving_states(
+                    schema,
+                    mode,
+                    tuple_count,
+                    domain_size,
+                    count,
+                    salt + 10_000 * (r + 1),
+                )
+                for r in range(repeats)
+            ]
+
+        def timed_on(executor, state_sets) -> float:
+            # Warm the pool and the workers' plan caches untimed, exactly as
+            # the parallel section does.
+            executor.ensure_started()
+            executor.execute_many(
+                prepared,
+                _serving_states(schema, mode, tuple_count, domain_size, count, 13),
+            )
+            times = []
+            for states in state_sets:
+                start = time.perf_counter()
+                executor.execute_many(prepared, states)
+                times.append(time.perf_counter() - start)
+            return statistics.median(times)
+
+        with ParallelExecutor(workers=ROBUSTNESS_WORKERS) as executor:
+            plain_s = timed_on(executor, fresh_sets(8_000_000))
+        with ParallelExecutor(
+            workers=ROBUSTNESS_WORKERS, shard_timeout=30.0, max_retries=2
+        ) as executor:
+            supervised_s = timed_on(executor, fresh_sets(9_000_000))
+
+        recovery_times: List[float] = []
+        recovery_respawns = 0
+        for r in range(repeats):
+            states = _serving_states(
+                schema, mode, tuple_count, domain_size, count, 10_000_000 + r
+            )
+            directory = tempfile.mkdtemp(prefix="repro-bench-faults-")
+            saved = {name: os.environ.pop(name, None) for name in fault_vars}
+            os.environ[faults.ENV_FAULT_DIR] = directory
+            os.environ[faults.ENV_CRASH] = "1"
+            try:
+                with ParallelExecutor(
+                    workers=ROBUSTNESS_WORKERS, shard_timeout=30.0
+                ) as executor:
+                    executor.ensure_started()
+                    start = time.perf_counter()
+                    runs = executor.execute_many(prepared, states)
+                    recovery_times.append(time.perf_counter() - start)
+                    recovery_respawns += runs[0].stats.respawns
+            finally:
+                for name, value in saved.items():
+                    if value is None:
+                        os.environ.pop(name, None)
+                    else:
+                        os.environ[name] = value
+                shutil.rmtree(directory, ignore_errors=True)
+
+        rows.append(
+            {
+                "case": f"rob-{case}-w{ROBUSTNESS_WORKERS}",
+                "family": family,
+                "states": count,
+                "mode": mode,
+                "workers": ROBUSTNESS_WORKERS,
+                "host_cpus": host_cpus,
+                "unsupervised_per_state_s": plain_s / count,
+                "supervised_per_state_s": supervised_s / count,
+                "median_s": supervised_s / count,
+                "supervision_overhead_ratio": (
+                    supervised_s / plain_s if plain_s else None
+                ),
+                "crash_recovery_batch_s": statistics.median(recovery_times),
+                "crash_recovery_respawns": recovery_respawns,
+            }
+        )
+    return rows
+
+
 def run_all(repeats: int) -> Dict[str, Any]:
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpus": os.cpu_count(),
+        # Duplicated under the name the parallel/robustness rows use, so the
+        # caveat (speedups are bounded by physical cores, not workers) is
+        # visible at the top of every snapshot.
+        "host_cpus": os.cpu_count() or 1,
         "repeats": repeats,
         "gyo_reduce": bench_gyo(repeats),
         "yannakakis": bench_yannakakis(repeats),
@@ -661,6 +824,7 @@ def run_all(repeats: int) -> Dict[str, Any]:
         "engine": bench_engine(repeats),
         "serving": bench_serving(repeats),
         "parallel": bench_parallel(repeats),
+        "robustness": bench_robustness(repeats),
     }
 
 
@@ -675,6 +839,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
         "engine",
         "serving",
         "parallel",
+        "robustness",
     ):
         before_rows = {row["case"]: row for row in before.get(section, ())}
         cases: Dict[str, float] = {}
@@ -696,7 +861,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--phase", choices=("before", "after"), default="after")
-    parser.add_argument("--out", default="BENCH_PR5.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_PR6.json", help="output JSON path")
     parser.add_argument(
         "--before",
         default=None,

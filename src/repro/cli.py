@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``):
    $ repro query "ab,bc,cd" ad --random 30
    $ repro query "ab,bc,cd" ad --data state.json --backend classic --json
    $ repro query "ab,bc,cd" ad --random 30 --states 64 --backend parallel --workers 4
+   $ repro query "ab,bc,cd" ad --random 30 --states 64 --backend parallel \
+         --shard-timeout 5 --retries 3 --failure-policy degrade --json
 
 Schemas are written in the paper's notation (relations separated by commas,
 single-character attributes concatenated); multi-character attribute names
@@ -141,6 +143,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="with --backend parallel: process-pool width "
         "(default: one per CPU, clamped by REPRO_PARALLEL_MAX_WORKERS)",
+    )
+    query.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --backend parallel: per-shard attempt timeout; a hung "
+        "worker is killed and the shard retried "
+        "(default: REPRO_PARALLEL_SHARD_TIMEOUT, else none)",
+    )
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --backend parallel: shard resubmissions before bisection "
+        "(default: REPRO_PARALLEL_MAX_RETRIES, else 2)",
+    )
+    query.add_argument(
+        "--failure-policy",
+        choices=("raise", "degrade"),
+        default=None,
+        help="with --backend parallel: raise on unrecoverable states "
+        "(default) or degrade to partial results with quarantined "
+        "positions reported in the stats",
     )
     query.add_argument(
         "--max-rows", type=int, default=20, help="answer rows to print (text mode)"
@@ -363,12 +390,29 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
 
     if arguments.workers is not None and arguments.backend != "parallel":
         raise SystemExit("--workers requires --backend parallel")
+    if arguments.backend != "parallel" and (
+        arguments.shard_timeout is not None
+        or arguments.retries is not None
+        or arguments.failure_policy is not None
+    ):
+        raise SystemExit(
+            "--shard-timeout/--retries/--failure-policy require --backend parallel"
+        )
     start = time.perf_counter()
     runs = prepared.execute_many(
-        states, backend=arguments.backend, workers=arguments.workers
+        states,
+        backend=arguments.backend,
+        workers=arguments.workers,
+        shard_timeout=arguments.shard_timeout,
+        max_retries=arguments.retries,
+        failure_policy=arguments.failure_policy,
     )
     elapsed = time.perf_counter() - start
-    run = runs[0]
+    # Under --failure-policy degrade, quarantined input positions come back
+    # as None; any surviving run carries the batch's shared stats.
+    run = next((r for r in runs if r is not None), None)
+    if run is None:
+        raise SystemExit("no state could be executed (all quarantined)")
     stats = run.stats
     parallel_stats = None
     if run.backend == "parallel":
@@ -388,9 +432,13 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
             "elapsed_s": elapsed,
             "semijoin_count": run.semijoin_count,
             "join_count": run.join_count,
-            "answer_rows": [len(r.result) for r in runs],
-            "max_intermediate_size": max(r.max_intermediate_size for r in runs),
-            "result": runs[0].result.to_dicts() if len(states) == 1 else None,
+            "answer_rows": [
+                None if r is None else len(r.result) for r in runs
+            ],
+            "max_intermediate_size": max(
+                r.max_intermediate_size for r in runs if r is not None
+            ),
+            "result": run.result.to_dicts() if len(states) == 1 else None,
         }
         if stats is not None:
             payload["compiled_stats"] = {
@@ -411,6 +459,19 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
                 "per_worker": {
                     str(pid): dict(info)
                     for pid, info in parallel_stats.per_worker.items()
+                },
+                "failure_stats": {
+                    "failure_policy": parallel_stats.failure_policy,
+                    "retries": parallel_stats.retries,
+                    "respawns": parallel_stats.respawns,
+                    "timeouts": parallel_stats.timeouts,
+                    "bisections": parallel_stats.bisections,
+                    "fallback_runs": parallel_stats.fallback_runs,
+                    "quarantined": parallel_stats.quarantined,
+                    "worker_crashes": {
+                        str(pid): count
+                        for pid, count in parallel_stats.worker_crashes.items()
+                    },
                 },
             }
         _emit_json(payload)
@@ -434,11 +495,28 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
             f"{parallel_stats.plan_compiles} plan compile(s) across "
             f"{len(parallel_stats.per_worker)} worker(s)"
         )
+        recovered = (
+            parallel_stats.retries
+            + parallel_stats.respawns
+            + parallel_stats.fallback_runs
+            + len(parallel_stats.quarantined)
+        )
+        if recovered:
+            print(
+                f"recovery: {parallel_stats.retries} retries, "
+                f"{parallel_stats.respawns} pool respawns, "
+                f"{parallel_stats.timeouts} timeouts, "
+                f"{parallel_stats.bisections} bisections, "
+                f"{parallel_stats.fallback_runs} in-process fallbacks, "
+                f"quarantined positions: {parallel_stats.quarantined or 'none'}"
+            )
     if len(states) == 1:
         print(f"answer ({len(run.result)} rows):")
         print(run.result.render(max_rows=arguments.max_rows))
     else:
-        sizes = ", ".join(str(len(r.result)) for r in runs[:10])
+        sizes = ", ".join(
+            "-" if r is None else str(len(r.result)) for r in runs[:10]
+        )
         more = "..." if len(runs) > 10 else ""
         print(f"answer sizes: [{sizes}{more}]")
     return 0

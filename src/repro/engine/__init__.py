@@ -16,8 +16,16 @@ This package is the primary public API of the library:
 
 * :class:`ParallelExecutor` — the sharded multi-process serving layer
   (:mod:`repro.engine.parallel`): batches of independent states shard across
-  a reusable process pool (``backend="parallel"``), workers rebuilding and
-  caching plans from picklable :class:`PlanSpec` identities.
+  a reusable, *supervised* process pool (``backend="parallel"``), workers
+  rebuilding and caching plans from picklable :class:`PlanSpec` identities.
+  Worker crashes, hangs and unpicklable states are recovered via pool
+  respawn, per-shard timeout/retry with backoff, bisection and in-process
+  fallback; unrecoverable states surface as a structured
+  :class:`~repro.exceptions.ShardExecutionError` or, under
+  ``failure_policy="degrade"``, as quarantined positions in
+  :class:`ParallelStats` (see ``docs/robustness.md``).  The deterministic
+  fault-injection harness behind the recovery tests lives in
+  :mod:`repro.engine.faults`.
 
 The classic free functions (``gyo_reduce``, ``canonical_connection``,
 ``plan_join_query``, ``yannakakis``) remain available and now delegate here,

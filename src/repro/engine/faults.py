@@ -1,0 +1,225 @@
+"""Deterministic fault injection for the parallel executor.
+
+The supervision machinery of :mod:`repro.engine.parallel` — pool respawn,
+per-shard timeout/retry, bisection, poison-state quarantine — is only
+trustworthy if every recovery path can be exercised *deterministically* in
+CI.  This module provides the injectable fault points, wired into the worker
+entry point (``_execute_shard``) behind environment-controlled hooks, in the
+spirit of the oracle methodology of PR 3/4: with any fault armed, recovered
+batches must still be hypothesis-equal to ``backend="classic"``.
+
+Fault points (all disabled unless their environment variable is set):
+
+``REPRO_FAULT_CRASH=<times>``
+    The first ``<times>`` shard executions (counted across *all* worker
+    processes) kill their worker with ``os._exit(17)`` — a hard crash the
+    pool observes as ``BrokenProcessPool``.  Worker-only: never fires in the
+    main process.
+
+``REPRO_FAULT_HANG=<times>[:<seconds>]``
+    The first ``<times>`` shard executions sleep for ``<seconds>`` (default
+    3600) before doing any work, simulating a hung worker.  Worker-only.
+
+``REPRO_FAULT_TRANSIENT=<times>``
+    The first ``<times>`` shard executions raise :class:`InjectedFault` — a
+    clean exception that fails the shard without killing the worker.  With
+    ``<times> <= max_retries`` the batch recovers by plain resubmission.
+
+``REPRO_FAULT_POISON=worker|crash|always``
+    Content-targeted: any state containing the sentinel value
+    :data:`POISON_VALUE` in some tuple fails *every time it executes* —
+    ``worker`` raises :class:`InjectedFault` in worker processes only (the
+    in-process fallback succeeds), ``crash`` kills the worker via
+    ``os._exit`` (again worker-only, so the fallback succeeds), ``always``
+    raises everywhere (the fallback fails too, so the state is quarantined).
+
+**Process-safe counting.**  Counted faults (crash/hang/transient) must fire
+an exact total number of times across a pool of processes that share nothing
+but the filesystem, so firing slots are claimed via atomic
+``O_CREAT | O_EXCL`` file creation inside the directory named by
+``REPRO_FAULT_DIR`` (arm it to a fresh directory per scenario; a stale
+directory means already-claimed slots and therefore no firings).  Counted
+faults without ``REPRO_FAULT_DIR`` are a configuration error and raise
+immediately rather than silently never firing.
+
+The hooks are exercised only when :func:`any_active` is true, so the healthy
+path pays four environment lookups per shard and nothing per state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Optional, Tuple
+
+__all__ = [
+    "ENV_CRASH",
+    "ENV_FAULT_DIR",
+    "ENV_HANG",
+    "ENV_POISON",
+    "ENV_TRANSIENT",
+    "POISON_VALUE",
+    "InjectedFault",
+    "any_active",
+    "check_state",
+    "on_shard_start",
+    "state_is_poison",
+]
+
+#: Directory for cross-process firing-slot accounting (counted faults).
+ENV_FAULT_DIR = "REPRO_FAULT_DIR"
+
+#: ``<times>`` — kill the worker with ``os._exit(17)`` at shard start.
+ENV_CRASH = "REPRO_FAULT_CRASH"
+
+#: ``<times>[:<seconds>]`` — sleep at shard start (default 3600 s).
+ENV_HANG = "REPRO_FAULT_HANG"
+
+#: ``<times>`` — raise :class:`InjectedFault` at shard start.
+ENV_TRANSIENT = "REPRO_FAULT_TRANSIENT"
+
+#: ``worker`` | ``crash`` | ``always`` — states containing
+#: :data:`POISON_VALUE` fail deterministically per the mode.
+ENV_POISON = "REPRO_FAULT_POISON"
+
+#: Sentinel value marking a state as poison for :data:`ENV_POISON`.
+POISON_VALUE = "__repro-poison__"
+
+#: Exit status used by the injected worker crash (recognizable in waitpid
+#: post-mortems; any non-zero status breaks the pool identically).
+CRASH_EXIT_STATUS = 17
+
+_POISON_MODES = ("worker", "crash", "always")
+
+_ENV_VARS = (ENV_CRASH, ENV_HANG, ENV_TRANSIENT, ENV_POISON)
+
+
+class InjectedFault(RuntimeError):
+    """An exception raised by an armed fault point.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: it stands in
+    for an arbitrary bug or environmental failure inside a worker, which is
+    exactly what the supervision layer must survive without special-casing.
+    """
+
+
+def any_active() -> bool:
+    """True when at least one fault point is armed in the environment."""
+    environ = os.environ
+    return any(environ.get(name) for name in _ENV_VARS)
+
+
+def _in_worker() -> bool:
+    """True inside a pool worker process (never in the serving process)."""
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def _parse_times(name: str, text: str) -> int:
+    try:
+        times = int(text)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {text!r}") from None
+    if times < 0:
+        raise ValueError(f"{name} must be >= 0, got {times}")
+    return times
+
+
+def _parse_hang(text: str) -> Tuple[int, float]:
+    times_text, _, seconds_text = text.partition(":")
+    times = _parse_times(ENV_HANG, times_text)
+    if not seconds_text:
+        return times, 3600.0
+    try:
+        seconds = float(seconds_text)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_HANG} seconds must be a number, got {seconds_text!r}"
+        ) from None
+    return times, seconds
+
+
+def _claim_slot(kind: str, times: int) -> bool:
+    """Atomically claim one of ``times`` firing slots for ``kind``.
+
+    Returns True exactly ``times`` times across every process sharing the
+    fault directory; slot files persist, so re-running a scenario needs a
+    fresh ``REPRO_FAULT_DIR``.
+    """
+    if times <= 0:
+        return False
+    directory = os.environ.get(ENV_FAULT_DIR)
+    if not directory:
+        raise ValueError(
+            f"{ENV_FAULT_DIR} must name a shared directory when counted "
+            f"faults ({kind}) are armed"
+        )
+    for slot in range(times):
+        path = os.path.join(directory, f"{kind}.{slot}")
+        try:
+            descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(descriptor)
+        return True
+    return False
+
+
+def on_shard_start() -> None:
+    """Shard-level fault point, called by the worker before executing.
+
+    Order is crash, hang, transient — a spec arming several kinds fires the
+    most destructive one first.
+    """
+    environ = os.environ
+    crash = environ.get(ENV_CRASH)
+    if crash and _in_worker() and _claim_slot("crash", _parse_times(ENV_CRASH, crash)):
+        os._exit(CRASH_EXIT_STATUS)
+    hang = environ.get(ENV_HANG)
+    if hang:
+        times, seconds = _parse_hang(hang)
+        if _in_worker() and _claim_slot("hang", times):
+            time.sleep(seconds)
+    transient = environ.get(ENV_TRANSIENT)
+    if transient and _claim_slot("transient", _parse_times(ENV_TRANSIENT, transient)):
+        raise InjectedFault(f"injected transient failure ({ENV_TRANSIENT})")
+
+
+def poison_mode() -> Optional[str]:
+    """The armed poison mode, or ``None``; rejects unknown modes loudly."""
+    mode = os.environ.get(ENV_POISON)
+    if not mode:
+        return None
+    if mode not in _POISON_MODES:
+        raise ValueError(
+            f"{ENV_POISON} must be one of {', '.join(_POISON_MODES)}, got {mode!r}"
+        )
+    return mode
+
+
+def state_is_poison(state) -> bool:
+    """True when some tuple of ``state`` contains :data:`POISON_VALUE`."""
+    return any(
+        POISON_VALUE in row for relation in state.relations for row in relation.rows
+    )
+
+
+def check_state(state) -> None:
+    """State-level fault point: fail ``state`` if it is marked poison.
+
+    Called by the worker for every state of a shard *and* by the executor's
+    in-process fallback, so the ``always`` mode can prove the quarantine
+    path while ``worker``/``crash`` prove graceful degradation onto the
+    in-process backend.
+    """
+    mode = poison_mode()
+    if mode is None:
+        return
+    in_worker = _in_worker()
+    if mode in ("worker", "crash") and not in_worker:
+        return
+    if not state_is_poison(state):
+        return
+    if mode == "crash":
+        os._exit(CRASH_EXIT_STATUS)
+    raise InjectedFault(f"injected poison-state failure ({ENV_POISON}={mode})")

@@ -1,4 +1,4 @@
-"""Sharded multi-process execution for batched plan serving.
+"""Sharded multi-process execution for batched plan serving, with supervision.
 
 Semijoin-program serving is embarrassingly parallel across database states:
 one full-reducer pass plus bottom-up join per Yannakakis touches only its own
@@ -33,37 +33,101 @@ reassembled in input order; per-shard :class:`ExecutionStats` are merged into
 one :class:`ParallelStats` with per-worker attribution, shared by every run
 of the batch, and every run reports ``backend="parallel"``.
 
+**Supervision (PR 6).**  A long-lived serving pool must survive the things
+processes do: crash, hang, and choke on states that cannot cross a pickle
+boundary.  :meth:`ParallelExecutor.execute_many` therefore runs a
+supervision loop rather than a blocking gather:
+
+* **worker death** (``BrokenProcessPool`` — segfault, ``os._exit``, OOM
+  kill) respawns the pool within a bounded per-batch budget
+  (``max_respawns``) and resubmits only the shards whose results were lost;
+* **per-shard timeouts** (``shard_timeout=`` /
+  ``REPRO_PARALLEL_SHARD_TIMEOUT``) detect hung workers: the pool is killed
+  and respawned, the overdue shard is charged a failure, and innocent
+  in-flight shards are resubmitted without penalty.  When a timeout is
+  armed, at most ``workers`` shards are dispatched at a time so a shard's
+  deadline clock starts when it can actually run, not when it enters a
+  queue;
+* **retry with exponential backoff** (``max_retries=`` /
+  ``REPRO_PARALLEL_MAX_RETRIES``): a failed or timed-out shard is
+  resubmitted up to ``max_retries`` times (sleeping
+  ``retry_backoff * 2**(attempt-1)`` between attempts), after which it is
+  **bisected** — split in half and re-executed — until the offending
+  state(s) are isolated;
+* **poison-state quarantine**: a state that still fails alone is retried
+  once on the in-process compiled backend (which clears pickle failures and
+  worker-only crashes); only if that also fails is it quarantined.  Under
+  ``failure_policy="raise"`` (default) the batch then raises a structured
+  :class:`~repro.exceptions.ShardExecutionError` carrying per-state
+  attribution; under ``failure_policy="degrade"`` the batch returns with
+  ``None`` at the quarantined input positions and the indices reported in
+  :attr:`ParallelStats.quarantined`.  Timed-out states are never retried
+  in-process (an in-process hang would stall the serving process itself) —
+  they quarantine directly with a
+  :class:`~repro.exceptions.ShardTimeoutError`.
+
+Attribution under pool breakage is necessarily pessimistic: when a worker
+dies, every in-flight shard is charged an attempt, because the parent cannot
+know which shard the dead worker was executing.  Innocent shards may
+therefore be bisected or even fall back in-process — extra work, never a
+wrong answer — and every recovery path is held hypothesis-equal to
+``backend="classic"`` by the fault-injection suite
+(:mod:`repro.engine.faults`, ``tests/engine/test_fault_tolerance.py``).
+
 Worker-count resolution honours the ``REPRO_PARALLEL_MAX_WORKERS``
 environment variable (a hard cap, used by CI to keep the suite stable on
 small runners); the start method defaults to ``fork`` on Linux (cheapest
 spawn; see ``docs/api.md`` for the fork/spawn trade-offs) and ``spawn``
 elsewhere, and can be forced with ``REPRO_PARALLEL_START_METHOD`` or the
-constructor argument.
+constructor argument.  Failure semantics are documented end to end in
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import sys
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..exceptions import (
+    ExecutionError,
+    ShardExecutionError,
+    ShardTimeoutError,
+    StatePicklingError,
+    WorkerCrashError,
+)
 from ..relational.compiled import DEFAULT_MAX_INTERNED_VALUES, ExecutionStats
 from ..relational.database import DatabaseState
 from ..relational.yannakakis import YannakakisRun
 from ..hypergraph.schema import RelationSchema
+from . import faults
 
 __all__ = [
+    "ENV_MAX_RETRIES",
     "ENV_MAX_WORKERS",
+    "ENV_SHARD_TIMEOUT",
     "ENV_START_METHOD",
+    "FAILURE_POLICIES",
     "ParallelExecutor",
     "ParallelStats",
     "PlanSpec",
     "plan_shards",
+    "resolve_failure_policy",
+    "resolve_max_retries",
+    "resolve_shard_timeout",
     "resolve_start_method",
     "resolve_worker_count",
 ]
@@ -73,6 +137,29 @@ ENV_MAX_WORKERS = "REPRO_PARALLEL_MAX_WORKERS"
 
 #: Environment variable forcing the multiprocessing start method.
 ENV_START_METHOD = "REPRO_PARALLEL_START_METHOD"
+
+#: Environment variable holding the default per-shard timeout (seconds).
+ENV_SHARD_TIMEOUT = "REPRO_PARALLEL_SHARD_TIMEOUT"
+
+#: Environment variable holding the default per-shard retry budget.
+ENV_MAX_RETRIES = "REPRO_PARALLEL_MAX_RETRIES"
+
+#: Accepted values for ``failure_policy``.
+FAILURE_POLICIES = ("raise", "degrade")
+
+#: Default per-shard retry budget (attempts beyond the first).
+DEFAULT_MAX_RETRIES = 2
+
+#: Default per-batch pool-respawn budget.  Each worker death *and* each
+#: timeout kill consumes one unit; exhausting it raises
+#: :class:`~repro.exceptions.WorkerCrashError` regardless of the failure
+#: policy, because a pool that cannot stay alive is a systemic failure, not
+#: a per-state one.
+DEFAULT_MAX_RESPAWNS = 8
+
+#: Default base for exponential retry backoff (seconds); attempt ``n``
+#: sleeps ``retry_backoff * 2**(n-1)`` before resubmission.
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
 def resolve_worker_count(workers: Optional[int]) -> int:
@@ -126,6 +213,56 @@ def resolve_start_method(method: Optional[str] = None) -> str:
             f"start method {method!r} not available here (have: {', '.join(available)})"
         )
     return method
+
+
+def resolve_shard_timeout(timeout: Optional[float]) -> Optional[float]:
+    """Resolve a per-shard timeout: explicit beats :data:`ENV_SHARD_TIMEOUT`.
+
+    ``None`` with the env var unset means *no timeout* (a hung worker blocks
+    the batch, exactly as a hung in-process execution would).  The timeout
+    bounds one shard *attempt*, measured from dispatch to a free worker.
+    """
+    if timeout is None:
+        text = os.environ.get(ENV_SHARD_TIMEOUT)
+        if not text:
+            return None
+        try:
+            timeout = float(text)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_SHARD_TIMEOUT} must be a number of seconds, got {text!r}"
+            ) from None
+    if timeout <= 0:
+        raise ValueError(f"shard_timeout must be > 0, got {timeout}")
+    return timeout
+
+
+def resolve_max_retries(retries: Optional[int]) -> int:
+    """Resolve the per-shard retry budget: explicit beats
+    :data:`ENV_MAX_RETRIES` beats :data:`DEFAULT_MAX_RETRIES` (2)."""
+    if retries is None:
+        text = os.environ.get(ENV_MAX_RETRIES)
+        if not text:
+            return DEFAULT_MAX_RETRIES
+        try:
+            retries = int(text)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_MAX_RETRIES} must be an integer, got {text!r}"
+            ) from None
+    if retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {retries}")
+    return retries
+
+
+def resolve_failure_policy(policy: str) -> str:
+    """Validate a ``failure_policy`` value (``raise`` or ``degrade``)."""
+    if policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"failure_policy must be one of {', '.join(FAILURE_POLICIES)}, "
+            f"got {policy!r}"
+        )
+    return policy
 
 
 @dataclass(frozen=True)
@@ -227,14 +364,23 @@ def _execute_shard(
 
     Returns ``(pid, plans_compiled, runs, shard_stats)``; runs are decoded
     (plain-value relations) before pickling back, so worker-local interner
-    codes never leave the process.
+    codes never leave the process.  The injectable fault points of
+    :mod:`repro.engine.faults` hook in here — once per shard, once per
+    state — and cost four env lookups per shard when nothing is armed.
     """
+    inject = faults.any_active()
+    if inject:
+        faults.on_shard_start()
     prepared, compiled_now = _plan_for_spec(spec)
     stats = ExecutionStats()
     # The compiled plan handles every schema, the empty one included, and
     # its encode path is what keeps ``stats.states`` accounting truthful.
     plan = prepared.compiled
-    runs = [plan.execute_state(state, stats=stats) for state in states]
+    runs = []
+    for state in states:
+        if inject:
+            faults.check_state(state)
+        runs.append(plan.execute_state(state, stats=stats))
     return os.getpid(), compiled_now, runs, stats
 
 
@@ -285,19 +431,51 @@ class ParallelStats(ExecutionStats):
     across *workers* the same (slot, key) index is built once per worker that
     touched the slot, since encodings are worker-local) with the parallel
     layer's own accounting: resolved ``workers``, shard count and sizes,
-    total ``plan_compiles``, and ``per_worker`` attribution keyed by worker
-    pid.
+    total ``plan_compiles``, ``per_worker`` attribution keyed by worker pid,
+    and the supervision counters of PR 6 — ``retries`` (shard resubmissions
+    beyond first attempts), ``respawns`` (pool rebuilds after worker death
+    or timeout kill), ``timeouts`` (shard attempts past ``shard_timeout``),
+    ``bisections`` (failing shards split to isolate offenders),
+    ``fallback_runs`` (states recovered on the in-process compiled backend),
+    ``quarantined`` (input positions whose states could not be executed at
+    all — non-empty only under ``failure_policy="degrade"``, since ``raise``
+    surfaces them as a :class:`~repro.exceptions.ShardExecutionError`), and
+    ``worker_crashes`` (pid → observed death count, best effort — a pid that
+    died before ever reporting a shard appears here and not in
+    ``per_worker``).
     """
 
-    __slots__ = ("workers", "shard_sizes", "plan_compiles", "per_worker")
+    __slots__ = (
+        "workers",
+        "shard_sizes",
+        "plan_compiles",
+        "per_worker",
+        "failure_policy",
+        "retries",
+        "respawns",
+        "timeouts",
+        "bisections",
+        "fallback_runs",
+        "quarantined",
+        "worker_crashes",
+    )
 
     def __init__(self, workers: int) -> None:
         super().__init__()
         self.workers = workers
-        #: States per shard, in dispatch (heaviest-first) order.
+        #: States per shard, in completion order (fallback runs excluded:
+        #: ``states == sum(shard_sizes) + fallback_runs``).
         self.shard_sizes: List[int] = []
         self.plan_compiles = 0
         self.per_worker: Dict[int, Dict[str, int]] = {}
+        self.failure_policy = "raise"
+        self.retries = 0
+        self.respawns = 0
+        self.timeouts = 0
+        self.bisections = 0
+        self.fallback_runs = 0
+        self.quarantined: List[int] = []
+        self.worker_crashes: Dict[int, int] = {}
 
     @property
     def shard_count(self) -> int:
@@ -335,18 +513,58 @@ class ParallelStats(ExecutionStats):
         info["bucket_builds"] += shard_stats.total_bucket_builds()
         info["interner_resets"] += shard_stats.interner_resets
 
+    def record_crash(self, pid: int) -> None:
+        """Note one observed worker death (best-effort attribution)."""
+        self.worker_crashes[pid] = self.worker_crashes.get(pid, 0) + 1
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"ParallelStats(workers={self.workers}, shards={self.shard_count}, "
-            f"states={self.states}, plan_compiles={self.plan_compiles})"
+            f"states={self.states}, plan_compiles={self.plan_compiles}, "
+            f"retries={self.retries}, respawns={self.respawns}, "
+            f"quarantined={len(self.quarantined)})"
         )
 
 
-# -- the executor --------------------------------------------------------------
+# -- supervision ---------------------------------------------------------------
+
+
+@dataclass
+class _ShardTask:
+    """One unit of supervised work: a set of unique-state indices.
+
+    ``attempt`` counts failures charged so far; a task past the retry budget
+    is bisected (size > 1) or sent to isolation handling (size 1).
+    """
+
+    indices: List[int]
+    attempt: int = 0
+    last_error: Optional[BaseException] = None
+    timed_out: bool = False
+    #: Charged on pool breakage without proof this task was executing (the
+    #: parent cannot attribute a worker death to a shard).  An innocent task
+    #: that exhausts retries this way still ends in a *correct* place — its
+    #: bisected children, or the in-process fallback, simply succeed.
+    pessimistic: bool = field(default=False, repr=False)
+
+
+def _looks_like_pickling_error(error: BaseException) -> bool:
+    """True for the exception shapes CPython raises on unpicklable args.
+
+    ``pickle.PicklingError`` covers top-level functions and closures, but the
+    pickle machinery also leaks ``TypeError`` ("cannot pickle '_thread.lock'
+    object") and ``AttributeError`` ("Can't pickle local object ...")
+    depending on where reduction fails, so those are matched by message.
+    """
+    if isinstance(error, pickle.PicklingError):
+        return True
+    return isinstance(error, (TypeError, AttributeError)) and (
+        "pickle" in str(error).lower()
+    )
 
 
 class ParallelExecutor:
-    """A reusable process pool for sharded batched plan execution.
+    """A reusable, supervised process pool for sharded batched execution.
 
     Lifecycle: construct once, call :meth:`execute_many` any number of times
     (for any number of distinct prepared queries — workers cache plans per
@@ -355,6 +573,14 @@ class ParallelExecutor:
     eagerly (and round-trips one no-op per worker) so serving processes can
     pay the spawn cost at startup instead of on the first request — the
     benchmarks time exactly this distinction.
+
+    Fault tolerance is always on: worker death respawns the pool (within
+    ``max_respawns`` per batch) and resubmits only the lost shards, and
+    failed shards are retried/bisected per the module docstring.  The
+    optional knobs — ``shard_timeout``, ``max_retries``, ``failure_policy``,
+    ``retry_backoff`` — set executor-wide defaults that individual
+    :meth:`execute_many` calls may override.  :attr:`healthy` and
+    :attr:`restarts` expose the supervision state for serving dashboards.
 
     One-shot use (``PreparedQuery.execute_many(..., backend="parallel")``
     without an executor) constructs, uses and closes a pool per call, which
@@ -368,12 +594,19 @@ class ParallelExecutor:
     #: idling behind a mis-estimated heavy shard.
     DEFAULT_SHARDS_PER_WORKER = 4
 
+    _UNSET = object()
+
     def __init__(
         self,
         workers: Optional[int] = None,
         *,
         start_method: Optional[str] = None,
         shards_per_worker: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        failure_policy: str = "raise",
+        max_respawns: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
     ) -> None:
         self._workers = resolve_worker_count(workers)
         self._start_method = resolve_start_method(start_method)
@@ -385,8 +618,20 @@ class ParallelExecutor:
         if shards < 1:
             raise ValueError(f"shards_per_worker must be >= 1, got {shards}")
         self._shards_per_worker = shards
+        self._shard_timeout = resolve_shard_timeout(shard_timeout)
+        self._max_retries = resolve_max_retries(max_retries)
+        self._failure_policy = resolve_failure_policy(failure_policy)
+        respawns = DEFAULT_MAX_RESPAWNS if max_respawns is None else max_respawns
+        if respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {respawns}")
+        self._max_respawns = respawns
+        backoff = DEFAULT_RETRY_BACKOFF if retry_backoff is None else retry_backoff
+        if backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {backoff}")
+        self._retry_backoff = backoff
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
+        self._restarts = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -399,6 +644,28 @@ class ParallelExecutor:
     def start_method(self) -> str:
         """The multiprocessing start method the pool uses."""
         return self._start_method
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the executor can currently accept work.
+
+        True while open with a live (or not-yet-started — the next batch
+        spawns it) pool; False once closed or when the pool is broken and
+        has not been respawned yet.  Supervision repairs a broken pool on
+        the next :meth:`execute_many`, so an unhealthy-but-open executor is
+        a transient state, not a terminal one.
+        """
+        if self._closed:
+            return False
+        pool = self._pool
+        if pool is None:
+            return True
+        return not getattr(pool, "_broken", False)
+
+    @property
+    def restarts(self) -> int:
+        """Lifetime pool respawns (worker deaths + timeout kills recovered)."""
+        return self._restarts
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._closed:
@@ -425,12 +692,42 @@ class ParallelExecutor:
             future.result()
         return self._workers
 
+    def _kill_pool(self) -> None:
+        """Tear the current pool down hard, surviving a broken one.
+
+        Hung or dead workers are terminated directly (``shutdown`` alone
+        would block behind a sleeping worker); every error is swallowed
+        because the pool being un-shutdown-ably broken is exactly the case
+        this path exists for.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
     def close(self) -> None:
-        """Shut the pool down (idempotent); the executor is unusable after."""
+        """Shut the pool down (idempotent); the executor is unusable after.
+
+        Safe on a broken pool: shutdown errors from already-dead workers are
+        swallowed, so ``close()``/``__exit__`` never raise over a crash that
+        execution already reported.
+        """
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True)
+            except Exception:
+                pass
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -442,14 +739,21 @@ class ParallelExecutor:
         status = "closed" if self._closed else ("idle" if self._pool is None else "live")
         return (
             f"ParallelExecutor(workers={self._workers}, "
-            f"start_method={self._start_method!r}, {status})"
+            f"start_method={self._start_method!r}, restarts={self._restarts}, "
+            f"{status})"
         )
 
     # -- execution -------------------------------------------------------------
 
     def execute_many(
-        self, prepared, states: Iterable[DatabaseState]
-    ) -> List[YannakakisRun]:
+        self,
+        prepared,
+        states: Iterable[DatabaseState],
+        *,
+        shard_timeout: Any = _UNSET,
+        max_retries: Any = _UNSET,
+        failure_policy: Any = _UNSET,
+    ) -> List[Optional[YannakakisRun]]:
         """Execute a prepared query against every state across the pool.
 
         Semantics match ``prepared.execute_many(states)`` exactly — same
@@ -457,11 +761,35 @@ class ParallelExecutor:
         verbatim duplicate states are executed once and share a run.  Every
         returned run reports ``backend="parallel"`` and carries one shared
         :class:`ParallelStats` for the batch.
+
+        The keyword arguments override the executor-wide defaults for this
+        batch.  Under ``failure_policy="degrade"`` the returned list holds
+        ``None`` at every input position whose state was quarantined (the
+        same positions listed in ``ParallelStats.quarantined``); under the
+        default ``"raise"`` policy a batch with quarantined states raises
+        :class:`~repro.exceptions.ShardExecutionError` instead, and a pool
+        that cannot be kept alive raises
+        :class:`~repro.exceptions.WorkerCrashError` under either policy.
         """
         state_list = list(states)
         if not state_list:
             return []
         spec = prepared.plan_spec()
+        timeout = (
+            self._shard_timeout
+            if shard_timeout is self._UNSET
+            else resolve_shard_timeout(shard_timeout)
+        )
+        retries = (
+            self._max_retries
+            if max_retries is self._UNSET
+            else resolve_max_retries(max_retries)
+        )
+        policy = (
+            self._failure_policy
+            if failure_policy is self._UNSET
+            else resolve_failure_policy(failure_policy)
+        )
 
         # Verbatim-duplicate dedup (mirrors CompiledPlan.execute_batch):
         # duplicate requests ride along for free and never cross the wire
@@ -483,26 +811,266 @@ class ParallelExecutor:
         # being pickled onto the queue.
         shards.sort(key=lambda indices: -sum(costs[index] for index in indices))
 
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(
-                _execute_shard,
-                spec,
-                tuple(unique_states[index] for index in indices),
-            )
-            for indices in shards
-        ]
-
         stats = ParallelStats(self._workers)
+        stats.failure_policy = policy
         unique_runs: List[Optional[YannakakisRun]] = [None] * len(unique_states)
-        for indices, future in zip(shards, futures):
-            pid, compiled_now, runs, shard_stats = future.result()
-            stats.record_shard(pid, compiled_now, len(indices), shard_stats)
-            for index, run in zip(indices, runs):
-                unique_runs[index] = run
+        quarantine: Dict[int, BaseException] = {}
+        #: First input position per unique state, for human-facing attribution.
+        first_position = {}
+        for position, index in enumerate(positions):
+            first_position.setdefault(index, position)
+
+        tasks: "deque[_ShardTask]" = deque(_ShardTask(list(s)) for s in shards)
+        inflight: Dict[Future, _ShardTask] = {}
+        deadlines: Dict[Future, float] = {}
+        respawns_left = self._max_respawns
+        # When a timeout is armed, dispatch at most one shard per worker so a
+        # shard's deadline clock starts when it can actually run; unlimited
+        # dispatch would start the clock while the shard sits in the queue.
+        max_inflight = self._workers if timeout is not None else None
+
+        def fallback_in_process(index: int, error: BaseException) -> None:
+            """Last resort for a state that failed in isolation: run it on
+            the in-process compiled backend (clears pickle failures and
+            worker-only crashes), quarantining it only if that fails too."""
+            state = unique_states[index]
+            try:
+                faults.check_state(state)
+                run = prepared.compiled.execute_state(state, stats=stats)
+            except Exception as fallback_error:
+                if _looks_like_pickling_error(error):
+                    cause: BaseException = StatePicklingError(
+                        f"state at input position {first_position[index]} "
+                        f"cannot be pickled across the process boundary and "
+                        f"also failed on the in-process backend",
+                        state_index=first_position[index],
+                    )
+                    cause.__cause__ = fallback_error
+                else:
+                    cause = fallback_error
+                quarantine[index] = cause
+                return
+            stats.fallback_runs += 1
+            unique_runs[index] = run
+
+        def fail_task(
+            task: _ShardTask,
+            error: BaseException,
+            *,
+            timed_out: bool = False,
+            pessimistic: bool = False,
+        ) -> None:
+            """Charge one failure to a task and route it onward: resubmit
+            (with backoff), bisect, or isolate."""
+            task.attempt += 1
+            task.last_error = error
+            task.timed_out = timed_out
+            task.pessimistic = pessimistic
+            if timed_out:
+                stats.timeouts += 1
+            if _looks_like_pickling_error(error):
+                # Deterministic failure: retrying the identical pickle is
+                # pointless.  Probe each state individually — offenders go
+                # straight to the in-process fallback, the rest re-run.
+                survivors: List[int] = []
+                for index in task.indices:
+                    try:
+                        pickle.dumps(unique_states[index])
+                    except Exception:
+                        fallback_in_process(index, error)
+                    else:
+                        survivors.append(index)
+                if survivors:
+                    if len(survivors) == len(task.indices):
+                        # Nothing in the shard is unpicklable: the spec (or
+                        # the result path) is the problem, and resubmitting
+                        # cannot fix it.
+                        raise StatePicklingError(
+                            f"shard submission failed to pickle but every "
+                            f"state pickles cleanly; the plan spec is the "
+                            f"likely offender: {error}"
+                        ) from error
+                    tasks.append(_ShardTask(survivors))
+                return
+            if task.attempt <= retries:
+                stats.retries += 1
+                backoff = self._retry_backoff * (2 ** (task.attempt - 1))
+                if backoff:
+                    time.sleep(backoff)
+                tasks.append(task)
+                return
+            if len(task.indices) > 1:
+                # Retry budget exhausted on a multi-state shard: bisect to
+                # isolate the offender(s).  Children restart their budgets;
+                # sizes strictly shrink, so this terminates at singletons.
+                stats.bisections += 1
+                middle = len(task.indices) // 2
+                tasks.append(_ShardTask(task.indices[:middle]))
+                tasks.append(_ShardTask(task.indices[middle:]))
+                return
+            index = task.indices[0]
+            if timed_out:
+                # Never re-run a hanger in-process: an in-process hang would
+                # stall the serving process with no supervisor above it.
+                quarantine[index] = ShardTimeoutError(
+                    f"state at input position {first_position[index]} timed "
+                    f"out after {task.attempt} attempt(s) of "
+                    f"{timeout:g}s each",
+                    state_indices=(first_position[index],),
+                )
+                return
+            fallback_in_process(index, error)
+
+        def respawn(reason: BaseException) -> ProcessPoolExecutor:
+            nonlocal respawns_left
+            pool = self._pool
+            if pool is not None:
+                processes = getattr(pool, "_processes", None) or {}
+                for pid, process in list(processes.items()):
+                    exitcode = getattr(process, "exitcode", None)
+                    if exitcode not in (None, 0):
+                        stats.record_crash(pid)
+            if respawns_left <= 0:
+                self._kill_pool()
+                raise WorkerCrashError(
+                    f"pool respawn budget exhausted ({self._max_respawns} "
+                    f"respawns) while executing the batch; last failure: "
+                    f"{reason!r}"
+                ) from reason
+            respawns_left -= 1
+            self._kill_pool()
+            self._restarts += 1
+            stats.respawns += 1
+            return self._ensure_pool()
+
+        pool = self._ensure_pool()
+        while tasks or inflight:
+            # -- dispatch ------------------------------------------------------
+            submit_failure: Optional[BaseException] = None
+            while tasks and (max_inflight is None or len(inflight) < max_inflight):
+                task = tasks.popleft()
+                if not task.indices:
+                    continue
+                try:
+                    future = pool.submit(
+                        _execute_shard,
+                        spec,
+                        tuple(unique_states[index] for index in task.indices),
+                    )
+                except BrokenExecutor as error:
+                    tasks.appendleft(task)
+                    submit_failure = error
+                    break
+                except RuntimeError as error:
+                    # A pool shut down underneath us (closed concurrently).
+                    tasks.appendleft(task)
+                    raise ExecutionError(
+                        f"pool rejected shard submission: {error}"
+                    ) from error
+                inflight[future] = task
+                if timeout is not None:
+                    deadlines[future] = time.monotonic() + timeout
+            if submit_failure is not None:
+                lost = list(inflight.values())
+                inflight.clear()
+                deadlines.clear()
+                pool = respawn(submit_failure)
+                for task in lost:
+                    fail_task(task, submit_failure, pessimistic=True)
+                continue
+            if not inflight:
+                continue
+
+            # -- harvest -------------------------------------------------------
+            wait_timeout = None
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            done, _ = wait(
+                set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+            breakage: Optional[BaseException] = None
+            broken_tasks: List[_ShardTask] = []
+            for future in done:
+                task = inflight.pop(future)
+                deadlines.pop(future, None)
+                try:
+                    pid, compiled_now, runs, shard_stats = future.result()
+                except BrokenExecutor as error:
+                    breakage = error
+                    broken_tasks.append(task)
+                except Exception as error:
+                    fail_task(task, error)
+                else:
+                    stats.record_shard(pid, compiled_now, len(task.indices), shard_stats)
+                    for index, run in zip(task.indices, runs):
+                        unique_runs[index] = run
+            if breakage is not None:
+                # The pool is dead: every other in-flight future is doomed
+                # too.  Reclaim them all; attribution is pessimistic (see
+                # the module docstring) but never wrong.
+                broken_tasks.extend(inflight.values())
+                inflight.clear()
+                deadlines.clear()
+                pool = respawn(breakage)
+                for task in broken_tasks:
+                    fail_task(task, breakage, pessimistic=True)
+                continue
+
+            # -- timeout scan --------------------------------------------------
+            if deadlines:
+                now = time.monotonic()
+                overdue = [
+                    future for future, deadline in deadlines.items() if deadline <= now
+                ]
+                if overdue:
+                    overdue_tasks = [inflight[future] for future in overdue]
+                    innocent = [
+                        inflight[future]
+                        for future in inflight
+                        if future not in set(overdue)
+                    ]
+                    inflight.clear()
+                    deadlines.clear()
+                    hang = ShardTimeoutError(
+                        f"shard exceeded shard_timeout={timeout:g}s; worker killed"
+                    )
+                    pool = respawn(hang)
+                    for task in overdue_tasks:
+                        fail_task(task, hang, timed_out=True)
+                    # We killed the innocents ourselves — resubmit without
+                    # charging an attempt.
+                    tasks.extend(innocent)
+
         stats.deduped_states += len(state_list) - len(unique_states)
 
+        missing = [
+            index
+            for index, run in enumerate(unique_runs)
+            if run is None and index not in quarantine
+        ]
+        if missing:  # pragma: no cover - supervision invariant
+            raise ExecutionError(
+                f"internal error: {len(missing)} state(s) finished neither "
+                f"executed nor quarantined"
+            )
+
+        if quarantine:
+            causes: Dict[int, BaseException] = {}
+            for position, index in enumerate(positions):
+                if index in quarantine:
+                    causes[position] = quarantine[index]
+            stats.quarantined = sorted(causes)
+            if policy == "raise":
+                raise ShardExecutionError(
+                    f"{len(causes)} of {len(state_list)} state(s) could not "
+                    f"be executed after retry, bisection and in-process "
+                    f"fallback (positions {stats.quarantined}); pass "
+                    f"failure_policy='degrade' for partial results",
+                    causes,
+                )
+
         retagged = [
-            replace(run, backend="parallel", stats=stats) for run in unique_runs
+            None if run is None else replace(run, backend="parallel", stats=stats)
+            for run in unique_runs
         ]
         return [retagged[index] for index in positions]

@@ -418,6 +418,9 @@ class PreparedQuery:
         backend: str = "auto",
         workers: Optional[int] = None,
         executor: Optional[object] = None,
+        shard_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        failure_policy: Optional[str] = None,
     ) -> List[YannakakisRun]:
         """Execute the plan against each state, amortizing the planning cost.
 
@@ -441,6 +444,16 @@ class PreparedQuery:
         compilation across calls.  Results come back in input order and every
         run reports ``backend="parallel"`` with one merged
         :class:`~repro.engine.parallel.ParallelStats` for the batch.
+
+        The robustness knobs — ``shard_timeout`` (seconds per shard attempt),
+        ``max_retries`` (resubmissions before bisection) and
+        ``failure_policy`` (``"raise"`` or ``"degrade"``) — apply to parallel
+        execution only and are rejected for the serial backends.  When an
+        ``executor`` is supplied they override its configured defaults for
+        this batch; left ``None``, the executor's (or the environment's)
+        defaults apply.  Under ``failure_policy="degrade"`` the returned
+        list contains ``None`` at quarantined input positions; see
+        :mod:`repro.engine.parallel` and ``docs/robustness.md``.
         """
         resolved = resolve_backend(backend)
         # Validate the *raw* backend string: "auto" may opt into the pool an
@@ -449,19 +462,31 @@ class PreparedQuery:
         if executor is not None and backend not in ("parallel", "auto"):
             raise ValueError("executor= requires backend='parallel' (or 'auto')")
         if executor is not None or resolved == "parallel":
+            overrides = {}
+            if shard_timeout is not None:
+                overrides["shard_timeout"] = shard_timeout
+            if max_retries is not None:
+                overrides["max_retries"] = max_retries
+            if failure_policy is not None:
+                overrides["failure_policy"] = failure_policy
             if executor is not None:
                 if workers is not None:
                     raise ValueError(
                         "workers= cannot be combined with executor=; the "
                         "executor's pool width applies"
                     )
-                return executor.execute_many(self, states)
+                return executor.execute_many(self, states, **overrides)
             from .parallel import ParallelExecutor
 
             with ParallelExecutor(workers=workers) as pool:
-                return pool.execute_many(self, states)
+                return pool.execute_many(self, states, **overrides)
         if workers is not None:
             raise ValueError("workers= requires backend='parallel'")
+        if shard_timeout is not None or max_retries is not None or failure_policy is not None:
+            raise ValueError(
+                "shard_timeout=/max_retries=/failure_policy= require "
+                "backend='parallel'; the serial backends run in-process"
+            )
         if resolved == "compiled" and len(self._schema) > 0:
             return self.compiled.execute_batch(states)
         return [self.execute(state, backend=resolved) for state in states]

@@ -69,3 +69,82 @@ class SearchBudgetExceeded(ReproError):
     blow-up.  Catching this exception and retrying with a larger budget is
     always safe.
     """
+
+
+class ExecutionError(ReproError):
+    """Base class for runtime execution failures of the serving layer.
+
+    Planning and schema errors stay under :class:`SchemaError`; this branch
+    of the hierarchy covers failures that happen while *executing* a compiled
+    plan — worker processes dying, shards timing out, states that cannot
+    cross a process boundary.  Every subclass is raised by the parallel
+    executor's supervision machinery (:mod:`repro.engine.parallel`).
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died (segfault, ``os._exit``, OOM kill) and the pool
+    could not be recovered within the respawn budget.
+
+    While the respawn budget lasts, worker death is handled transparently —
+    the pool is respawned and only the lost shards are resubmitted — so this
+    error surfaces only when crashes repeat past
+    ``ParallelExecutor(max_respawns=...)``.
+    """
+
+
+class ShardTimeoutError(ExecutionError):
+    """A shard exceeded ``shard_timeout`` and its worker had to be killed.
+
+    Carries ``state_indices`` — the input positions of the states that kept
+    timing out after retry and bisection isolated them.  Timed-out states are
+    never retried on the in-process backend (an in-process hang would stall
+    the caller forever), so repeated timeout leads directly here or, under
+    ``failure_policy="degrade"``, to quarantine.
+    """
+
+    def __init__(self, message: str, state_indices: "tuple" = ()) -> None:
+        super().__init__(message)
+        #: Input positions of the states attributed to the timeout.
+        self.state_indices = tuple(state_indices)
+
+
+class StatePicklingError(ExecutionError):
+    """A database state (or the plan spec) could not be pickled across the
+    process boundary.
+
+    ``state_index`` names the offending state's input position, or ``None``
+    when the failure is attributed to the plan spec itself.  The parallel
+    executor converts the opaque ``PicklingError`` a worker submission
+    produces into this error by probing each state of the failed shard
+    individually; unpicklable states are first retried on the in-process
+    compiled backend, so this surfaces only when that fallback also fails.
+    """
+
+    def __init__(self, message: str, state_index: "int | None" = None) -> None:
+        super().__init__(message)
+        #: Input position of the unpicklable state (``None``: the spec).
+        self.state_index = state_index
+
+
+class ShardExecutionError(ExecutionError):
+    """A batch finished with quarantined states under ``failure_policy="raise"``.
+
+    The structured summary of everything the supervision machinery could not
+    recover: ``state_indices`` holds the input positions of the quarantined
+    states and ``causes`` maps each of those positions to the terminal
+    exception recorded for it (an :class:`ExecutionError` subclass, or the
+    original worker exception for plain execution failures).  Under
+    ``failure_policy="degrade"`` the same attribution is reported through
+    ``ParallelStats.quarantined`` instead of raising.
+    """
+
+    def __init__(self, message: str, causes: "dict" = ()) -> None:
+        super().__init__(message)
+        #: Input position -> terminal exception for every quarantined state.
+        self.causes = dict(causes)
+
+    @property
+    def state_indices(self) -> "tuple":
+        """Input positions of the quarantined states, sorted."""
+        return tuple(sorted(self.causes))

@@ -256,3 +256,59 @@ class TestQuery:
         ]))
         with pytest.raises(SystemExit):
             main(["query", "ab,bc", "a", "--data", str(data), "--states", "3"])
+
+
+class TestQueryRobustnessFlags:
+    def test_robustness_flags_require_parallel_backend(self):
+        for flags in (
+            ["--shard-timeout", "5"],
+            ["--retries", "3"],
+            ["--failure-policy", "degrade"],
+        ):
+            with pytest.raises(SystemExit):
+                main(["query", "ab,bc", "a", "--random", "5"] + flags)
+
+    def test_failure_policy_choices_validated_by_parser(self):
+        parser = build_parser()
+        arguments = parser.parse_args(
+            [
+                "query", "ab,bc", "a", "--random", "5",
+                "--backend", "parallel",
+                "--shard-timeout", "5", "--retries", "3",
+                "--failure-policy", "degrade",
+            ]
+        )
+        assert arguments.shard_timeout == 5.0
+        assert arguments.retries == 3
+        assert arguments.failure_policy == "degrade"
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                [
+                    "query", "ab,bc", "a", "--random", "5",
+                    "--backend", "parallel", "--failure-policy", "ignore",
+                ]
+            )
+
+    def test_parallel_json_includes_failure_stats(self, capsys):
+        assert main(
+            [
+                "query", "ab,bc,cd", "ad",
+                "--random", "8", "--states", "4",
+                "--backend", "parallel", "--workers", "2",
+                "--retries", "2", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "parallel"
+        failure = payload["parallel_stats"]["failure_stats"]
+        assert failure["failure_policy"] == "raise"
+        # A healthy run exercises none of the recovery machinery.
+        assert failure["respawns"] == 0
+        assert failure["quarantined"] == []
+        assert set(failure) == {
+            "failure_policy", "retries", "respawns", "timeouts",
+            "bisections", "fallback_runs", "quarantined", "worker_crashes",
+        }
+        assert payload["answer_rows"] and all(
+            rows is not None for rows in payload["answer_rows"]
+        )
