@@ -807,6 +807,167 @@ def bench_robustness(repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
+#: Routing cases: (case, family, size, tuple_count, domain_size, count,
+#: mode, expected_backend).  The thin case sits under the router's
+#: small-batch gate; the heavy case carries enough rows that the cost model
+#: sends it to the (warm) pool even charged with dispatch overhead.
+SERVICE_ROUTING_CASES = (
+    ("svc-thin-chain-repeat-pool", "chain", 4, 15, 6, 24, "pool", "compiled"),
+    ("svc-heavy-chain-distinct", "chain", 5, 40, 12, 200, "distinct", "parallel"),
+)
+SERVICE_TRANSPORT_CASES = (
+    ("svc-shm-chain-distinct", "chain", 5, 40, 12, 200, "distinct"),
+)
+SERVICE_WORKERS = 2
+
+
+def bench_service(repeats: int) -> List[Dict[str, Any]]:
+    """The PR-7 serving layer: routing verdicts and the shm transport.
+
+    Routing rows submit each batch through a warm ``QueryService`` with
+    ``backend="auto"`` and record which backend the router picked
+    (``routed_backend``/``routing_rule``) next to the expectation the
+    acceptance criteria name — thin repeat-pool batches stay on the
+    in-process compiled backend, heavy distinct batches go to the pool.
+    The verdict is a function of the calibrated cost model and
+    ``workers=2``, not of the host, so it holds on small hosts too; the
+    *latency* numbers inherit the usual few-core caveat (``host_cpus``).
+
+    Transport rows time identical batches on one reused executor with
+    ``transport="pickle"`` vs ``transport="shm"``
+    (``shm_speedup_vs_pickle``; per-state shipping volume recorded as
+    ``shm_bytes_per_state``).  Fresh state sets per pass throughout, as
+    established in PR-4.
+    """
+    from repro.engine.parallel import ParallelExecutor
+    from repro.engine.service import QueryService
+
+    _warn_few_cores("service")
+    rows: List[Dict[str, Any]] = []
+    host_cpus = os.cpu_count() or 1
+    for entry in SERVICE_ROUTING_CASES:
+        case, family, size, tuple_count, domain_size, count, mode, expected = entry
+        schema, target = _serving_schema(family, size)
+        clear_analysis_cache()
+        prepared = analyze(schema).prepare(target)
+
+        def fresh_sets(salt: int) -> List[List[Any]]:
+            return [
+                _serving_states(
+                    schema,
+                    mode,
+                    tuple_count,
+                    domain_size,
+                    count,
+                    salt + 10_000 * (r + 1),
+                )
+                for r in range(repeats)
+            ]
+
+        with QueryService(workers=SERVICE_WORKERS) as service:
+            # Warm the spec's pinned pool so the router sees the long-lived
+            # serving shape (pool_live) instead of charging a spawn.
+            warmup = _serving_states(
+                schema, "distinct", tuple_count, domain_size, 40, 11_000_000
+            )
+            service.execute_many(prepared, warmup, backend="parallel")
+            decision = None
+            times = []
+            for states in fresh_sets(12_000_000):
+                start = time.perf_counter()
+                handle = service.submit(prepared, states)
+                handle.result()
+                times.append(time.perf_counter() - start)
+                decision = handle.decision
+            routed_s = statistics.median(times)
+        rows.append(
+            {
+                "case": case,
+                "family": family,
+                "states": count,
+                "mode": mode,
+                "workers": SERVICE_WORKERS,
+                "host_cpus": host_cpus,
+                "median_s": routed_s / count,
+                "routed_per_state_s": routed_s / count,
+                "routed_backend": decision.backend,
+                "routing_rule": decision.rule,
+                "expected_backend": expected,
+                "routing_matches_expected": decision.backend == expected,
+                "estimated_serial_s": decision.estimated_serial_s,
+                "estimated_parallel_s": decision.estimated_parallel_s,
+            }
+        )
+
+    for case, family, size, tuple_count, domain_size, count, mode in (
+        SERVICE_TRANSPORT_CASES
+    ):
+        schema, target = _serving_schema(family, size)
+        clear_analysis_cache()
+        prepared = analyze(schema).prepare(target)
+
+        def fresh_sets(salt: int) -> List[List[Any]]:
+            return [
+                _serving_states(
+                    schema,
+                    mode,
+                    tuple_count,
+                    domain_size,
+                    count,
+                    salt + 10_000 * (r + 1),
+                )
+                for r in range(repeats)
+            ]
+
+        def timed(fn, state_sets) -> float:
+            times = []
+            for states in state_sets:
+                start = time.perf_counter()
+                fn(states)
+                times.append(time.perf_counter() - start)
+            return statistics.median(times)
+
+        with ParallelExecutor(workers=SERVICE_WORKERS) as executor:
+            # One untimed batch: pool spawn + the workers' plan compile.
+            executor.execute_many(
+                prepared,
+                _serving_states(
+                    schema, mode, tuple_count, domain_size, count, 13_000_000
+                ),
+            )
+            pickle_s = timed(
+                lambda states: executor.execute_many(
+                    prepared, states, transport="pickle"
+                ),
+                fresh_sets(14_000_000),
+            )
+            shm_stats = {}
+
+            def run_shm(states):
+                runs = executor.execute_many(prepared, states, transport="shm")
+                shm_stats["stats"] = runs[0].stats
+
+            shm_s = timed(run_shm, fresh_sets(15_000_000))
+        stats = shm_stats["stats"]
+        rows.append(
+            {
+                "case": case,
+                "family": family,
+                "states": count,
+                "mode": mode,
+                "workers": SERVICE_WORKERS,
+                "host_cpus": host_cpus,
+                "median_s": shm_s / count,
+                "pickle_per_state_s": pickle_s / count,
+                "shm_per_state_s": shm_s / count,
+                "shm_speedup_vs_pickle": (pickle_s / shm_s) if shm_s else None,
+                "shm_segments_per_batch": stats.shm_segments,
+                "shm_bytes_per_state": stats.shm_bytes / count,
+            }
+        )
+    return rows
+
+
 def run_all(repeats: int) -> Dict[str, Any]:
     return {
         "python": platform.python_version(),
@@ -825,6 +986,7 @@ def run_all(repeats: int) -> Dict[str, Any]:
         "serving": bench_serving(repeats),
         "parallel": bench_parallel(repeats),
         "robustness": bench_robustness(repeats),
+        "service": bench_service(repeats),
     }
 
 
@@ -840,6 +1002,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
         "serving",
         "parallel",
         "robustness",
+        "service",
     ):
         before_rows = {row["case"]: row for row in before.get(section, ())}
         cases: Dict[str, float] = {}
@@ -861,7 +1024,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--phase", choices=("before", "after"), default="after")
-    parser.add_argument("--out", default="BENCH_PR6.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_PR7.json", help="output JSON path")
     parser.add_argument(
         "--before",
         default=None,

@@ -170,6 +170,29 @@ def build_parser() -> argparse.ArgumentParser:
         "positions reported in the stats",
     )
     query.add_argument(
+        "--stream",
+        action="store_true",
+        help="serve the batch through the streaming QueryService: results "
+        "arrive as shards complete, backend 'auto' is routed adaptively by "
+        "the per-plan cost model, and the routing decision is reported",
+    )
+    query.add_argument(
+        "--transport",
+        choices=("pickle", "shm"),
+        default=None,
+        help="with --backend parallel or --stream: how states cross the "
+        "process boundary — pickled task arguments or shared-memory "
+        "segments (default: REPRO_PARALLEL_TRANSPORT, else pickle)",
+    )
+    query.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --stream: admission-control cap on in-flight states "
+        "(default: unbounded)",
+    )
+    query.add_argument(
         "--max-rows", type=int, default=20, help="answer rows to print (text mode)"
     )
     add_json_flag(query)
@@ -388,26 +411,68 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
             for index in range(max(arguments.states, 1))
         ]
 
-    if arguments.workers is not None and arguments.backend != "parallel":
-        raise SystemExit("--workers requires --backend parallel")
-    if arguments.backend != "parallel" and (
-        arguments.shard_timeout is not None
-        or arguments.retries is not None
-        or arguments.failure_policy is not None
-    ):
-        raise SystemExit(
-            "--shard-timeout/--retries/--failure-policy require --backend parallel"
+    if arguments.max_inflight is not None and not arguments.stream:
+        raise SystemExit("--max-inflight requires --stream")
+    if not arguments.stream:
+        # The service routes 'auto' adaptively, so every parallel knob is
+        # meaningful under --stream; without it they bind to the pool and
+        # therefore require an explicit parallel backend.
+        if arguments.workers is not None and arguments.backend != "parallel":
+            raise SystemExit("--workers requires --backend parallel (or --stream)")
+        if arguments.backend != "parallel" and (
+            arguments.shard_timeout is not None
+            or arguments.retries is not None
+            or arguments.failure_policy is not None
+            or arguments.transport is not None
+        ):
+            raise SystemExit(
+                "--shard-timeout/--retries/--failure-policy/--transport "
+                "require --backend parallel (or --stream)"
+            )
+
+    stream_info: Optional[Dict[str, Any]] = None
+    stream_errors: Dict[int, BaseException] = {}
+    if arguments.stream:
+        from .engine import QueryService
+
+        start = time.perf_counter()
+        first_item_s: Optional[float] = None
+        runs: List[Any] = [None] * len(states)
+        with QueryService(
+            workers=arguments.workers,
+            transport=arguments.transport,
+            max_inflight_states=arguments.max_inflight,
+            shard_timeout=arguments.shard_timeout,
+            max_retries=arguments.retries,
+            failure_policy=arguments.failure_policy or "raise",
+        ) as service:
+            streamed = service.stream(prepared, states, backend=arguments.backend)
+            for item in streamed:
+                if first_item_s is None:
+                    first_item_s = time.perf_counter() - start
+                if item.ok:
+                    runs[item.index] = item.run
+                else:
+                    stream_errors[item.index] = item.error
+        elapsed = time.perf_counter() - start
+        stream_info = {
+            "routing": streamed.decision.as_dict(),
+            "transport": streamed.transport,
+            "shard_count": streamed.shard_count,
+            "first_item_s": first_item_s,
+        }
+    else:
+        start = time.perf_counter()
+        runs = prepared.execute_many(
+            states,
+            backend=arguments.backend,
+            workers=arguments.workers,
+            shard_timeout=arguments.shard_timeout,
+            max_retries=arguments.retries,
+            failure_policy=arguments.failure_policy,
+            transport=arguments.transport,
         )
-    start = time.perf_counter()
-    runs = prepared.execute_many(
-        states,
-        backend=arguments.backend,
-        workers=arguments.workers,
-        shard_timeout=arguments.shard_timeout,
-        max_retries=arguments.retries,
-        failure_policy=arguments.failure_policy,
-    )
-    elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start
     # Under --failure-policy degrade, quarantined input positions come back
     # as None; any surviving run carries the batch's shared stats.
     run = next((r for r in runs if r is not None), None)
@@ -440,6 +505,13 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
             ),
             "result": run.result.to_dicts() if len(states) == 1 else None,
         }
+        if stream_info is not None:
+            payload["stream"] = dict(stream_info)
+            if stream_errors:
+                payload["stream"]["errors"] = {
+                    str(index): f"{type(error).__name__}: {error}"
+                    for index, error in sorted(stream_errors.items())
+                }
         if stats is not None:
             payload["compiled_stats"] = {
                 "states_executed": stats.states,
@@ -456,6 +528,10 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
                 "shard_count": parallel_stats.shard_count,
                 "shard_sizes": parallel_stats.shard_sizes,
                 "plan_compiles": parallel_stats.plan_compiles,
+                "transport": parallel_stats.transport,
+                "shm_segments": parallel_stats.shm_segments,
+                "shm_bytes": parallel_stats.shm_bytes,
+                "routed_in_process": parallel_stats.routed_in_process,
                 "per_worker": {
                     str(pid): dict(info)
                     for pid, info in parallel_stats.per_worker.items()
@@ -482,6 +558,20 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
     print(f"plan: {len(prepared.semijoin_steps)} semijoins, "
           f"{len(prepared.join_steps)} joins (root R{prepared.root})")
     print(f"backend: {run.backend}; {len(states)} state(s) in {elapsed * 1e3:.2f} ms")
+    if stream_info is not None:
+        routing = stream_info["routing"]
+        first = stream_info["first_item_s"]
+        first_text = "no items" if first is None else (
+            f"first result after {first * 1e3:.2f} ms"
+        )
+        print(
+            f"stream: routed {routing['backend']} ({routing['rule']}), "
+            f"transport {stream_info['transport']}, "
+            f"{stream_info['shard_count']} shard(s), {first_text}"
+        )
+        if stream_errors:
+            positions = ", ".join(str(index) for index in sorted(stream_errors))
+            print(f"stream errors at positions: {positions}")
     if stats is not None and len(states) > 1:
         print(
             f"batch: {stats.states} executed, {stats.deduped_states} deduped, "

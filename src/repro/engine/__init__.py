@@ -27,6 +27,13 @@ This package is the primary public API of the library:
   fault-injection harness behind the recovery tests lives in
   :mod:`repro.engine.faults`.
 
+* :class:`QueryService` — the long-lived streaming serving front end
+  (:mod:`repro.engine.service`): thread-safe ``submit``/``stream`` APIs with
+  bounded admission control, adaptive compiled-vs-parallel routing from a
+  per-plan cost probe (:mod:`repro.engine.routing`), spec-pinned worker
+  pools for plan-cache affinity, and an optional shared-memory state
+  transport (``transport="shm"``).  See ``docs/serving.md``.
+
 The classic free functions (``gyo_reduce``, ``canonical_connection``,
 ``plan_join_query``, ``yannakakis``) remain available and now delegate here,
 so they amortize across calls automatically.  See ``docs/api.md``.
@@ -42,11 +49,25 @@ from .analysis import (
 )
 from .prepared import JoinStep, PreparedQuery, resolve_backend
 
-#: Re-exported lazily via __getattr__: repro.engine.parallel pulls in
-#: multiprocessing/concurrent.futures, which every plain `import repro`
-#: (CLI startup included) should not pay for.  `from repro.engine import
+#: Re-exported lazily via __getattr__: repro.engine.parallel (and the
+#: service/routing layers above it) pull in multiprocessing/
+#: concurrent.futures/threading, which every plain `import repro` (CLI
+#: startup included) should not pay for.  `from repro.engine import
 #: ParallelExecutor` still works — PEP 562 routes it through __getattr__.
-_PARALLEL_EXPORTS = ("ParallelExecutor", "ParallelStats", "PlanSpec")
+_PARALLEL_EXPORTS = (
+    "ParallelExecutor",
+    "ParallelStats",
+    "PlanSpec",
+    "execute_in_process",
+)
+_ROUTING_EXPORTS = ("RoutingDecision", "RoutingPolicy")
+_SERVICE_EXPORTS = (
+    "QueryService",
+    "ServiceHandle",
+    "ServiceStats",
+    "ServiceStream",
+    "StreamItem",
+)
 
 
 def __getattr__(name: str):
@@ -54,11 +75,24 @@ def __getattr__(name: str):
         from . import parallel
 
         return getattr(parallel, name)
+    if name in _ROUTING_EXPORTS:
+        from . import routing
+
+        return getattr(routing, name)
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_PARALLEL_EXPORTS))
+    return sorted(
+        set(globals())
+        | set(_PARALLEL_EXPORTS)
+        | set(_ROUTING_EXPORTS)
+        | set(_SERVICE_EXPORTS)
+    )
 
 __all__ = [
     "AnalyzedSchema",
@@ -67,9 +101,17 @@ __all__ = [
     "PlanSpec",
     "PreparedQuery",
     "JoinStep",
+    "QueryService",
+    "RoutingDecision",
+    "RoutingPolicy",
+    "ServiceHandle",
+    "ServiceStats",
+    "ServiceStream",
+    "StreamItem",
     "analyze",
     "analysis_cache_size",
     "clear_analysis_cache",
+    "execute_in_process",
     "peek_analysis",
     "prepared_from_spec",
     "resolve_backend",

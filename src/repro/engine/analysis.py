@@ -113,6 +113,7 @@ class AnalyzedSchema:
         "_connections",
         "_join_plans",
         "_prepared",
+        "_cost_probes",
     )
 
     def __init__(self, schema: Union[DatabaseSchema, Iterable[RelationSchema]]) -> None:
@@ -127,6 +128,7 @@ class AnalyzedSchema:
         object.__setattr__(self, "_connections", OrderedDict())
         object.__setattr__(self, "_join_plans", OrderedDict())
         object.__setattr__(self, "_prepared", OrderedDict())
+        object.__setattr__(self, "_cost_probes", OrderedDict())
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("AnalyzedSchema is immutable")
@@ -339,6 +341,29 @@ class AnalyzedSchema:
             )
             _memo_put(self._prepared, key, prepared)
         return prepared
+
+    # -- cost probes -----------------------------------------------------------
+
+    def cached_cost_probe(
+        self, target: TargetLike, *, root: int = 0
+    ) -> Optional[float]:
+        """The cached per-row execution cost for ``(target, root)``, or ``None``.
+
+        Written by the adaptive router (:mod:`repro.engine.routing`): the
+        probe times a few compiled executions once per plan and parks the
+        per-row seconds here, so every later routing decision for the same
+        plan — across services, batches and threads — is a dictionary lookup.
+        """
+        key = (_as_relation_schema(target), root)
+        return _memo_get(self._cost_probes, key)
+
+    def store_cost_probe(
+        self, target: TargetLike, per_row_s: float, *, root: int = 0
+    ) -> None:
+        """Cache a measured per-row cost for ``(target, root)`` (see
+        :meth:`cached_cost_probe`; last write wins under concurrency)."""
+        key = (_as_relation_schema(target), root)
+        _memo_put(self._cost_probes, key, float(per_row_s))
 
     # -- summaries -------------------------------------------------------------
 

@@ -85,9 +85,11 @@ constructor argument.  Failure semantics are documented end to end in
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import pickle
+import secrets
 import sys
 import time
 from collections import OrderedDict, deque
@@ -100,6 +102,7 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
+from multiprocessing import shared_memory
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import (
@@ -109,10 +112,15 @@ from ..exceptions import (
     StatePicklingError,
     WorkerCrashError,
 )
-from ..relational.compiled import DEFAULT_MAX_INTERNED_VALUES, ExecutionStats
+from ..relational.compiled import (
+    DEFAULT_MAX_INTERNED_VALUES,
+    ExecutionStats,
+    shm_decode_state,
+    shm_encode_state,
+)
 from ..relational.database import DatabaseState
 from ..relational.yannakakis import YannakakisRun
-from ..hypergraph.schema import RelationSchema
+from ..hypergraph.schema import DatabaseSchema, RelationSchema
 from . import faults
 
 __all__ = [
@@ -120,15 +128,20 @@ __all__ = [
     "ENV_MAX_WORKERS",
     "ENV_SHARD_TIMEOUT",
     "ENV_START_METHOD",
+    "ENV_TRANSPORT",
     "FAILURE_POLICIES",
+    "SHM_NAME_PREFIX",
+    "TRANSPORTS",
     "ParallelExecutor",
     "ParallelStats",
     "PlanSpec",
+    "execute_in_process",
     "plan_shards",
     "resolve_failure_policy",
     "resolve_max_retries",
     "resolve_shard_timeout",
     "resolve_start_method",
+    "resolve_transport",
     "resolve_worker_count",
 ]
 
@@ -144,8 +157,24 @@ ENV_SHARD_TIMEOUT = "REPRO_PARALLEL_SHARD_TIMEOUT"
 #: Environment variable holding the default per-shard retry budget.
 ENV_MAX_RETRIES = "REPRO_PARALLEL_MAX_RETRIES"
 
+#: Environment variable holding the default state transport.
+ENV_TRANSPORT = "REPRO_PARALLEL_TRANSPORT"
+
 #: Accepted values for ``failure_policy``.
 FAILURE_POLICIES = ("raise", "degrade")
+
+#: Accepted values for ``transport``: ``pickle`` ships shard states through
+#: the pool's argument pipe; ``shm`` packs them into one
+#: ``multiprocessing.shared_memory`` segment per shard (see the codec notes
+#: in :mod:`repro.relational.compiled`).
+TRANSPORTS = ("pickle", "shm")
+
+#: Name prefix of every shared-memory segment this module creates.  The
+#: leak-check tests (and operators) can audit ``/dev/shm`` for leftovers by
+#: this prefix; cleanup is wired into every executor exit path.
+SHM_NAME_PREFIX = "repro-shm-"
+
+_SHM_COUNTER = itertools.count()
 
 #: Default per-shard retry budget (attempts beyond the first).
 DEFAULT_MAX_RETRIES = 2
@@ -265,6 +294,19 @@ def resolve_failure_policy(policy: str) -> str:
     return policy
 
 
+def resolve_transport(transport: Optional[str]) -> str:
+    """Resolve a state transport: explicit beats :data:`ENV_TRANSPORT` beats
+    ``pickle`` (the conservative default — ``shm`` wins on value-heavy
+    batches but needs a POSIX shared-memory filesystem)."""
+    if transport is None:
+        transport = os.environ.get(ENV_TRANSPORT) or "pickle"
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {', '.join(TRANSPORTS)}, got {transport!r}"
+        )
+    return transport
+
+
 @dataclass(frozen=True)
 class PlanSpec:
     """The picklable identity of a prepared query.
@@ -357,10 +399,10 @@ def _plan_for_spec(spec: PlanSpec) -> Tuple[Any, int]:
     return prepared, compiled_now
 
 
-def _execute_shard(
+def _run_shard(
     spec: PlanSpec, states: Tuple[DatabaseState, ...]
 ) -> Tuple[int, int, List[YannakakisRun], ExecutionStats]:
-    """Worker entry point: execute one shard against the cached plan.
+    """Shared worker body: execute one shard against the cached plan.
 
     Returns ``(pid, plans_compiled, runs, shard_stats)``; runs are decoded
     (plain-value relations) before pickling back, so worker-local interner
@@ -382,6 +424,81 @@ def _execute_shard(
             faults.check_state(state)
         runs.append(plan.execute_state(state, stats=stats))
     return os.getpid(), compiled_now, runs, stats
+
+
+def _execute_shard(
+    spec: PlanSpec, states: Tuple[DatabaseState, ...]
+) -> Tuple[int, int, List[YannakakisRun], ExecutionStats]:
+    """Worker entry point for the pickle transport (states arrive as args)."""
+    return _run_shard(spec, states)
+
+
+def _execute_shard_shm(
+    spec: PlanSpec, segment_name: str, extents: Tuple[Tuple[int, int], ...]
+) -> Tuple[int, int, List[YannakakisRun], ExecutionStats]:
+    """Worker entry point for the shm transport.
+
+    Attaches the parent's segment by name, decodes one state per
+    ``(offset, length)`` extent through the value-level codec
+    (:func:`repro.relational.compiled.shm_decode_state`), detaches, and runs
+    the shared shard body.  The attach must *not* register with the resource
+    tracker: on CPython < 3.13 attaching registers the segment (there is no
+    ``track=False`` yet), and under the fork start method the worker shares
+    the parent's tracker process — a worker-side registration/unregistration
+    would race the parent's ``unlink`` into double-UNREGISTER tracebacks,
+    while under spawn the worker's own tracker would try to unlink a segment
+    it does not own at worker exit.  Registration is therefore suppressed
+    for the duration of the attach (workers run tasks serially, so the
+    temporary patch cannot leak into another attach).  The parent is the
+    sole owner of segment lifetime — workers never unlink.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        segment = shared_memory.SharedMemory(name=segment_name)
+    finally:
+        resource_tracker.register = original_register
+    try:
+        schema = DatabaseSchema(spec.relations)
+        buf = segment.buf
+        states = []
+        for offset, length in extents:
+            chunk = buf[offset : offset + length]
+            try:
+                states.append(shm_decode_state(schema, chunk))
+            finally:
+                # Decode copies everything out, so the exported view can be
+                # dropped eagerly — close() below would otherwise raise
+                # BufferError over a still-exported buffer.
+                chunk.release()
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+    return _run_shard(spec, tuple(states))
+
+
+def _destroy_segment(segment: "shared_memory.SharedMemory") -> None:
+    """Detach and unlink a parent-owned segment, surviving every race.
+
+    ``close`` can raise ``BufferError`` if a view is still exported and
+    ``unlink`` raises ``FileNotFoundError`` if the segment is already gone
+    (double-release on overlapping cleanup paths); both are safe to ignore
+    because the only goal is "no file left under /dev/shm afterwards".
+    """
+    try:
+        segment.close()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception:  # pragma: no cover - defensive
+        pass
 
 
 def _warmup() -> int:
@@ -457,7 +574,12 @@ class ParallelStats(ExecutionStats):
         "bisections",
         "fallback_runs",
         "quarantined",
+        "quarantine_causes",
         "worker_crashes",
+        "transport",
+        "shm_segments",
+        "shm_bytes",
+        "routed_in_process",
     )
 
     def __init__(self, workers: int) -> None:
@@ -475,7 +597,22 @@ class ParallelStats(ExecutionStats):
         self.bisections = 0
         self.fallback_runs = 0
         self.quarantined: List[int] = []
+        #: Input position -> terminal exception for every quarantined state
+        #: (the same attribution ``ShardExecutionError.causes`` carries under
+        #: ``failure_policy="raise"``; populated under ``"degrade"`` so the
+        #: streaming service can surface typed error items).
+        self.quarantine_causes: Dict[int, BaseException] = {}
         self.worker_crashes: Dict[int, int] = {}
+        #: State transport the batch used: ``pickle``, ``shm``, or ``none``
+        #: (batch routed in-process without touching the pool).
+        self.transport = "pickle"
+        #: Shared-memory segments created for the batch (shm transport only).
+        self.shm_segments = 0
+        #: Total payload bytes shipped through shared memory.
+        self.shm_bytes = 0
+        #: States served on the in-process compiled backend because routing
+        #: classified the batch as degenerate (no pool was spawned for them).
+        self.routed_in_process = 0
 
     @property
     def shard_count(self) -> int:
@@ -607,6 +744,7 @@ class ParallelExecutor:
         failure_policy: str = "raise",
         max_respawns: Optional[int] = None,
         retry_backoff: Optional[float] = None,
+        transport: Optional[str] = None,
     ) -> None:
         self._workers = resolve_worker_count(workers)
         self._start_method = resolve_start_method(start_method)
@@ -621,6 +759,7 @@ class ParallelExecutor:
         self._shard_timeout = resolve_shard_timeout(shard_timeout)
         self._max_retries = resolve_max_retries(max_retries)
         self._failure_policy = resolve_failure_policy(failure_policy)
+        self._transport = resolve_transport(transport)
         respawns = DEFAULT_MAX_RESPAWNS if max_respawns is None else max_respawns
         if respawns < 0:
             raise ValueError(f"max_respawns must be >= 0, got {respawns}")
@@ -632,6 +771,15 @@ class ParallelExecutor:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
         self._restarts = 0
+        #: Live shm segments keyed by the future whose shard reads them.
+        #: Every exit path — normal harvest, respawn, timeout kill, close —
+        #: drains this map, so a BrokenProcessPool can never leak /dev/shm.
+        self._segments: Dict[Future, shared_memory.SharedMemory] = {}
+        #: Stats of the most recent completed :meth:`execute_many` batch.
+        #: Callers that serialize batches (the executor is not thread-safe)
+        #: read quarantine causes here even when a degraded batch returned
+        #: only ``None`` runs to hang the stats object on.
+        self.last_batch_stats: Optional[ParallelStats] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -692,15 +840,52 @@ class ParallelExecutor:
             future.result()
         return self._workers
 
+    # -- shm segment lifetime --------------------------------------------------
+
+    def _create_segment(self, nbytes: int) -> "shared_memory.SharedMemory":
+        """Create a parent-owned shm segment with a collision-proof name.
+
+        Named explicitly (pid + counter + random token) rather than letting
+        the stdlib pick, so leak-check tests can find strays by the
+        ``repro-shm-`` prefix and operators can attribute /dev/shm entries
+        to a process.
+        """
+        while True:
+            name = (
+                f"{SHM_NAME_PREFIX}{os.getpid()}-"
+                f"{next(_SHM_COUNTER)}-{secrets.token_hex(4)}"
+            )
+            try:
+                return shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, nbytes)
+                )
+            except FileExistsError:  # pragma: no cover - 32-bit token collision
+                continue
+
+    def _release_segment(self, future: Future) -> None:
+        """Unlink the segment backing one harvested future, if any."""
+        segment = self._segments.pop(future, None)
+        if segment is not None:
+            _destroy_segment(segment)
+
+    def _release_all_segments(self) -> None:
+        """Unlink every live segment (respawn, close, and error backstop)."""
+        segments, self._segments = self._segments, {}
+        for segment in segments.values():
+            _destroy_segment(segment)
+
     def _kill_pool(self) -> None:
         """Tear the current pool down hard, surviving a broken one.
 
         Hung or dead workers are terminated directly (``shutdown`` alone
         would block behind a sleeping worker); every error is swallowed
         because the pool being un-shutdown-ably broken is exactly the case
-        this path exists for.
+        this path exists for.  Live shm segments go with the pool: the
+        futures that were reading them are dead, and resubmission writes
+        fresh segments.
         """
         pool, self._pool = self._pool, None
+        self._release_all_segments()
         if pool is None:
             return
         processes = getattr(pool, "_processes", None) or {}
@@ -719,7 +904,8 @@ class ParallelExecutor:
 
         Safe on a broken pool: shutdown errors from already-dead workers are
         swallowed, so ``close()``/``__exit__`` never raise over a crash that
-        execution already reported.
+        execution already reported.  Any shm segments still tracked (possible
+        only if a batch aborted mid-flight) are unlinked here.
         """
         self._closed = True
         pool, self._pool = self._pool, None
@@ -728,6 +914,7 @@ class ParallelExecutor:
                 pool.shutdown(wait=True)
             except Exception:
                 pass
+        self._release_all_segments()
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -753,6 +940,7 @@ class ParallelExecutor:
         shard_timeout: Any = _UNSET,
         max_retries: Any = _UNSET,
         failure_policy: Any = _UNSET,
+        transport: Any = _UNSET,
     ) -> List[Optional[YannakakisRun]]:
         """Execute a prepared query against every state across the pool.
 
@@ -761,6 +949,13 @@ class ParallelExecutor:
         verbatim duplicate states are executed once and share a run.  Every
         returned run reports ``backend="parallel"`` and carries one shared
         :class:`ParallelStats` for the batch.
+
+        ``transport`` picks how states cross the process boundary for this
+        batch: ``"pickle"`` ships them as task arguments, ``"shm"`` writes
+        the value-level columnar encoding into one
+        ``multiprocessing.shared_memory`` segment per shard and ships only
+        ``(segment_name, extents)``.  Results always return over the pickle
+        channel — only the (much larger) input states ride shared memory.
 
         The keyword arguments override the executor-wide defaults for this
         batch.  Under ``failure_policy="degrade"`` the returned list holds
@@ -790,6 +985,11 @@ class ParallelExecutor:
             if failure_policy is self._UNSET
             else resolve_failure_policy(failure_policy)
         )
+        wire = (
+            self._transport
+            if transport is self._UNSET
+            else resolve_transport(transport)
+        )
 
         # Verbatim-duplicate dedup (mirrors CompiledPlan.execute_batch):
         # duplicate requests ride along for free and never cross the wire
@@ -813,6 +1013,7 @@ class ParallelExecutor:
 
         stats = ParallelStats(self._workers)
         stats.failure_policy = policy
+        stats.transport = wire
         unique_runs: List[Optional[YannakakisRun]] = [None] * len(unique_states)
         quarantine: Dict[int, BaseException] = {}
         #: First input position per unique state, for human-facing attribution.
@@ -943,103 +1144,165 @@ class ParallelExecutor:
             stats.respawns += 1
             return self._ensure_pool()
 
-        pool = self._ensure_pool()
-        while tasks or inflight:
-            # -- dispatch ------------------------------------------------------
-            submit_failure: Optional[BaseException] = None
-            while tasks and (max_inflight is None or len(inflight) < max_inflight):
-                task = tasks.popleft()
-                if not task.indices:
-                    continue
-                try:
-                    future = pool.submit(
-                        _execute_shard,
-                        spec,
-                        tuple(unique_states[index] for index in task.indices),
-                    )
-                except BrokenExecutor as error:
-                    tasks.appendleft(task)
-                    submit_failure = error
-                    break
-                except RuntimeError as error:
-                    # A pool shut down underneath us (closed concurrently).
-                    tasks.appendleft(task)
-                    raise ExecutionError(
-                        f"pool rejected shard submission: {error}"
-                    ) from error
-                inflight[future] = task
-                if timeout is not None:
-                    deadlines[future] = time.monotonic() + timeout
-            if submit_failure is not None:
-                lost = list(inflight.values())
-                inflight.clear()
-                deadlines.clear()
-                pool = respawn(submit_failure)
-                for task in lost:
-                    fail_task(task, submit_failure, pessimistic=True)
-                continue
-            if not inflight:
-                continue
+        def submit_task(
+            pool: ProcessPoolExecutor, task: _ShardTask
+        ) -> Optional[Future]:
+            """Submit one shard over the selected transport.
 
-            # -- harvest -------------------------------------------------------
-            wait_timeout = None
-            if deadlines:
-                wait_timeout = max(0.0, min(deadlines.values()) - time.monotonic())
-            done, _ = wait(
-                set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
-            )
-            breakage: Optional[BaseException] = None
-            broken_tasks: List[_ShardTask] = []
-            for future in done:
-                task = inflight.pop(future)
-                deadlines.pop(future, None)
-                try:
-                    pid, compiled_now, runs, shard_stats = future.result()
-                except BrokenExecutor as error:
-                    breakage = error
-                    broken_tasks.append(task)
-                except Exception as error:
-                    fail_task(task, error)
-                else:
-                    stats.record_shard(pid, compiled_now, len(task.indices), shard_stats)
-                    for index, run in zip(task.indices, runs):
-                        unique_runs[index] = run
-            if breakage is not None:
-                # The pool is dead: every other in-flight future is doomed
-                # too.  Reclaim them all; attribution is pessimistic (see
-                # the module docstring) but never wrong.
-                broken_tasks.extend(inflight.values())
-                inflight.clear()
-                deadlines.clear()
-                pool = respawn(breakage)
-                for task in broken_tasks:
-                    fail_task(task, breakage, pessimistic=True)
-                continue
-
-            # -- timeout scan --------------------------------------------------
-            if deadlines:
-                now = time.monotonic()
-                overdue = [
-                    future for future, deadline in deadlines.items() if deadline <= now
+            Returns ``None`` when the shard could not even be *encoded* for
+            the shm transport (an unpicklable state fails synchronously in
+            the parent, unlike the pickle transport where the same failure
+            surfaces lazily from the submission) — the task has already been
+            routed onward through ``fail_task``.  Pool-level submission
+            errors propagate to the caller exactly as before.
+            """
+            if wire != "shm":
+                return pool.submit(
+                    _execute_shard,
+                    spec,
+                    tuple(unique_states[index] for index in task.indices),
+                )
+            try:
+                blobs = [
+                    shm_encode_state(unique_states[index]) for index in task.indices
                 ]
-                if overdue:
-                    overdue_tasks = [inflight[future] for future in overdue]
-                    innocent = [
-                        inflight[future]
-                        for future in inflight
-                        if future not in set(overdue)
-                    ]
+            except Exception as error:
+                fail_task(task, error)
+                return None
+            extents: List[Tuple[int, int]] = []
+            offset = 0
+            for blob in blobs:
+                extents.append((offset, len(blob)))
+                offset += len(blob)
+            segment = self._create_segment(offset)
+            try:
+                position = 0
+                for blob in blobs:
+                    segment.buf[position : position + len(blob)] = blob
+                    position += len(blob)
+                future = pool.submit(
+                    _execute_shard_shm, spec, segment.name, tuple(extents)
+                )
+            except BaseException:
+                _destroy_segment(segment)
+                raise
+            self._segments[future] = segment
+            stats.shm_segments += 1
+            stats.shm_bytes += offset
+            return future
+
+        pool = self._ensure_pool()
+        try:
+            while tasks or inflight:
+                # -- dispatch --------------------------------------------------
+                submit_failure: Optional[BaseException] = None
+                while tasks and (
+                    max_inflight is None or len(inflight) < max_inflight
+                ):
+                    task = tasks.popleft()
+                    if not task.indices:
+                        continue
+                    try:
+                        future = submit_task(pool, task)
+                    except BrokenExecutor as error:
+                        tasks.appendleft(task)
+                        submit_failure = error
+                        break
+                    except RuntimeError as error:
+                        # A pool shut down underneath us (closed concurrently).
+                        tasks.appendleft(task)
+                        raise ExecutionError(
+                            f"pool rejected shard submission: {error}"
+                        ) from error
+                    if future is None:
+                        continue
+                    inflight[future] = task
+                    if timeout is not None:
+                        deadlines[future] = time.monotonic() + timeout
+                if submit_failure is not None:
+                    lost = list(inflight.values())
                     inflight.clear()
                     deadlines.clear()
-                    hang = ShardTimeoutError(
-                        f"shard exceeded shard_timeout={timeout:g}s; worker killed"
+                    pool = respawn(submit_failure)
+                    for task in lost:
+                        fail_task(task, submit_failure, pessimistic=True)
+                    continue
+                if not inflight:
+                    continue
+
+                # -- harvest ---------------------------------------------------
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
                     )
-                    pool = respawn(hang)
-                    for task in overdue_tasks:
-                        fail_task(task, hang, timed_out=True)
-                    # We killed the innocents ourselves — resubmit without
-                    # charging an attempt.
-                    tasks.extend(innocent)
+                done, _ = wait(
+                    set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                breakage: Optional[BaseException] = None
+                broken_tasks: List[_ShardTask] = []
+                for future in done:
+                    task = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    self._release_segment(future)
+                    try:
+                        pid, compiled_now, runs, shard_stats = future.result()
+                    except BrokenExecutor as error:
+                        breakage = error
+                        broken_tasks.append(task)
+                    except Exception as error:
+                        fail_task(task, error)
+                    else:
+                        stats.record_shard(
+                            pid, compiled_now, len(task.indices), shard_stats
+                        )
+                        for index, run in zip(task.indices, runs):
+                            unique_runs[index] = run
+                if breakage is not None:
+                    # The pool is dead: every other in-flight future is doomed
+                    # too.  Reclaim them all; attribution is pessimistic (see
+                    # the module docstring) but never wrong.
+                    broken_tasks.extend(inflight.values())
+                    inflight.clear()
+                    deadlines.clear()
+                    pool = respawn(breakage)
+                    for task in broken_tasks:
+                        fail_task(task, breakage, pessimistic=True)
+                    continue
+
+                # -- timeout scan ----------------------------------------------
+                if deadlines:
+                    now = time.monotonic()
+                    overdue = [
+                        future
+                        for future, deadline in deadlines.items()
+                        if deadline <= now
+                    ]
+                    if overdue:
+                        overdue_tasks = [inflight[future] for future in overdue]
+                        innocent = [
+                            inflight[future]
+                            for future in inflight
+                            if future not in set(overdue)
+                        ]
+                        inflight.clear()
+                        deadlines.clear()
+                        hang = ShardTimeoutError(
+                            f"shard exceeded shard_timeout={timeout:g}s; "
+                            f"worker killed"
+                        )
+                        pool = respawn(hang)
+                        for task in overdue_tasks:
+                            fail_task(task, hang, timed_out=True)
+                        # We killed the innocents ourselves — resubmit without
+                        # charging an attempt.
+                        tasks.extend(innocent)
+        finally:
+            # Backstop for every abnormal exit (spec-level pickling raise,
+            # concurrent close, respawn-budget exhaustion): the segments of
+            # doomed futures must not outlive the batch.  On the normal path
+            # this is a no-op — every segment was released at harvest.
+            self._release_all_segments()
 
         stats.deduped_states += len(state_list) - len(unique_states)
 
@@ -1060,6 +1323,7 @@ class ParallelExecutor:
                 if index in quarantine:
                     causes[position] = quarantine[index]
             stats.quarantined = sorted(causes)
+            stats.quarantine_causes = dict(causes)
             if policy == "raise":
                 raise ShardExecutionError(
                     f"{len(causes)} of {len(state_list)} state(s) could not "
@@ -1073,4 +1337,38 @@ class ParallelExecutor:
             None if run is None else replace(run, backend="parallel", stats=stats)
             for run in unique_runs
         ]
+        self.last_batch_stats = stats
         return [retagged[index] for index in positions]
+
+
+# -- in-process routing --------------------------------------------------------
+
+
+def execute_in_process(prepared, states: Iterable[DatabaseState]) -> List[YannakakisRun]:
+    """Run a "parallel" batch on the in-process compiled backend, no pool.
+
+    The adaptive router calls this when a batch bound for the parallel
+    backend is degenerate — empty, a single unique state, or all-empty
+    states — where spawning worker processes costs orders of magnitude more
+    than just executing.  Results are indistinguishable from a real pool
+    run: input order, duplicate dedup, ``backend="parallel"`` retagging, one
+    shared :class:`ParallelStats` whose ``workers=0`` / ``transport="none"``
+    / ``routed_in_process`` fields record that no pool was involved.
+    """
+    state_list = list(states)
+    if not state_list:
+        return []
+    unique_runs: Dict[DatabaseState, YannakakisRun] = {}
+    stats = ParallelStats(0)
+    stats.transport = "none"
+    plan = prepared.compiled
+    for state in state_list:
+        if state not in unique_runs:
+            unique_runs[state] = plan.execute_state(state, stats=stats)
+    stats.deduped_states += len(state_list) - len(unique_runs)
+    stats.routed_in_process = len(unique_runs)
+    stats.shard_sizes.append(len(unique_runs))
+    return [
+        replace(unique_runs[state], backend="parallel", stats=stats)
+        for state in state_list
+    ]

@@ -421,6 +421,7 @@ class PreparedQuery:
         shard_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
         failure_policy: Optional[str] = None,
+        transport: Optional[str] = None,
     ) -> List[YannakakisRun]:
         """Execute the plan against each state, amortizing the planning cost.
 
@@ -448,12 +449,21 @@ class PreparedQuery:
         The robustness knobs — ``shard_timeout`` (seconds per shard attempt),
         ``max_retries`` (resubmissions before bisection) and
         ``failure_policy`` (``"raise"`` or ``"degrade"``) — apply to parallel
-        execution only and are rejected for the serial backends.  When an
-        ``executor`` is supplied they override its configured defaults for
-        this batch; left ``None``, the executor's (or the environment's)
-        defaults apply.  Under ``failure_policy="degrade"`` the returned
-        list contains ``None`` at quarantined input positions; see
-        :mod:`repro.engine.parallel` and ``docs/robustness.md``.
+        execution only and are rejected for the serial backends, as is
+        ``transport`` (``"pickle"`` or ``"shm"``), which picks how states
+        cross the process boundary.  When an ``executor`` is supplied they
+        override its configured defaults for this batch; left ``None``, the
+        executor's (or the environment's) defaults apply.  Under
+        ``failure_policy="degrade"`` the returned list contains ``None`` at
+        quarantined input positions; see :mod:`repro.engine.parallel` and
+        ``docs/robustness.md``.
+
+        One-shot parallel batches (no ``executor``) are cost-routed: an
+        empty batch returns immediately and a *degenerate* batch — a single
+        unique state, or states with no rows at all — runs on the in-process
+        compiled backend (still retagged ``backend="parallel"``) instead of
+        paying a pool spawn that would dwarf the work.  Pass an ``executor``
+        to pin execution to a real pool unconditionally.
         """
         resolved = resolve_backend(backend)
         # Validate the *raw* backend string: "auto" may opt into the pool an
@@ -469,6 +479,8 @@ class PreparedQuery:
                 overrides["max_retries"] = max_retries
             if failure_policy is not None:
                 overrides["failure_policy"] = failure_policy
+            if transport is not None:
+                overrides["transport"] = transport
             if executor is not None:
                 if workers is not None:
                     raise ValueError(
@@ -476,16 +488,37 @@ class PreparedQuery:
                         "executor's pool width applies"
                     )
                 return executor.execute_many(self, states, **overrides)
-            from .parallel import ParallelExecutor
+            state_list = list(states)
+            if not state_list:
+                # An empty batch must not spawn a pool (or even import the
+                # parallel machinery) just to discover there is no work.
+                return []
+            from .parallel import ParallelExecutor, execute_in_process
+            from .routing import RoutingPolicy
 
+            # Robustness overrides pin the batch to a real pool: the
+            # in-process shortcut could honor neither shard_timeout (no
+            # supervisor above the serving process) nor degrade-mode
+            # quarantine semantics.
+            if (
+                not overrides
+                and RoutingPolicy().is_degenerate(state_list)
+            ):
+                return execute_in_process(self, state_list)
             with ParallelExecutor(workers=workers) as pool:
-                return pool.execute_many(self, states, **overrides)
+                return pool.execute_many(self, state_list, **overrides)
         if workers is not None:
             raise ValueError("workers= requires backend='parallel'")
-        if shard_timeout is not None or max_retries is not None or failure_policy is not None:
+        if (
+            shard_timeout is not None
+            or max_retries is not None
+            or failure_policy is not None
+            or transport is not None
+        ):
             raise ValueError(
-                "shard_timeout=/max_retries=/failure_policy= require "
-                "backend='parallel'; the serial backends run in-process"
+                "shard_timeout=/max_retries=/failure_policy=/transport= "
+                "require backend='parallel'; the serial backends run "
+                "in-process"
             )
         if resolved == "compiled" and len(self._schema) > 0:
             return self.compiled.execute_batch(states)

@@ -1,0 +1,815 @@
+"""Long-lived streaming query service with adaptive backend routing.
+
+:class:`QueryService` is the serving-layer face of the plan-once economy: a
+thread-safe, long-lived object that accepts batches of database states
+against prepared queries and decides *per batch* how to execute them.
+
+Three ideas compose here:
+
+* **Adaptive routing.**  Every ``backend="auto"`` batch is routed by a
+  :class:`~repro.engine.routing.RoutingPolicy` cost model: thin workloads
+  (repeat-heavy pools, small batches, cheap plans) stay on the in-process
+  compiled kernel, heavy batches go to the supervised parallel pool.  The
+  model calibrates itself from a tiny per-plan timing probe cached on the
+  plan's :class:`~repro.engine.analysis.AnalyzedSchema`, so the probe cost is
+  paid once per plan — not per batch, not per service.  ``backend=`` remains
+  an explicit override that bypasses the model.
+
+* **Bounded admission.**  ``max_inflight_states`` / ``max_inflight_bytes``
+  cap what the service will hold in flight.  ``submit(..., wait=True)``
+  blocks (backpressure) until capacity frees; ``wait=False`` or an exceeded
+  ``timeout`` raises a structured
+  :class:`~repro.exceptions.AdmissionError` carrying the sizes involved so
+  callers can shed load intelligently.
+
+* **Worker affinity.**  Parallel batches run on *spec-pinned* executors: one
+  :class:`~repro.engine.parallel.ParallelExecutor` per plan spec (bounded
+  LRU of ``max_pinned_pools``), so a (worker, spec) pair keeps its interner
+  epoch and compiled-plan cache warm across batches.  Pinned pools inherit
+  the service's ``transport`` — with ``transport="shm"`` state payloads
+  cross the process boundary through ``multiprocessing.shared_memory``
+  segments instead of pickle.
+
+:meth:`QueryService.stream` is the streaming API: it splits a batch into
+cost-balanced shards and yields :class:`StreamItem` results *as each shard
+completes* — no batch barrier — releasing admission capacity shard by
+shard.  Under ``failure_policy="degrade"`` quarantined states surface as
+typed error items (``item.error`` carries the terminal exception the
+supervision ladder recorded) instead of poisoning the whole stream.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import wait as wait_futures
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import AdmissionError, ExecutionError
+from ..relational.database import DatabaseState
+from ..relational.yannakakis import YannakakisRun
+from .parallel import (
+    ParallelExecutor,
+    execute_in_process,
+    plan_shards,
+    resolve_failure_policy,
+    resolve_transport,
+    resolve_worker_count,
+)
+from .prepared import resolve_backend
+from .routing import RoutingDecision, RoutingPolicy, override_decision
+
+__all__ = [
+    "DEFAULT_MAX_PINNED_POOLS",
+    "DEFAULT_STREAM_SHARDS_PER_WORKER",
+    "QueryService",
+    "ServiceHandle",
+    "ServiceStats",
+    "ServiceStream",
+    "StreamItem",
+    "estimate_state_bytes",
+]
+
+#: Spec-pinned parallel pools kept alive at once (LRU beyond this).
+DEFAULT_MAX_PINNED_POOLS = 4
+
+#: Streaming granularity: target shards per pool worker.  More shards mean
+#: earlier first results and finer admission release; fewer amortize batch
+#: overhead better.
+DEFAULT_STREAM_SHARDS_PER_WORKER = 2
+
+#: Dispatcher threads: enough to overlap a few batches and stream shards
+#: without unbounded thread growth (threads block, the GIL is released in
+#: the pool-wait path, so width is about overlap, not CPU).
+_DISPATCH_THREADS = 8
+
+#: Fixed per-tuple estimate used by admission byte accounting: eight bytes
+#: per value (the int64 shm encoding) plus per-row container overhead.
+_BYTES_PER_VALUE = 8
+_BYTES_PER_ROW_OVERHEAD = 16
+_BYTES_PER_STATE_OVERHEAD = 128
+
+
+def estimate_state_bytes(state: DatabaseState) -> int:
+    """Deterministic payload estimate for admission accounting.
+
+    Counts eight bytes per value plus small per-row/per-state overheads —
+    the same order as the shm wire encoding for pure-int states, a safe
+    under-estimate for pickled mixed-type rows.  Admission is a load-shed
+    mechanism, not an allocator, so a consistent estimate beats an exact
+    (and expensive) serialization pass.
+    """
+    total = _BYTES_PER_STATE_OVERHEAD
+    for relation in state.relations:
+        width = len(relation.schema)
+        total += len(relation.rows) * (
+            width * _BYTES_PER_VALUE + _BYTES_PER_ROW_OVERHEAD
+        )
+    return total
+
+
+@dataclass(frozen=True)
+class StreamItem:
+    """One streamed result: the run (or typed error) for one input state.
+
+    ``index`` is the position in the submitted batch.  Exactly one of
+    ``run`` / ``error`` is set: ``error`` carries the terminal exception the
+    supervision ladder recorded for a quarantined state (only possible under
+    ``failure_policy="degrade"``; under ``"raise"`` the stream raises
+    instead).
+    """
+
+    index: int
+    run: Optional[YannakakisRun] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the item carries a run."""
+        return self.error is None
+
+
+class ServiceStats:
+    """Service-lifetime counters (all mutated under the service lock)."""
+
+    __slots__ = (
+        "submitted_batches",
+        "submitted_states",
+        "streamed_batches",
+        "streamed_items",
+        "admission_waits",
+        "admission_rejections",
+        "pool_evictions",
+        "backends",
+        "rules",
+    )
+
+    def __init__(self) -> None:
+        self.submitted_batches = 0
+        self.submitted_states = 0
+        self.streamed_batches = 0
+        self.streamed_items = 0
+        #: Times an admission had to block for capacity.
+        self.admission_waits = 0
+        #: Structured AdmissionErrors raised (wait=False or timeout).
+        self.admission_rejections = 0
+        self.pool_evictions = 0
+        #: Batches per executed backend ("compiled"/"parallel"/"classic").
+        self.backends: Dict[str, int] = {}
+        #: Batches per routing rule ("parallel-wins", "small-batch", ...).
+        self.rules: Dict[str, int] = {}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot."""
+        return {
+            "submitted_batches": self.submitted_batches,
+            "submitted_states": self.submitted_states,
+            "streamed_batches": self.streamed_batches,
+            "streamed_items": self.streamed_items,
+            "admission_waits": self.admission_waits,
+            "admission_rejections": self.admission_rejections,
+            "pool_evictions": self.pool_evictions,
+            "backends": dict(self.backends),
+            "rules": dict(self.rules),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ServiceStats(batches={self.submitted_batches}, "
+            f"states={self.submitted_states}, backends={self.backends})"
+        )
+
+
+class ServiceHandle:
+    """Future-style handle for one submitted batch.
+
+    ``decision`` (available immediately — routing happens at submit time)
+    records which backend the batch took and why; ``result()`` blocks for
+    the runs, in input order, with ``None`` at quarantined positions under
+    ``failure_policy="degrade"``.
+    """
+
+    __slots__ = ("decision", "transport", "_future")
+
+    def __init__(
+        self, decision: RoutingDecision, transport: str, future: Future
+    ) -> None:
+        self.decision = decision
+        #: Transport a parallel route would use ("none" for in-process).
+        self.transport = transport
+        self._future = future
+
+    def result(
+        self, timeout: Optional[float] = None
+    ) -> List[Optional[YannakakisRun]]:
+        """The batch's runs in input order (blocks up to ``timeout``)."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The batch's exception, if it failed (blocks up to ``timeout``)."""
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        """True once the batch has finished (successfully or not)."""
+        return self._future.done()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        status = "done" if self._future.done() else "pending"
+        return (
+            f"ServiceHandle(backend={self.decision.backend!r}, "
+            f"rule={self.decision.rule!r}, {status})"
+        )
+
+
+class ServiceStream:
+    """Iterable of :class:`StreamItem` plus the routing decision that shaped it.
+
+    Items arrive in *shard completion order*, not input order — that is the
+    point of streaming — and each carries its input ``index`` so callers can
+    reassemble.  Iterating drives execution; abandoning the iterator cancels
+    undispatched shards and releases their admission.
+    """
+
+    __slots__ = ("decision", "transport", "shard_count", "_iterator")
+
+    def __init__(
+        self,
+        decision: RoutingDecision,
+        transport: str,
+        shard_count: int,
+        iterator: Iterator[StreamItem],
+    ) -> None:
+        self.decision = decision
+        self.transport = transport
+        #: Number of shards the batch was split into for streaming.
+        self.shard_count = shard_count
+        self._iterator = iterator
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        return self._iterator
+
+
+@dataclass
+class _PinnedPool:
+    """A spec-pinned executor plus the lock that serializes batches on it
+    (:class:`~repro.engine.parallel.ParallelExecutor` is not thread-safe)."""
+
+    executor: ParallelExecutor
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class QueryService:
+    """Thread-safe, long-lived serving front end over the execution backends.
+
+    One service owns: a routing policy (shared cost model), an admission
+    gate (bounded in-flight states/bytes with blocking backpressure), a
+    small dispatcher thread pool (asynchronous ``submit``), and a bounded
+    LRU of spec-pinned :class:`~repro.engine.parallel.ParallelExecutor`
+    pools.  All public methods are safe to call from any thread.
+
+    Parameters mirror the executor's where they overlap; ``workers``,
+    ``shard_timeout``, ``max_retries``, ``failure_policy`` and ``transport``
+    become the defaults for every pinned pool.  ``routing=None`` installs a
+    default :class:`~repro.engine.routing.RoutingPolicy`;
+    ``max_inflight_states`` / ``max_inflight_bytes`` of ``None`` disable the
+    respective admission limit.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        transport: Optional[str] = None,
+        routing: Optional[RoutingPolicy] = None,
+        max_inflight_states: Optional[int] = None,
+        max_inflight_bytes: Optional[int] = None,
+        max_pinned_pools: int = DEFAULT_MAX_PINNED_POOLS,
+        shard_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        failure_policy: str = "raise",
+        stream_shards_per_worker: int = DEFAULT_STREAM_SHARDS_PER_WORKER,
+    ) -> None:
+        if max_inflight_states is not None and max_inflight_states < 1:
+            raise ValueError(
+                f"max_inflight_states must be >= 1, got {max_inflight_states}"
+            )
+        if max_inflight_bytes is not None and max_inflight_bytes < 1:
+            raise ValueError(
+                f"max_inflight_bytes must be >= 1, got {max_inflight_bytes}"
+            )
+        if max_pinned_pools < 1:
+            raise ValueError(f"max_pinned_pools must be >= 1, got {max_pinned_pools}")
+        if stream_shards_per_worker < 1:
+            raise ValueError(
+                f"stream_shards_per_worker must be >= 1, "
+                f"got {stream_shards_per_worker}"
+            )
+        self._workers = resolve_worker_count(workers)
+        self._transport = resolve_transport(transport)
+        self._routing = routing if routing is not None else RoutingPolicy()
+        self._failure_policy = resolve_failure_policy(failure_policy)
+        self._shard_timeout = shard_timeout
+        self._max_retries = max_retries
+        self._max_inflight_states = max_inflight_states
+        self._max_inflight_bytes = max_inflight_bytes
+        self._max_pinned_pools = max_pinned_pools
+        self._stream_shards = stream_shards_per_worker
+        self.stats = ServiceStats()
+
+        self._lock = threading.Lock()
+        self._admission = threading.Condition(self._lock)
+        self._inflight_states = 0
+        self._inflight_bytes = 0
+        self._closed = False
+        self._pools: "OrderedDict[object, _PinnedPool]" = OrderedDict()
+        #: Serializes in-process (compiled/classic) batches: the compiled
+        #: kernel's caches are guarded for encoding but batch execution is
+        #: not designed for concurrent mutation, and in-process routes are
+        #: thin by construction, so serializing them costs little.
+        self._in_process_lock = threading.Lock()
+        self._dispatcher = ThreadPoolExecutor(
+            max_workers=_DISPATCH_THREADS, thread_name_prefix="repro-service"
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """True while the service is open and every pinned pool is usable."""
+        with self._lock:
+            if self._closed:
+                return False
+            pools = list(self._pools.values())
+        return all(pool.executor.healthy for pool in pools)
+
+    def close(self) -> None:
+        """Drain the dispatcher and shut every pinned pool down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pools = list(self._pools.values())
+            self._pools.clear()
+            # Unblock admission waiters so they observe the closure.
+            self._admission.notify_all()
+        self._dispatcher.shutdown(wait=True)
+        for pool in pools:
+            with pool.lock:
+                pool.executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        with self._lock:
+            pools = len(self._pools)
+            status = "closed" if self._closed else "open"
+        return (
+            f"QueryService(workers={self._workers}, "
+            f"transport={self._transport!r}, pinned_pools={pools}, {status})"
+        )
+
+    # -- admission -------------------------------------------------------------
+
+    def _admit(
+        self,
+        states: int,
+        nbytes: int,
+        *,
+        wait: bool,
+        timeout: Optional[float],
+    ) -> None:
+        """Reserve capacity for a submission, blocking if asked to.
+
+        Raises :class:`~repro.exceptions.AdmissionError` when the submission
+        can *never* fit (it alone exceeds a limit), when ``wait=False`` and
+        capacity is unavailable, or when the wait exceeds ``timeout``.
+        """
+        with self._admission:
+            if self._closed:
+                raise RuntimeError("QueryService is closed")
+            over_states = (
+                self._max_inflight_states is not None
+                and states > self._max_inflight_states
+            )
+            over_bytes = (
+                self._max_inflight_bytes is not None
+                and nbytes > self._max_inflight_bytes
+            )
+            if over_states or over_bytes:
+                self.stats.admission_rejections += 1
+                raise AdmissionError(
+                    f"submission of {states} state(s) (~{nbytes} bytes) can "
+                    f"never be admitted: it alone exceeds "
+                    f"max_inflight_states={self._max_inflight_states} / "
+                    f"max_inflight_bytes={self._max_inflight_bytes}",
+                    requested_states=states,
+                    requested_bytes=nbytes,
+                    inflight_states=self._inflight_states,
+                    inflight_bytes=self._inflight_bytes,
+                )
+            deadline = None if timeout is None else time.monotonic() + timeout
+
+            def fits() -> bool:
+                if (
+                    self._max_inflight_states is not None
+                    and self._inflight_states + states > self._max_inflight_states
+                ):
+                    return False
+                if (
+                    self._max_inflight_bytes is not None
+                    and self._inflight_bytes + nbytes > self._max_inflight_bytes
+                ):
+                    return False
+                return True
+
+            while not fits():
+                if not wait:
+                    self.stats.admission_rejections += 1
+                    raise AdmissionError(
+                        f"admission refused: {states} state(s) "
+                        f"(~{nbytes} bytes) would exceed the in-flight "
+                        f"limits and wait=False",
+                        requested_states=states,
+                        requested_bytes=nbytes,
+                        inflight_states=self._inflight_states,
+                        inflight_bytes=self._inflight_bytes,
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats.admission_rejections += 1
+                        raise AdmissionError(
+                            f"admission wait timed out after {timeout:g}s "
+                            f"for {states} state(s) (~{nbytes} bytes)",
+                            requested_states=states,
+                            requested_bytes=nbytes,
+                            inflight_states=self._inflight_states,
+                            inflight_bytes=self._inflight_bytes,
+                        )
+                self.stats.admission_waits += 1
+                self._admission.wait(remaining)
+                if self._closed:
+                    raise RuntimeError("QueryService is closed")
+            self._inflight_states += states
+            self._inflight_bytes += nbytes
+
+    def _release(self, states: int, nbytes: int) -> None:
+        with self._admission:
+            self._inflight_states -= states
+            self._inflight_bytes -= nbytes
+            self._admission.notify_all()
+
+    @property
+    def inflight(self) -> Tuple[int, int]:
+        """Currently admitted ``(states, bytes)``."""
+        with self._admission:
+            return self._inflight_states, self._inflight_bytes
+
+    # -- routing ---------------------------------------------------------------
+
+    def _decide(
+        self, prepared, states: Sequence[DatabaseState], backend: str
+    ) -> RoutingDecision:
+        if backend != "auto":
+            resolved = resolve_backend(backend)
+            if backend == "parallel" and self._routing.is_degenerate(states):
+                # Even an explicit parallel request cannot shard an empty or
+                # single-unique batch; run it in-process, tagged parallel.
+                return RoutingDecision(
+                    backend="parallel",
+                    rule="override-degenerate",
+                    reason=(
+                        "backend='parallel' requested but the batch is "
+                        "degenerate; serving in-process"
+                    ),
+                    states=len(states),
+                    unique_states=0,
+                    unique_rows=0,
+                )
+            return override_decision(resolved, states)
+        with self._lock:
+            pool_live = any(
+                pool.executor.healthy for pool in self._pools.values()
+            )
+        return self._routing.decide(
+            prepared, states, workers=self._workers, pool_live=pool_live
+        )
+
+    def _record_decision(self, decision: RoutingDecision, states: int) -> None:
+        with self._lock:
+            self.stats.submitted_batches += 1
+            self.stats.submitted_states += states
+            self.stats.backends[decision.backend] = (
+                self.stats.backends.get(decision.backend, 0) + 1
+            )
+            self.stats.rules[decision.rule] = (
+                self.stats.rules.get(decision.rule, 0) + 1
+            )
+
+    # -- pinned pools ----------------------------------------------------------
+
+    def _pinned_pool(self, prepared) -> _PinnedPool:
+        """The executor pinned to this plan spec (created/LRU-bumped).
+
+        Pinning is the affinity mechanism: a spec always lands on the same
+        pool, so that pool's workers keep their interner epoch and compiled
+        plan for the spec warm across batches — exactly what makes the shm
+        transport's re-adoption fast path pay off.
+        """
+        spec = prepared.plan_spec()
+        evicted: List[_PinnedPool] = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("QueryService is closed")
+            pool = self._pools.get(spec)
+            if pool is None:
+                pool = _PinnedPool(
+                    ParallelExecutor(
+                        workers=self._workers,
+                        transport=self._transport,
+                        shard_timeout=self._shard_timeout,
+                        max_retries=self._max_retries,
+                        failure_policy=self._failure_policy,
+                    )
+                )
+                self._pools[spec] = pool
+                while len(self._pools) > self._max_pinned_pools:
+                    _, old = self._pools.popitem(last=False)
+                    evicted.append(old)
+                    self.stats.pool_evictions += 1
+            else:
+                self._pools.move_to_end(spec)
+        for old in evicted:
+            # Outside the service lock: closing waits for any batch running
+            # on the evicted pool (its lock serializes batches).
+            with old.lock:
+                old.executor.close()
+        return pool
+
+    def pinned_pool_count(self) -> int:
+        """Number of spec-pinned pools currently alive."""
+        with self._lock:
+            return len(self._pools)
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute_batch(
+        self,
+        prepared,
+        states: List[DatabaseState],
+        decision: RoutingDecision,
+        overrides: Dict[str, object],
+        causes_out: Optional[Dict[int, BaseException]] = None,
+    ) -> List[Optional[YannakakisRun]]:
+        backend = decision.backend
+        if backend == "parallel":
+            if decision.rule == "override-degenerate":
+                with self._in_process_lock:
+                    return execute_in_process(prepared, states)
+
+            def run_on(pool: _PinnedPool) -> List[Optional[YannakakisRun]]:
+                # Called under pool.lock, which serializes batches — reading
+                # last_batch_stats right after the call is race-free.  The
+                # read matters when a degraded batch quarantined *every*
+                # state: the returned runs are all None, so the stats (and
+                # their quarantine causes) are reachable nowhere else.
+                runs = pool.executor.execute_many(prepared, states, **overrides)
+                if causes_out is not None:
+                    stats = pool.executor.last_batch_stats
+                    if stats is not None and stats.quarantine_causes:
+                        causes_out.update(stats.quarantine_causes)
+                return runs
+
+            pool = self._pinned_pool(prepared)
+            with pool.lock:
+                if pool.executor.healthy:
+                    return run_on(pool)
+            # Rare race: the pool was LRU-evicted (and closed) between the
+            # lookup and the lock.  One fresh lookup settles it — the new
+            # pool cannot be evicted while we hold its lock.
+            pool = self._pinned_pool(prepared)
+            with pool.lock:
+                return run_on(pool)
+        with self._in_process_lock:
+            return prepared.execute_many(states, backend=backend)
+
+    def submit(
+        self,
+        prepared,
+        states: Iterable[DatabaseState],
+        *,
+        backend: str = "auto",
+        transport: Optional[str] = None,
+        failure_policy: Optional[str] = None,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> ServiceHandle:
+        """Submit a batch asynchronously; returns a Future-style handle.
+
+        Routing happens here, synchronously — ``handle.decision`` is
+        available immediately — then the batch is admitted (blocking for
+        capacity if ``wait``, else raising
+        :class:`~repro.exceptions.AdmissionError`) and dispatched.
+        ``handle.result()`` yields the runs in input order.  ``backend``,
+        ``transport`` and ``failure_policy`` override the service defaults
+        for this batch only.
+        """
+        state_list = list(states)
+        decision = self._decide(prepared, state_list, backend)
+        self._record_decision(decision, len(state_list))
+        nbytes = sum(estimate_state_bytes(state) for state in state_list)
+        overrides: Dict[str, object] = {
+            "transport": resolve_transport(transport)
+            if transport is not None
+            else self._transport,
+        }
+        if failure_policy is not None:
+            overrides["failure_policy"] = resolve_failure_policy(failure_policy)
+        self._admit(len(state_list), nbytes, wait=wait, timeout=timeout)
+        try:
+            future = self._dispatcher.submit(
+                self._execute_batch, prepared, state_list, decision, overrides
+            )
+        except BaseException:
+            self._release(len(state_list), nbytes)
+            raise
+        future.add_done_callback(
+            lambda _f, n=len(state_list), b=nbytes: self._release(n, b)
+        )
+        effective_transport = (
+            overrides["transport"] if decision.backend == "parallel" else "none"
+        )
+        return ServiceHandle(decision, str(effective_transport), future)
+
+    def execute_many(
+        self,
+        prepared,
+        states: Iterable[DatabaseState],
+        *,
+        backend: str = "auto",
+        transport: Optional[str] = None,
+        failure_policy: Optional[str] = None,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> List[Optional[YannakakisRun]]:
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(
+            prepared,
+            states,
+            backend=backend,
+            transport=transport,
+            failure_policy=failure_policy,
+            wait=wait,
+            timeout=timeout,
+        ).result()
+
+    # -- streaming -------------------------------------------------------------
+
+    def stream(
+        self,
+        prepared,
+        states: Iterable[DatabaseState],
+        *,
+        backend: str = "auto",
+        transport: Optional[str] = None,
+        failure_policy: Optional[str] = None,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> ServiceStream:
+        """Execute a batch, yielding results as shards complete.
+
+        The batch is split into cost-balanced shards
+        (``stream_shards_per_worker × workers``, capped so every shard fits
+        the admission limits); each shard is admitted, dispatched, and its
+        :class:`StreamItem` results yielded the moment it finishes — the
+        first results arrive while later shards are still queued or
+        executing.  Admission capacity is released shard by shard, so a
+        streaming consumer exerts backpressure simply by iterating slowly.
+
+        Routing is decided once for the whole batch (a shard-sized slice
+        would systematically under-estimate the work).  Under
+        ``failure_policy="degrade"`` quarantined states arrive as items with
+        ``error`` set; under ``"raise"`` the iterator propagates the shard's
+        exception.
+        """
+        state_list = list(states)
+        decision = self._decide(prepared, state_list, backend)
+        with self._lock:
+            self.stats.streamed_batches += 1
+        self._record_decision(decision, len(state_list))
+        policy = (
+            resolve_failure_policy(failure_policy)
+            if failure_policy is not None
+            else self._failure_policy
+        )
+        overrides: Dict[str, object] = {
+            "transport": resolve_transport(transport)
+            if transport is not None
+            else self._transport,
+            "failure_policy": policy,
+        }
+
+        # -- shard the *input positions* (duplicates dedup inside each
+        # shard's executor call; cross-shard duplicates re-execute, which
+        # preserves correctness and keeps reassembly trivial).
+        costs = [max(1, state.total_rows()) for state in state_list]
+        shard_count = max(2, self._workers * self._stream_shards)
+        shards = plan_shards(costs, shard_count)
+        if self._max_inflight_states is not None:
+            shards = [
+                shard[start : start + self._max_inflight_states]
+                for shard in shards
+                for start in range(0, len(shard), self._max_inflight_states)
+            ]
+
+        def run_shard(
+            positions: List[int],
+        ) -> List[Tuple[int, Optional[YannakakisRun], Optional[BaseException]]]:
+            shard_states = [state_list[position] for position in positions]
+            shard_decision = RoutingDecision(
+                backend=decision.backend,
+                rule=decision.rule,
+                reason=decision.reason,
+                states=len(shard_states),
+                unique_states=decision.unique_states,
+                unique_rows=decision.unique_rows,
+            )
+            causes: Dict[int, BaseException] = {}
+            runs = self._execute_batch(
+                prepared, shard_states, shard_decision, overrides, causes
+            )
+            items: List[
+                Tuple[int, Optional[YannakakisRun], Optional[BaseException]]
+            ] = []
+            for offset, (position, run) in enumerate(zip(positions, runs)):
+                if run is None:
+                    error = causes.get(
+                        offset,
+                        ExecutionError("state quarantined without recorded cause"),
+                    )
+                    items.append((position, None, error))
+                else:
+                    items.append((position, run, None))
+            return items
+
+        def generate() -> Iterator[StreamItem]:
+            inflight: Dict[Future, Tuple[int, int]] = {}
+
+            def emit(future: Future) -> Iterator[StreamItem]:
+                for position, run, error in future.result():
+                    with self._lock:
+                        self.stats.streamed_items += 1
+                    yield StreamItem(index=position, run=run, error=error)
+
+            try:
+                for positions in shards:
+                    shard_states = len(positions)
+                    shard_bytes = sum(
+                        estimate_state_bytes(state_list[p]) for p in positions
+                    )
+                    self._admit(
+                        shard_states, shard_bytes, wait=wait, timeout=timeout
+                    )
+                    try:
+                        future = self._dispatcher.submit(run_shard, positions)
+                    except BaseException:
+                        self._release(shard_states, shard_bytes)
+                        raise
+                    future.add_done_callback(
+                        lambda _f, n=shard_states, b=shard_bytes: self._release(
+                            n, b
+                        )
+                    )
+                    inflight[future] = (shard_states, shard_bytes)
+                    # Surface anything already finished before dispatching
+                    # more — this is what makes results stream.
+                    for done_future in [f for f in list(inflight) if f.done()]:
+                        inflight.pop(done_future)
+                        yield from emit(done_future)
+                while inflight:
+                    done, _ = wait_futures(
+                        set(inflight), return_when=FIRST_COMPLETED
+                    )
+                    for done_future in done:
+                        inflight.pop(done_future)
+                        yield from emit(done_future)
+            finally:
+                for future in inflight:
+                    future.cancel()
+
+        return ServiceStream(
+            decision,
+            str(overrides["transport"])
+            if decision.backend == "parallel"
+            else "none",
+            len(shards),
+            generate(),
+        )

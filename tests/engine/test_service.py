@@ -1,0 +1,425 @@
+"""The streaming query service: routing, admission, affinity, degrade items."""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import QueryService, analyze
+from repro.engine import faults
+from repro.engine.service import StreamItem, estimate_state_bytes
+from repro.exceptions import AdmissionError, ShardExecutionError
+from repro.hypergraph import (
+    DatabaseSchema,
+    RelationSchema,
+    chain_schema,
+    random_tree_schema,
+    star_schema,
+)
+from repro.relational import DatabaseState, Relation
+
+#: Mirrors the strategy of tests/engine/test_parallel.py (the test tree has
+#: no packages, so the strategy is restated rather than imported).
+VALUES = st.one_of(
+    st.integers(-3, 6),
+    st.sampled_from([1.0, 2.5, -1.0, True, False, "a", "b", "v1", None]),
+)
+
+
+def _build_schema(family: str, size: int, seed: int) -> DatabaseSchema:
+    if family == "chain":
+        return chain_schema(size)
+    if family == "star":
+        return star_schema(max(size, 2))
+    return random_tree_schema(size, rng=seed)
+
+
+@st.composite
+def tree_instances(draw, max_states: int = 1):
+    family = draw(st.sampled_from(["chain", "star", "random-tree"]))
+    size = draw(st.integers(1, 4))
+    schema = _build_schema(family, size, draw(st.integers(0, 10**6)))
+    attrs = schema.attributes.sorted_attributes()
+    target = RelationSchema(
+        draw(st.sets(st.sampled_from(list(attrs)), max_size=min(3, len(attrs))))
+    )
+
+    def draw_state() -> DatabaseState:
+        relations = []
+        for relation_schema in schema.relations:
+            width = len(relation_schema.sorted_attributes())
+            rows = draw(
+                st.lists(st.tuples(*([VALUES] * width)), min_size=0, max_size=5)
+            )
+            relations.append(Relation(relation_schema, rows))
+        return DatabaseState(schema, relations)
+
+    states = [draw_state()]
+    while len(states) < max_states:
+        if draw(st.booleans()):
+            states.append(states[draw(st.integers(0, len(states) - 1))])
+        else:
+            states.append(draw_state())
+    return schema, target, states
+
+
+def _states(schema, count, *, rows=3, salt=0):
+    return [
+        DatabaseState(
+            schema,
+            [
+                Relation(
+                    relation,
+                    [(i + salt + index, i + salt + index + 1) for i in range(rows)],
+                )
+                for relation in schema.relations
+            ],
+        )
+        for index in range(count)
+    ]
+
+
+@pytest.fixture()
+def prepared():
+    schema = chain_schema(3)
+    return analyze(schema).prepare(RelationSchema({"x0", "x3"}))
+
+
+@pytest.fixture(scope="module")
+def service():
+    with QueryService(workers=2) as shared:
+        yield shared
+
+
+@contextlib.contextmanager
+def _poison_armed(mode="always"):
+    saved = os.environ.pop(faults.ENV_POISON, None)
+    os.environ[faults.ENV_POISON] = mode
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(faults.ENV_POISON, None)
+        else:
+            os.environ[faults.ENV_POISON] = saved
+
+
+class TestEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(tree_instances(max_states=5))
+    def test_submit_auto_matches_classic(self, service, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare(target)
+        classic = prepared.execute_many(states, backend="classic")
+        handle = service.submit(prepared, states)
+        runs = handle.result(timeout=120)
+        assert [run.result for run in runs] == [run.result for run in classic]
+        assert handle.decision.backend in ("compiled", "parallel")
+        assert handle.done()
+
+    @settings(max_examples=8, deadline=None)
+    @given(tree_instances(max_states=4))
+    def test_submit_parallel_override_matches_classic(self, service, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare(target)
+        classic = prepared.execute_many(states, backend="classic")
+        handle = service.submit(prepared, states, backend="parallel")
+        runs = handle.result(timeout=120)
+        assert [run.result for run in runs] == [run.result for run in classic]
+        assert handle.decision.backend == "parallel"
+        assert handle.decision.rule in ("override", "override-degenerate")
+        assert all(run.backend == "parallel" for run in runs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(tree_instances(max_states=6))
+    def test_stream_indices_reassemble_to_classic(self, service, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare(target)
+        classic = prepared.execute_many(states, backend="classic")
+        streamed = service.stream(prepared, states)
+        items = list(streamed)
+        assert sorted(item.index for item in items) == list(range(len(states)))
+        assert all(item.ok for item in items)
+        by_index = {item.index: item.run for item in items}
+        assert [by_index[i].result for i in range(len(states))] == [
+            run.result for run in classic
+        ]
+
+    def test_execute_many_is_submit_plus_result(self, service, prepared):
+        states = _states(prepared.schema, 3)
+        runs = service.execute_many(prepared, states)
+        classic = prepared.execute_many(states, backend="classic")
+        assert [run.result for run in runs] == [run.result for run in classic]
+
+
+class TestRouting:
+    def test_classic_override_honored(self, service, prepared):
+        states = _states(prepared.schema, 3)
+        handle = service.submit(prepared, states, backend="classic")
+        runs = handle.result(timeout=60)
+        assert handle.decision.backend == "classic"
+        assert handle.decision.rule == "override"
+        assert handle.transport == "none"
+        assert all(run.backend == "classic" for run in runs)
+
+    def test_auto_routes_thin_batch_in_process(self, service, prepared):
+        # 3 tiny states sit far under min_parallel_states: the small-batch
+        # gate keeps them on the compiled backend without probing timing.
+        states = _states(prepared.schema, 3)
+        handle = service.submit(prepared, states)
+        handle.result(timeout=60)
+        assert handle.decision.backend == "compiled"
+        assert handle.decision.rule == "small-batch"
+        assert service.stats.backends.get("compiled", 0) >= 1
+
+    def test_degenerate_parallel_override_stays_in_process(self, service, prepared):
+        state = _states(prepared.schema, 1)[0]
+        handle = service.submit(prepared, [state, state], backend="parallel")
+        runs = handle.result(timeout=60)
+        assert handle.decision.rule == "override-degenerate"
+        assert runs[0].stats.workers == 0
+        assert runs[0].stats.routed_in_process == 1
+
+    def test_decisions_recorded_in_stats(self, prepared):
+        with QueryService(workers=2) as fresh:
+            fresh.execute_many(prepared, _states(prepared.schema, 2))
+            fresh.execute_many(
+                prepared, _states(prepared.schema, 2), backend="classic"
+            )
+            stats = fresh.stats.as_dict()
+        assert stats["submitted_batches"] == 2
+        assert stats["submitted_states"] == 4
+        assert stats["rules"].get("override") == 1
+
+
+class TestStreamingOverlap:
+    def test_stream_yields_before_final_shard_completes(self, prepared):
+        """The acceptance property: at least one item arrives while another
+        shard is still executing (i.e. streaming is not a batch barrier)."""
+        schema = prepared.schema
+        fast = _states(schema, 6)
+        blocker = _states(schema, 1, salt=1000)[0]
+        entered = threading.Event()
+        release = threading.Event()
+
+        with QueryService(workers=2) as svc:
+            original = svc._execute_batch
+
+            def gated(prepared_arg, states_arg, *args, **kwargs):
+                if blocker in states_arg:
+                    entered.set()
+                    # Block *before* any lock is taken so other shards keep
+                    # flowing through the in-process path.
+                    assert release.wait(timeout=60)
+                return original(prepared_arg, states_arg, *args, **kwargs)
+
+            svc._execute_batch = gated
+            streamed = svc.stream(prepared, fast + [blocker], backend="classic")
+            assert streamed.shard_count >= 2
+            iterator = iter(streamed)
+            # Consume items while the blocker shard is held at its gate (or
+            # not yet dispatched — lazy dispatch is itself backpressure).
+            # Stop before the only outstanding shard is the gated one, so
+            # the iterator never blocks on a shard we have to release.
+            early = []
+            for item in iterator:
+                early.append(item)
+                if entered.is_set() or len(early) >= len(fast):
+                    break
+            # Items arrived while the final shard had provably not
+            # completed: its gate never released.
+            assert not release.is_set()
+            assert len(early) >= 1
+            assert all(item.index != 6 for item in early)
+            release.set()
+            rest = list(iterator)
+            assert entered.is_set()
+        indices = sorted(item.index for item in early + rest)
+        assert indices == list(range(7))
+
+    def test_stream_items_carry_input_positions_for_duplicates(
+        self, service, prepared
+    ):
+        state_a, state_b = _states(prepared.schema, 2)
+        batch = [state_a, state_b, state_a, state_a]
+        items = list(service.stream(prepared, batch))
+        assert sorted(item.index for item in items) == [0, 1, 2, 3]
+        expected = prepared.execute_many(batch, backend="classic")
+        by_index = {item.index: item.run for item in items}
+        for position, run in enumerate(expected):
+            assert by_index[position].result == run.result
+
+
+class TestAdmission:
+    def test_oversized_submission_rejected_immediately(self, prepared):
+        states = _states(prepared.schema, 3)
+        with QueryService(workers=2, max_inflight_states=2) as svc:
+            with pytest.raises(AdmissionError) as excinfo:
+                svc.submit(prepared, states)
+            error = excinfo.value
+            assert error.requested_states == 3
+            assert error.inflight_states == 0
+            assert error.requested_bytes > 0
+            assert svc.stats.admission_rejections == 1
+
+    def test_oversized_bytes_rejected_immediately(self, prepared):
+        states = _states(prepared.schema, 2, rows=6)
+        nbytes = sum(estimate_state_bytes(state) for state in states)
+        with QueryService(workers=2, max_inflight_bytes=nbytes - 1) as svc:
+            with pytest.raises(AdmissionError) as excinfo:
+                svc.submit(prepared, states)
+            assert excinfo.value.requested_bytes == nbytes
+
+    def test_wait_false_rejects_when_full(self, prepared):
+        states = _states(prepared.schema, 2)
+        with QueryService(workers=2, max_inflight_states=2) as svc:
+            svc._admit(2, 64, wait=True, timeout=None)
+            try:
+                with pytest.raises(AdmissionError) as excinfo:
+                    svc.submit(prepared, states[:1], wait=False)
+                assert excinfo.value.inflight_states == 2
+            finally:
+                svc._release(2, 64)
+            # Capacity restored: the same submission now sails through.
+            svc.execute_many(prepared, states[:1])
+
+    def test_wait_timeout_raises(self, prepared):
+        states = _states(prepared.schema, 1)
+        with QueryService(workers=2, max_inflight_states=1) as svc:
+            svc._admit(1, 64, wait=True, timeout=None)
+            try:
+                with pytest.raises(AdmissionError, match="timed out"):
+                    svc.submit(prepared, states, timeout=0.05)
+                assert svc.stats.admission_waits >= 1
+            finally:
+                svc._release(1, 64)
+
+    def test_admission_released_after_completion(self, service, prepared):
+        states = _states(prepared.schema, 2)
+        handle = service.submit(prepared, states)
+        handle.result(timeout=60)
+        # The done-callback releases asynchronously; give it a beat.
+        for _ in range(100):
+            if service.inflight == (0, 0):
+                break
+            threading.Event().wait(0.01)
+        assert service.inflight == (0, 0)
+
+    def test_stream_shards_respect_max_inflight_states(self, prepared):
+        states = _states(prepared.schema, 7)
+        with QueryService(workers=2, max_inflight_states=2) as svc:
+            streamed = svc.stream(prepared, states, backend="classic")
+            # Every shard must individually fit the admission window.
+            assert streamed.shard_count >= 4
+            items = list(streamed)
+        assert sorted(item.index for item in items) == list(range(7))
+
+
+class TestDegrade:
+    def test_degrade_streams_typed_error_items(self, prepared):
+        schema = prepared.schema
+        good = _states(schema, 3)
+        poison = DatabaseState(
+            schema,
+            [
+                Relation(relation, [(faults.POISON_VALUE, 1), (2, 3)])
+                for relation in schema.relations
+            ],
+        )
+        batch = good + [poison]
+        with _poison_armed("always"):
+            with QueryService(workers=2, failure_policy="degrade") as svc:
+                items = list(
+                    svc.stream(prepared, batch, backend="parallel")
+                )
+        assert sorted(item.index for item in items) == [0, 1, 2, 3]
+        by_index = {item.index: item for item in items}
+        bad = by_index[3]
+        assert not bad.ok
+        assert bad.run is None
+        assert isinstance(bad.error, faults.InjectedFault)
+        for position in range(3):
+            assert by_index[position].ok
+            assert by_index[position].run is not None
+
+    def test_raise_policy_propagates_through_stream(self, prepared):
+        schema = prepared.schema
+        good = _states(schema, 2)
+        poison = DatabaseState(
+            schema,
+            [
+                Relation(relation, [(faults.POISON_VALUE, 1), (2, 3)])
+                for relation in schema.relations
+            ],
+        )
+        with _poison_armed("always"):
+            with QueryService(workers=2) as svc:
+                with pytest.raises(ShardExecutionError):
+                    list(svc.stream(prepared, good + [poison], backend="parallel"))
+
+
+class TestAffinity:
+    def test_repeat_submissions_share_one_pinned_pool(self, prepared):
+        states = _states(prepared.schema, 3)
+        with QueryService(workers=2) as svc:
+            for _ in range(3):
+                svc.execute_many(prepared, states, backend="parallel")
+            assert svc.pinned_pool_count() == 1
+            assert svc.stats.pool_evictions == 0
+
+    def test_pool_eviction_is_bounded_and_counted(self):
+        schema_a = chain_schema(3)
+        schema_b = chain_schema(4)
+        prepared_a = analyze(schema_a).prepare(RelationSchema({"x0", "x3"}))
+        prepared_b = analyze(schema_b).prepare(RelationSchema({"x0", "x4"}))
+        with QueryService(workers=2, max_pinned_pools=1) as svc:
+            svc.execute_many(
+                prepared_a, _states(schema_a, 2), backend="parallel"
+            )
+            svc.execute_many(
+                prepared_b, _states(schema_b, 2), backend="parallel"
+            )
+            assert svc.pinned_pool_count() == 1
+            assert svc.stats.pool_evictions == 1
+            # The evicted spec comes straight back on demand.
+            svc.execute_many(
+                prepared_a, _states(schema_a, 2), backend="parallel"
+            )
+            assert svc.stats.pool_evictions == 2
+
+
+class TestLifecycle:
+    def test_closed_service_refuses_submissions(self, prepared):
+        svc = QueryService(workers=2)
+        svc.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(prepared, _states(prepared.schema, 2))
+        assert not svc.healthy
+        svc.close()  # idempotent
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_inflight_states"):
+            QueryService(max_inflight_states=0)
+        with pytest.raises(ValueError, match="max_inflight_bytes"):
+            QueryService(max_inflight_bytes=0)
+        with pytest.raises(ValueError, match="max_pinned_pools"):
+            QueryService(max_pinned_pools=0)
+        with pytest.raises(ValueError, match="stream_shards_per_worker"):
+            QueryService(stream_shards_per_worker=0)
+
+    def test_stream_metadata_surface(self, service, prepared):
+        streamed = service.stream(prepared, _states(prepared.schema, 4))
+        assert streamed.decision.backend in ("compiled", "parallel")
+        assert streamed.transport in ("none", "pickle", "shm")
+        assert streamed.shard_count >= 1
+        list(streamed)
+
+    def test_stream_item_repr_fields(self):
+        item = StreamItem(index=2)
+        assert item.ok
+        failed = StreamItem(index=1, error=RuntimeError("x"))
+        assert not failed.ok

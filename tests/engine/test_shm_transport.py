@@ -1,0 +1,259 @@
+"""The shared-memory state transport: codec round-trips, equivalence, leaks."""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import ParallelExecutor, analyze
+from repro.engine import faults
+from repro.engine.parallel import (
+    ENV_TRANSPORT,
+    SHM_NAME_PREFIX,
+    TRANSPORTS,
+    resolve_transport,
+)
+from repro.hypergraph import RelationSchema, chain_schema, random_tree_schema
+from repro.relational import DatabaseState, Relation
+from repro.relational.compiled import shm_decode_state, shm_encode_state
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"),
+    reason="shared-memory transport tests need a POSIX /dev/shm",
+)
+
+#: Values spanning both codec paths: small ints (int64 packing), ints past
+#: the int64 range (pickled fallback), floats/strings/bools/None (pickled).
+VALUES = st.one_of(
+    st.integers(-3, 6),
+    st.sampled_from([1 << 70, -(1 << 70), 1.0, 2.5, True, False, "a", "v1", None]),
+)
+
+#: Pure-int values, for pinning the int64 fast path specifically.
+INT_VALUES = st.integers(-5, 10)
+
+
+def _shm_strays():
+    return [name for name in os.listdir("/dev/shm") if name.startswith(SHM_NAME_PREFIX)]
+
+
+def _assert_no_strays():
+    strays = _shm_strays()
+    assert not strays, f"leaked shm segments: {strays}"
+
+
+@st.composite
+def random_states(draw, values=VALUES, max_states: int = 1):
+    schema = random_tree_schema(draw(st.integers(1, 4)), rng=draw(st.integers(0, 10**6)))
+    states = []
+    for _ in range(draw(st.integers(1, max_states))):
+        relations = []
+        for relation_schema in schema.relations:
+            width = len(relation_schema.sorted_attributes())
+            rows = draw(
+                st.lists(st.tuples(*([values] * width)), min_size=0, max_size=5)
+            )
+            relations.append(Relation(relation_schema, rows))
+        states.append(DatabaseState(schema, relations))
+    return schema, states
+
+
+class TestCodec:
+    @settings(max_examples=60, deadline=None)
+    @given(random_states())
+    def test_round_trip_mixed_values(self, instance):
+        schema, states = instance
+        for state in states:
+            assert shm_decode_state(schema, shm_encode_state(state)) == state
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_states(values=INT_VALUES))
+    def test_round_trip_pure_int(self, instance):
+        schema, states = instance
+        for state in states:
+            assert shm_decode_state(schema, shm_encode_state(state)) == state
+
+    def test_bools_survive_the_int_check(self):
+        # ``True``/``False`` are ints by isinstance but must NOT ride the
+        # int64 path: decoding would resurrect them as 1/0 and change row
+        # identity.  The codec keys on ``type(v) is int`` for exactly this.
+        schema = chain_schema(1)
+        state = DatabaseState(
+            schema,
+            [Relation(schema.relations[0], [(True, 2), (False, 3), (1, 4), (0, 5)])],
+        )
+        decoded = shm_decode_state(schema, shm_encode_state(state))
+        assert decoded == state
+        # A set would collapse True/1 and False/0; inspect identities row-wise.
+        values = [value for row in decoded.relations[0].rows for value in row]
+        assert any(value is True for value in values)
+        assert any(value is False for value in values)
+
+    def test_empty_schema_round_trips(self):
+        from repro.hypergraph import DatabaseSchema
+
+        schema = DatabaseSchema([])
+        state = DatabaseState(schema, [])
+        assert shm_decode_state(schema, shm_encode_state(state)) == state
+
+    def test_relation_count_mismatch_rejected(self):
+        schema = chain_schema(2)
+        state = DatabaseState(
+            schema, [Relation(relation, []) for relation in schema.relations]
+        )
+        blob = shm_encode_state(state)
+        with pytest.raises(ValueError):
+            shm_decode_state(chain_schema(3), blob)
+
+
+class TestResolveTransport:
+    def test_default_and_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_TRANSPORT, raising=False)
+        assert resolve_transport(None) == "pickle"
+        monkeypatch.setenv(ENV_TRANSPORT, "shm")
+        assert resolve_transport(None) == "shm"
+        assert resolve_transport("pickle") == "pickle"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="transport"):
+            resolve_transport("carrier-pigeon")
+        assert TRANSPORTS == ("pickle", "shm")
+
+
+@pytest.fixture(scope="module")
+def shm_pool():
+    with ParallelExecutor(workers=2, transport="shm") as executor:
+        yield executor
+
+
+def _prepared_chain():
+    schema = chain_schema(3)
+    return analyze(schema).prepare(RelationSchema({"x0", "x3"}))
+
+
+def _chain_states(schema, count, *, salt=0):
+    return [
+        DatabaseState(
+            schema,
+            [
+                Relation(
+                    relation,
+                    [(i + salt + index, i + salt + index + 1) for i in range(3)],
+                )
+                for relation in schema.relations
+            ],
+        )
+        for index in range(count)
+    ]
+
+
+class TestShmExecution:
+    @settings(max_examples=15, deadline=None)
+    @given(random_states(max_states=4))
+    def test_shm_matches_classic(self, shm_pool, instance):
+        schema, states = instance
+        attrs = sorted(schema.attributes.sorted_attributes())
+        prepared = analyze(schema).prepare(RelationSchema(set(attrs[:2])))
+        classic = prepared.execute_many(states, backend="classic")
+        parallel = shm_pool.execute_many(prepared, states)
+        assert [run.result for run in parallel] == [run.result for run in classic]
+        assert all(run.backend == "parallel" for run in parallel)
+        assert parallel[0].stats.transport == "shm"
+
+    def test_stats_account_segments_and_bytes(self, shm_pool):
+        prepared = _prepared_chain()
+        states = _chain_states(prepared.schema, 6)
+        runs = shm_pool.execute_many(prepared, states)
+        stats = runs[0].stats
+        assert stats.transport == "shm"
+        assert stats.shm_segments >= 1
+        assert stats.shm_bytes > 0
+        _assert_no_strays()
+
+    def test_pickle_transport_reports_no_segments(self, shm_pool):
+        prepared = _prepared_chain()
+        states = _chain_states(prepared.schema, 4)
+        runs = shm_pool.execute_many(prepared, states, transport="pickle")
+        assert runs[0].stats.transport == "pickle"
+        assert runs[0].stats.shm_segments == 0
+        _assert_no_strays()
+
+    def test_mixed_value_states_cross_shm(self, shm_pool):
+        # Strings/None/floats take the pickled-block path inside the segment.
+        prepared = _prepared_chain()
+        schema = prepared.schema
+        states = [
+            DatabaseState(
+                schema,
+                [
+                    Relation(relation, [("a", 1), (None, 2.5), (1 << 70, index)])
+                    for relation in schema.relations
+                ],
+            )
+            for index in range(3)
+        ]
+        classic = prepared.execute_many(states, backend="classic")
+        runs = shm_pool.execute_many(prepared, states)
+        assert [run.result for run in runs] == [run.result for run in classic]
+        _assert_no_strays()
+
+
+class TestLeakFreedom:
+    def test_no_leak_after_crash_recovery(self):
+        """Worker death mid-batch must not orphan segments: the respawn path
+        releases every tracked segment before resubmitting."""
+        prepared = _prepared_chain()
+        states = _chain_states(prepared.schema, 8)
+        directory = tempfile.mkdtemp(prefix="repro-faults-")
+        saved = os.environ.pop(faults.ENV_CRASH, None)
+        saved_dir = os.environ.pop(faults.ENV_FAULT_DIR, None)
+        os.environ[faults.ENV_FAULT_DIR] = directory
+        os.environ[faults.ENV_CRASH] = "2"
+        try:
+            with ParallelExecutor(workers=2, transport="shm") as executor:
+                runs = executor.execute_many(prepared, states)
+                assert runs[0].stats.respawns >= 1
+        finally:
+            for name, value in ((faults.ENV_CRASH, saved), (faults.ENV_FAULT_DIR, saved_dir)):
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+            shutil.rmtree(directory, ignore_errors=True)
+        classic = prepared.execute_many(states, backend="classic")
+        assert [run.result for run in runs] == [run.result for run in classic]
+        _assert_no_strays()
+
+    def test_close_releases_segments(self):
+        # Simulate an aborted batch: create a tracked segment by hand and
+        # verify close() (the backstop) unlinks it.
+        executor = ParallelExecutor(workers=1, transport="shm")
+        segment = executor._create_segment(64)
+        executor._segments[object()] = segment
+        assert _shm_strays()
+        executor.close()
+        _assert_no_strays()
+
+    def test_unpicklable_state_fails_synchronously_and_recovers(self):
+        # shm encoding happens in the parent, so an unpicklable state fails
+        # at submit; the supervision ladder must still recover it in-process
+        # without leaking the shard's neighbours' segments.
+        prepared = _prepared_chain()
+        schema = prepared.schema
+        good = _chain_states(schema, 2)
+        bad = DatabaseState(
+            schema,
+            [
+                Relation(relation, [(lambda: None, 1)])
+                for relation in schema.relations
+            ],
+        )
+        with ParallelExecutor(workers=2, transport="shm") as executor:
+            runs = executor.execute_many(prepared, [good[0], bad, good[1]])
+        assert [run.backend for run in runs] == ["parallel"] * 3
+        assert runs[0].stats.fallback_runs >= 1
+        _assert_no_strays()
