@@ -130,11 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
     query.add_argument(
         "--backend",
-        choices=("auto", "classic", "compiled", "parallel"),
+        choices=("auto", "classic", "compiled", "parallel", "vectorized"),
         default="auto",
-        help="execution backend: the compiled interned-value kernel "
-        "(auto/compiled), the classic object-tuple operators, or the "
-        "sharded multi-process pool (parallel)",
+        help="execution backend: the array-backed vectorized kernel "
+        "(vectorized; auto prefers it when numpy imports), the compiled "
+        "interned-value kernel (compiled; the auto fallback), the classic "
+        "object-tuple operators, or the sharded multi-process pool "
+        "(parallel)",
     )
     query.add_argument(
         "--workers",

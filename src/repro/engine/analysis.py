@@ -345,24 +345,33 @@ class AnalyzedSchema:
     # -- cost probes -----------------------------------------------------------
 
     def cached_cost_probe(
-        self, target: TargetLike, *, root: int = 0
+        self, target: TargetLike, *, root: int = 0, backend: str = "compiled"
     ) -> Optional[float]:
-        """The cached per-row execution cost for ``(target, root)``, or ``None``.
+        """The cached per-row cost for ``(target, root, backend)``, or ``None``.
 
         Written by the adaptive router (:mod:`repro.engine.routing`): the
-        probe times a few compiled executions once per plan and parks the
+        probe times a few serial executions once per plan and parks the
         per-row seconds here, so every later routing decision for the same
         plan — across services, batches and threads — is a dictionary lookup.
+        ``backend`` keys the serial kernel that was timed (``"compiled"`` or
+        ``"vectorized"``): their per-row costs differ by the very speedups
+        the vectorized kernel exists for, so one must never stand in for the
+        other.
         """
-        key = (_as_relation_schema(target), root)
+        key = (_as_relation_schema(target), root, backend)
         return _memo_get(self._cost_probes, key)
 
     def store_cost_probe(
-        self, target: TargetLike, per_row_s: float, *, root: int = 0
+        self,
+        target: TargetLike,
+        per_row_s: float,
+        *,
+        root: int = 0,
+        backend: str = "compiled",
     ) -> None:
-        """Cache a measured per-row cost for ``(target, root)`` (see
+        """Cache a measured per-row cost for ``(target, root, backend)`` (see
         :meth:`cached_cost_probe`; last write wins under concurrency)."""
-        key = (_as_relation_schema(target), root)
+        key = (_as_relation_schema(target), root, backend)
         _memo_put(self._cost_probes, key, float(per_row_s))
 
     # -- summaries -------------------------------------------------------------

@@ -119,6 +119,7 @@ from ..relational.compiled import (
     shm_encode_state,
 )
 from ..relational.database import DatabaseState
+from ..relational.vectorized import numpy_available, shm_attach_state
 from ..relational.yannakakis import YannakakisRun
 from ..hypergraph.schema import DatabaseSchema, RelationSchema
 from . import faults
@@ -331,12 +332,36 @@ class PlanSpec:
     target: RelationSchema
     root: int = 0
     max_interned_values: Optional[int] = DEFAULT_MAX_INTERNED_VALUES
+    #: Serial kernel the workers *prefer* for shards (``"compiled"`` or
+    #: ``"vectorized"``): the capability verdict of the parent process,
+    #: carried so every worker agrees with what the parent would have
+    #: picked serially.  Workers still downgrade a vectorized preference to
+    #: compiled shard by shard when the states are too small to amortize
+    #: the array toll (``_shard_backend``) — a batch-dependent verdict that
+    #: must not live in the spec, which keys pinned pools and worker plan
+    #: caches.
+    serial_backend: str = "compiled"
 
     @classmethod
     def of(cls, prepared) -> "PlanSpec":
         """The spec of a :class:`~repro.engine.prepared.PreparedQuery`
         (normally reached through ``prepared.plan_spec()``)."""
-        plan = prepared._compiled
+        serial = _default_serial_backend()
+        # Carry the interner cap of the serial plan the workers will run;
+        # when only the *other* serial plan is resident (a caller configured
+        # prepared.compiled directly, say), its cap still describes the
+        # intent and seeds the workers.
+        preferred = (
+            prepared._vectorized
+            if serial == "vectorized"
+            else prepared._compiled
+        )
+        fallback = (
+            prepared._compiled
+            if serial == "vectorized"
+            else prepared._vectorized
+        )
+        plan = preferred if preferred is not None else fallback
         cap = (
             plan.max_interned_values
             if plan is not None
@@ -347,6 +372,7 @@ class PlanSpec:
             target=prepared.target,
             root=prepared.root,
             max_interned_values=cap,
+            serial_backend=serial,
         )
 
     def describe(self) -> str:
@@ -356,6 +382,39 @@ class PlanSpec:
 
 
 # -- worker side ---------------------------------------------------------------
+
+
+def _default_serial_backend() -> str:
+    """The serial kernel ``backend="auto"`` resolves to in this process
+    (mirrors :func:`repro.engine.prepared.resolve_backend`, without the
+    import cycle: ``prepared`` imports this module lazily)."""
+    return "vectorized" if numpy_available() else "compiled"
+
+
+def _serial_plan(prepared, serial_backend: str):
+    """The prepared query's plan object for a spec's serial backend."""
+    if serial_backend == "vectorized":
+        return prepared.vectorized
+    return prepared.compiled
+
+
+def _shard_backend(
+    preferred: str, states: Sequence[DatabaseState]
+) -> str:
+    """The serial kernel for one shard: the spec's preference, downgraded
+    to compiled for shards of tiny states.
+
+    The spec carries the *capability* preference (``"vectorized"`` whenever
+    the parent had numpy) so it stays a stable cache key for pinned pools
+    and worker plan caches; profitability is per batch, so each shard
+    applies the same mean-rows gate the serial ``auto`` path applies
+    (:func:`repro.engine.prepared.resolve_backend_for`).
+    """
+    if preferred != "vectorized":
+        return preferred
+    from .prepared import resolve_backend_for
+
+    return resolve_backend_for("auto", states)
 
 #: Worker-local plan cache: spec → PreparedQuery (with its compiled plan
 #: forced).  Lives in the worker process's module globals; bounded so a
@@ -383,8 +442,13 @@ def _plan_for_spec(spec: PlanSpec) -> Tuple[Any, int]:
     prepared = prepared_from_spec(spec)
     # `compiled_now` counts *actual* plan builds: a fork-started worker
     # inherits the parent's analysis LRU, so the rebuilt query may already
-    # carry its compiled plan and the first shard pays nothing.
-    compiled_now = 1 if prepared._compiled is None else 0
+    # carry its serial plan and the first shard pays nothing.
+    resident = (
+        prepared._vectorized
+        if spec.serial_backend == "vectorized"
+        else prepared._compiled
+    )
+    compiled_now = 1 if resident is None else 0
     # The spec's interner cap *seeds* a freshly built plan.  A plan already
     # resident in this process — inherited over fork, or shared through the
     # analysis LRU with a spec differing only in cap — keeps its existing
@@ -392,7 +456,14 @@ def _plan_for_spec(spec: PlanSpec) -> Tuple[Any, int]:
     # silently overwriting it would re-enable (or un-bound) epochs behind
     # the back of whichever client configured it first.
     if compiled_now:
-        prepared.compiled.max_interned_values = spec.max_interned_values
+        _serial_plan(prepared, spec.serial_backend).max_interned_values = (
+            spec.max_interned_values
+        )
+        if spec.serial_backend == "vectorized" and prepared._compiled is None:
+            # A vectorized-preferring worker still runs compiled on tiny
+            # shards (``_shard_backend``); seed that plan's cap too so the
+            # downgrade cannot un-bound the interner.
+            prepared.compiled.max_interned_values = spec.max_interned_values
     _worker_plans[spec] = prepared
     if len(_worker_plans) > _PLAN_CACHE_MAX:
         _worker_plans.popitem(last=False)
@@ -415,9 +486,9 @@ def _run_shard(
         faults.on_shard_start()
     prepared, compiled_now = _plan_for_spec(spec)
     stats = ExecutionStats()
-    # The compiled plan handles every schema, the empty one included, and
-    # its encode path is what keeps ``stats.states`` accounting truthful.
-    plan = prepared.compiled
+    # Both serial plans handle every schema, the empty one included, and
+    # their encode paths are what keep ``stats.states`` accounting truthful.
+    plan = _serial_plan(prepared, _shard_backend(spec.serial_backend, states))
     runs = []
     for state in states:
         if inject:
@@ -463,6 +534,15 @@ def _execute_shard_shm(
     try:
         schema = DatabaseSchema(spec.relations)
         buf = segment.buf
+        if (
+            spec.serial_backend == "vectorized"
+            and spec.relations
+            and numpy_available()
+            and not faults.any_active()
+        ):
+            attached = _attach_shard_vectorized(spec, buf, extents)
+            if attached is not None:
+                return attached
         states = []
         for offset, length in extents:
             chunk = buf[offset : offset + length]
@@ -479,6 +559,58 @@ def _execute_shard_shm(
         except BufferError:  # pragma: no cover - defensive
             pass
     return _run_shard(spec, tuple(states))
+
+
+def _attach_shard_vectorized(
+    spec: PlanSpec, buf, extents: Tuple[Tuple[int, int], ...]
+) -> Optional[Tuple[int, int, List[YannakakisRun], ExecutionStats]]:
+    """Zero-copy shm fast path: feed the wire's raw-int64 blocks straight
+    into vectorized encodings, skipping value decode + re-encode entirely.
+
+    Returns ``None`` — and the caller falls back to the value-level decode
+    path — when any state carries a non-INT64 block or the plan has
+    dictionary-mode attributes (:func:`shm_attach_state` refuses both).
+    States never materialize as :class:`DatabaseState` here, so the
+    fault-injection hooks cannot see them; the caller therefore only takes
+    this path when no faults are armed.  Encode-side stats count each
+    attached slot as an encode (the wire block *is* the encoding); the
+    worker's slot cache is bypassed, so repeated relations across a shard's
+    states count as encodes rather than cache hits.
+    """
+    prepared, compiled_now = _plan_for_spec(spec)
+    plan = prepared.vectorized
+    vstates = []
+    for offset, length in extents:
+        chunk = buf[offset : offset + length]
+        try:
+            vstate = shm_attach_state(plan, chunk)
+        finally:
+            try:
+                chunk.release()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+        if vstate is None:
+            return None
+        vstates.append(vstate)
+    if vstates:
+        from .prepared import VECTORIZED_MIN_STATE_ROWS
+
+        total = sum(
+            sum(encoding.n for encoding in vstate.encodings)
+            for vstate in vstates
+        )
+        if total / len(vstates) < VECTORIZED_MIN_STATE_ROWS:
+            # Tiny shard: the array kernel's per-call toll outweighs the
+            # zero-copy attach; let the caller decode values and run the
+            # gated shard body (which will pick compiled).
+            return None
+    stats = ExecutionStats()
+    runs = []
+    for vstate in vstates:
+        stats.states += 1
+        stats.encoded_slots += len(spec.relations)
+        runs.append(plan.execute(vstate, stats=stats))
+    return os.getpid(), compiled_now, runs, stats
 
 
 def _destroy_segment(segment: "shared_memory.SharedMemory") -> None:
@@ -1353,7 +1485,10 @@ def execute_in_process(prepared, states: Iterable[DatabaseState]) -> List[Yannak
     than just executing.  Results are indistinguishable from a real pool
     run: input order, duplicate dedup, ``backend="parallel"`` retagging, one
     shared :class:`ParallelStats` whose ``workers=0`` / ``transport="none"``
-    / ``routed_in_process`` fields record that no pool was involved.
+    / ``routed_in_process`` fields record that no pool was involved.  The
+    serial kernel is the one ``backend="auto"`` resolves to for this batch
+    (vectorized when numpy imports and the states are big enough to amortize
+    the array toll), matching what the pool's workers would have run.
     """
     state_list = list(states)
     if not state_list:
@@ -1361,7 +1496,9 @@ def execute_in_process(prepared, states: Iterable[DatabaseState]) -> List[Yannak
     unique_runs: Dict[DatabaseState, YannakakisRun] = {}
     stats = ParallelStats(0)
     stats.transport = "none"
-    plan = prepared.compiled
+    plan = _serial_plan(
+        prepared, _shard_backend(_default_serial_backend(), state_list)
+    )
     for state in state_list:
         if state not in unique_runs:
             unique_runs[state] = plan.execute_state(state, stats=stats)

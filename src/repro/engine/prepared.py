@@ -29,6 +29,7 @@ from ..hypergraph.qual_graph import QualGraph
 from ..hypergraph.schema import Attribute, DatabaseSchema, RelationSchema
 from ..relational.compiled import CompiledPlan, compile_plan
 from ..relational.database import DatabaseState
+from ..relational.vectorized import VectorizedPlan, numpy_available, vectorize_plan
 from ..relational.relation import Relation
 from ..relational.yannakakis import (
     SemijoinStep,
@@ -37,29 +38,77 @@ from ..relational.yannakakis import (
     rooted_orientation,
 )
 
-__all__ = ["JoinStep", "PreparedQuery", "resolve_backend"]
+__all__ = [
+    "JoinStep",
+    "PreparedQuery",
+    "VECTORIZED_MIN_STATE_ROWS",
+    "resolve_backend",
+    "resolve_backend_for",
+]
 
 #: Execution backends accepted by :meth:`PreparedQuery.execute` /
 #: :meth:`PreparedQuery.execute_many` (``parallel`` is batch-only).
-_BACKENDS = ("auto", "classic", "compiled", "parallel")
+_BACKENDS = ("auto", "classic", "compiled", "parallel", "vectorized")
 
 
 def resolve_backend(backend: str) -> str:
-    """Normalize a backend name: ``auto`` resolves to ``compiled``.
+    """Normalize a backend name: ``auto`` resolves to the fastest serial kernel.
 
-    The compiled interned-value kernel computes exactly what the classic
-    object-tuple operators compute (the equivalence suite holds on every
-    exposed entry point), so ``auto`` always takes the fast path; ``classic``
-    remains available as the oracle and for A/B timing.  ``parallel`` (the
-    sharded process-pool layer of :mod:`repro.engine.parallel`) resolves to
-    itself — it batches states across workers and is therefore accepted only
-    by :meth:`PreparedQuery.execute_many`.
+    With numpy importable that is the array-backed vectorized kernel of
+    :mod:`repro.relational.vectorized`; without it, the compiled
+    interned-value backend (the vectorized row-program fallback adds
+    indirection over the same step program, so ``auto`` does not pay for
+    it).  Both compute exactly what the classic object-tuple operators
+    compute — the equivalence suites hold on every exposed entry point —
+    so ``auto`` always takes a fast path; ``classic`` remains available as
+    the oracle and for A/B timing.  ``parallel`` (the sharded process-pool
+    layer of :mod:`repro.engine.parallel`) resolves to itself — it batches
+    states across workers and is therefore accepted only by
+    :meth:`PreparedQuery.execute_many`.
     """
     if backend not in _BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {', '.join(_BACKENDS)}"
         )
-    return "compiled" if backend == "auto" else backend
+    if backend == "auto":
+        return "vectorized" if numpy_available() else "compiled"
+    return backend
+
+
+#: Below this many total rows per state, ``auto`` keeps the compiled
+#: backend even with numpy importable: the array kernel pays a fixed
+#: per-call toll (ndarray construction, argsort/searchsorted dispatch) on
+#: every relation it touches, and on tiny states that toll dwarfs the
+#: work.  The crossover sits around 200–250 total rows on the PR-8
+#: benchmark host; 256 keeps a margin on the compiled side of it.
+VECTORIZED_MIN_STATE_ROWS = 256
+
+
+def _state_rows(state: DatabaseState) -> int:
+    return sum(len(relation) for relation in state.relations)
+
+
+def resolve_backend_for(
+    backend: str, states: Sequence[DatabaseState]
+) -> str:
+    """Resolve ``backend`` with the workload in hand: ``auto`` upgrades to
+    the vectorized kernel only when it is profitable.
+
+    :func:`resolve_backend` answers the static question (which kernels can
+    run here); this answers the routing question (which kernel *should* run
+    this batch).  ``auto`` resolves to ``"vectorized"`` when numpy is
+    importable **and** the batch's mean state size clears
+    :data:`VECTORIZED_MIN_STATE_ROWS`; under that it stays on the compiled
+    backend, whose per-row interpreter has no array-construction toll to
+    amortize.  Explicit backend names are never second-guessed.
+    """
+    resolved = resolve_backend(backend)
+    if backend != "auto" or resolved != "vectorized":
+        return resolved
+    if not states:
+        return "compiled"
+    mean_rows = sum(_state_rows(state) for state in states) / len(states)
+    return "vectorized" if mean_rows >= VECTORIZED_MIN_STATE_ROWS else "compiled"
 
 
 def _subtree_intervals(
@@ -127,6 +176,7 @@ class PreparedQuery:
         "_join_steps",
         "_final_projection",
         "_compiled",
+        "_vectorized",
     )
 
     def __init__(
@@ -145,6 +195,7 @@ class PreparedQuery:
         object.__setattr__(self, "_target", target)
         object.__setattr__(self, "_root", root)
         object.__setattr__(self, "_compiled", None)
+        object.__setattr__(self, "_vectorized", None)
 
         if len(schema) == 0:
             object.__setattr__(self, "_tree", None)
@@ -276,17 +327,35 @@ class PreparedQuery:
             object.__setattr__(self, "_compiled", plan)
         return plan
 
+    @property
+    def vectorized(self) -> VectorizedPlan:
+        """The array-backed vectorized plan, built lazily and cached.
+
+        Like :attr:`compiled`, the plan owns its interner and per-slot
+        encoding cache, shared by every state this query executes.  It is
+        built against the numpy kernel when numpy imports and against the
+        stdlib ``array`` row-program fallback otherwise; see
+        :mod:`repro.relational.vectorized`.
+        """
+        plan = self._vectorized
+        if plan is None:
+            plan = vectorize_plan(self)
+            object.__setattr__(self, "_vectorized", plan)
+        return plan
+
     def reset_compiled(self) -> None:
-        """Drop the compiled plan (interner and encoding cache included).
+        """Drop the compiled and vectorized plans (interners and encoding
+        caches included).
 
         Long-running serving processes can use this to release interning
         dictionaries that accumulated values from states no longer in
-        rotation; the next compiled execution rebuilds the plan.  (Since the
+        rotation; the next execution rebuilds the plan it needs.  (Since the
         interner cap landed, plans also bound themselves: see
         ``CompiledPlan.max_interned_values`` and the epoch notes in
         :mod:`repro.relational.compiled`.)
         """
         object.__setattr__(self, "_compiled", None)
+        object.__setattr__(self, "_vectorized", None)
 
     def plan_spec(self):
         """The picklable :class:`~repro.engine.parallel.PlanSpec` identifying
@@ -347,15 +416,19 @@ class PreparedQuery:
         """Run the compiled plan against a state; no planning happens here.
 
         ``backend`` selects the execution kernel: ``"auto"`` (the default)
-        routes through the interned-value columnar backend of
-        :mod:`repro.relational.compiled`, ``"classic"`` forces the
-        object-tuple :class:`~repro.relational.relation.Relation` operators,
-        and ``"compiled"`` requires the compiled backend explicitly.  Both
+        routes through the array-backed vectorized kernel of
+        :mod:`repro.relational.vectorized` when numpy is importable *and*
+        the state is large enough to amortize the array toll
+        (:data:`VECTORIZED_MIN_STATE_ROWS` total rows), and the
+        interned-value columnar backend of :mod:`repro.relational.compiled`
+        otherwise; ``"vectorized"``/``"compiled"`` request those kernels
+        explicitly and ``"classic"`` forces the object-tuple
+        :class:`~repro.relational.relation.Relation` operators.  All
         backends return the same :class:`~repro.relational.yannakakis.
         YannakakisRun` — result, semijoin/join counts and intermediate-size
         accounting — and the run's ``backend`` field reports which one ran.
         """
-        resolved = resolve_backend(backend)
+        resolved = resolve_backend_for(backend, (state,))
         if resolved == "parallel":
             raise ValueError(
                 "the parallel backend batches states across processes; "
@@ -372,6 +445,8 @@ class PreparedQuery:
                 max_intermediate_size=1,
                 backend=resolved,
             )
+        if resolved == "vectorized":
+            return self.vectorized.execute_state(state)
         if resolved == "compiled":
             # Single executions skip the stats object; execute_many attaches
             # a shared ExecutionStats to every run of the batch.
@@ -425,10 +500,13 @@ class PreparedQuery:
     ) -> List[YannakakisRun]:
         """Execute the plan against each state, amortizing the planning cost.
 
-        With the compiled backend (the ``"auto"`` default) this is a true
-        batch: all states share the plan's interning dictionaries and
-        per-slot encoding cache, so a slot whose rows repeat across states is
-        encoded — and its key indexes built — once for the whole batch.  The
+        With a serial columnar backend (``"auto"`` picks the vectorized
+        kernel when numpy is importable and the batch's mean state size
+        clears :data:`VECTORIZED_MIN_STATE_ROWS`, the compiled backend
+        otherwise) this is a true batch: all states share the plan's
+        interning dictionaries and per-slot encoding cache, so a slot whose
+        rows repeat across states is encoded — and its key indexes built —
+        once for the whole batch.  The
         returned runs all carry one shared
         :class:`~repro.relational.compiled.ExecutionStats` describing the
         batch; with ``backend="classic"`` each state is executed
@@ -520,6 +598,10 @@ class PreparedQuery:
                 "require backend='parallel'; the serial backends run "
                 "in-process"
             )
+        state_list = states if isinstance(states, list) else list(states)
+        resolved = resolve_backend_for(backend, state_list)
+        if resolved == "vectorized" and len(self._schema) > 0:
+            return self.vectorized.execute_batch(state_list)
         if resolved == "compiled" and len(self._schema) > 0:
-            return self.compiled.execute_batch(states)
-        return [self.execute(state, backend=resolved) for state in states]
+            return self.compiled.execute_batch(state_list)
+        return [self.execute(state, backend=resolved) for state in state_list]

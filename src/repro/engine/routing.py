@@ -11,13 +11,15 @@ a cost model that every later batch reuses.
 
 :class:`RoutingPolicy` implements that model:
 
-* **Probe.**  The first decision for a plan times a few compiled executions
-  (:data:`DEFAULT_PROBE_STATES` sample states) and caches the measured
-  per-row seconds on the plan's :class:`~repro.engine.analysis.AnalyzedSchema`
+* **Probe.**  The first decision for a plan times a few executions of the
+  serial kernel ``auto`` resolves to — vectorized when numpy imports,
+  compiled otherwise (:data:`DEFAULT_PROBE_STATES` sample states) — and
+  caches the measured per-row seconds on the plan's
+  :class:`~repro.engine.analysis.AnalyzedSchema`
   (:meth:`~repro.engine.analysis.AnalyzedSchema.cached_cost_probe`), keyed by
-  ``(target, root)`` — shared across services, threads and batches.  The
-  probed states run through the plan's normal encode cache, so their work is
-  not wasted: the batch that follows reuses the encodings.
+  ``(target, root, backend)`` — shared across services, threads and batches.
+  The probed states run through the plan's normal encode cache, so their
+  work is not wasted: the batch that follows reuses the encodings.
 * **Estimate.**  A batch is profiled by its *unique* states (the executors
   dedup verbatim duplicates, so duplicates are free on every backend):
   ``serial ≈ per_row_s × unique_rows`` against
@@ -43,6 +45,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..relational.database import DatabaseState
 from .analysis import analyze
+from .prepared import resolve_backend_for
 
 __all__ = [
     "DEFAULT_BATCH_OVERHEAD_S",
@@ -90,8 +93,10 @@ _MIN_PER_ROW_S = 1e-9
 class RoutingDecision:
     """One routing verdict with the evidence that produced it.
 
-    ``backend`` is the resolved execution backend (``"compiled"`` or
-    ``"parallel"``; an explicit override may carry ``"classic"``).  ``rule``
+    ``backend`` is the resolved execution backend — the serial kernel
+    ``auto`` resolves to (``"vectorized"`` when numpy imports, else
+    ``"compiled"``) or ``"parallel"``; an explicit override may carry any
+    backend name, ``"classic"`` included.  ``rule``
     is a stable machine-readable tag naming the branch that decided
     (``"override"``, ``"empty"``, ``"single-unique"``, ``"all-empty"``,
     ``"narrow-pool"``, ``"small-batch"``, ``"thin-serial"``,
@@ -201,18 +206,25 @@ class RoutingPolicy:
     def probe(
         self, prepared, states: Sequence[DatabaseState]
     ) -> float:
-        """Per-row compiled cost for ``prepared``, probing at most once.
+        """Per-row serial cost for ``prepared``, probing at most once.
 
         Returns the pinned ``per_row_s`` if configured, else the value cached
         on the plan's analysis, else times up to ``probe_states`` sample
-        states (spread across the batch) on the compiled backend and caches
-        the result.  The probed executions go through the plan's encode
-        cache, so a following batch re-executes them nearly for free.
+        states (spread across the batch) on the serial kernel ``auto``
+        resolves to *for this batch* — the vectorized backend when numpy
+        imports and the states are big enough to amortize the array toll,
+        compiled otherwise — and caches the result keyed by that backend,
+        so a vectorized calibration never masquerades as a compiled one.  The
+        probed executions go through the plan's encode cache, so a following
+        batch re-executes them nearly for free.
         """
         if self.per_row_s is not None:
             return self.per_row_s
+        serial = resolve_backend_for("auto", states)
         analysis = analyze(prepared.schema)
-        cached = analysis.cached_cost_probe(prepared.target, root=prepared.root)
+        cached = analysis.cached_cost_probe(
+            prepared.target, root=prepared.root, backend=serial
+        )
         if cached is not None:
             return cached
         count = len(states)
@@ -224,13 +236,17 @@ class RoutingPolicy:
         )
         samples = [states[index] for index in picks]
         rows = sum(state.total_rows() for state in samples)
-        plan = prepared.compiled
+        plan = (
+            prepared.vectorized if serial == "vectorized" else prepared.compiled
+        )
         started = time.perf_counter()
         for state in samples:
             plan.execute_state(state)
         elapsed = time.perf_counter() - started
         per_row = max(_MIN_PER_ROW_S, elapsed / max(1, rows))
-        analysis.store_cost_probe(prepared.target, per_row, root=prepared.root)
+        analysis.store_cost_probe(
+            prepared.target, per_row, root=prepared.root, backend=serial
+        )
         return per_row
 
     # -- decisions -------------------------------------------------------------
@@ -253,7 +269,7 @@ class RoutingPolicy:
         workers: int,
         pool_live: bool = False,
     ) -> RoutingDecision:
-        """Route a batch: compiled in-process vs the supervised pool.
+        """Route a batch: the in-process serial kernel vs the supervised pool.
 
         ``workers`` is the pool width a parallel route would use;
         ``pool_live`` suppresses the spawn charge when a warm pool already
@@ -264,10 +280,11 @@ class RoutingPolicy:
         )
         count = len(state_list)
         unique_states, unique_rows = _dedup_profile(state_list)
+        serial_backend = resolve_backend_for("auto", state_list)
 
         def compiled(rule: str, reason: str, **estimates) -> RoutingDecision:
             return RoutingDecision(
-                backend="compiled",
+                backend=serial_backend,
                 rule=rule,
                 reason=reason,
                 states=count,

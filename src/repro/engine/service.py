@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
 from concurrent.futures import wait as wait_futures
@@ -93,6 +94,17 @@ _BYTES_PER_ROW_OVERHEAD = 16
 _BYTES_PER_STATE_OVERHEAD = 128
 
 
+#: Per-identity memo for :func:`estimate_state_bytes`: ``id(state) →
+#: (weakref, bytes)``.  States are immutable, so the estimate is a function
+#: of identity; repeated submissions of the same object (the common serving
+#: pattern the admission gate sees) must not re-walk every relation.  The
+#: weakref both guards against id reuse (a dead state's id can be recycled —
+#: the ``ref() is state`` check rejects a stale hit) and evicts the entry
+#: the moment the state is collected, so the memo cannot grow past the set
+#: of live states.
+_STATE_BYTES_MEMO: Dict[int, Tuple["weakref.ref", int]] = {}
+
+
 def estimate_state_bytes(state: DatabaseState) -> int:
     """Deterministic payload estimate for admission accounting.
 
@@ -100,14 +112,28 @@ def estimate_state_bytes(state: DatabaseState) -> int:
     the same order as the shm wire encoding for pure-int states, a safe
     under-estimate for pickled mixed-type rows.  Admission is a load-shed
     mechanism, not an allocator, so a consistent estimate beats an exact
-    (and expensive) serialization pass.
+    (and expensive) serialization pass.  Estimates are memoized per state
+    *identity* (states are immutable), so resubmitting the same object is a
+    dictionary hit instead of a walk over every relation.
     """
+    key = id(state)
+    memo = _STATE_BYTES_MEMO.get(key)
+    if memo is not None and memo[0]() is state:
+        return memo[1]
     total = _BYTES_PER_STATE_OVERHEAD
     for relation in state.relations:
         width = len(relation.schema)
         total += len(relation.rows) * (
             width * _BYTES_PER_VALUE + _BYTES_PER_ROW_OVERHEAD
         )
+    try:
+        ref = weakref.ref(
+            state, lambda _ref, _key=key: _STATE_BYTES_MEMO.pop(_key, None)
+        )
+    except TypeError:
+        # Not weak-referenceable (e.g. a test double); estimate uncached.
+        return total
+    _STATE_BYTES_MEMO[key] = (ref, total)
     return total
 
 

@@ -22,10 +22,23 @@ query into a columnar, interned-value program (``CompiledPlan`` /
 decodes the final answer back into a :class:`Relation`.  The operators here
 remain the semantics reference — the equivalence suite checks the compiled
 kernel against them on random schemas and states.
+
+Since PR 8 :mod:`repro.relational.vectorized` layers an array-backed kernel
+over the same interned encoding: contiguous int64 code columns, semijoins as
+membership masks over sorted key arrays, joins as ``searchsorted`` bucket
+matches plus index gathers (numpy when importable, a stdlib ``array``
+row-program fallback otherwise).  ``backend="auto"`` prefers it when numpy
+is present; classic and compiled stay as the property-test oracles.
 """
 
 from .relation import Relation, Row
 from .compiled import CompiledPlan, CompiledState, ExecutionStats, compile_plan
+from .vectorized import (
+    VectorizedPlan,
+    VectorizedState,
+    numpy_available,
+    vectorize_plan,
+)
 from .algebra import (
     intermediate_join_sizes,
     join_all,
@@ -77,6 +90,10 @@ __all__ = [
     "CompiledState",
     "ExecutionStats",
     "compile_plan",
+    "VectorizedPlan",
+    "VectorizedState",
+    "numpy_available",
+    "vectorize_plan",
     "project",
     "natural_join",
     "semijoin",

@@ -85,7 +85,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..exceptions import SchemaError
 from ..hypergraph.schema import Attribute, DatabaseSchema
 from .database import DatabaseState
-from .relation import Relation, _tuple_getter
+from .relation import Relation, _tuple_getter, pure_int_column, pure_int_rows
 from .yannakakis import YannakakisRun
 
 __all__ = [
@@ -94,6 +94,7 @@ __all__ = [
     "DEFAULT_MAX_INTERNED_VALUES",
     "ExecutionStats",
     "compile_plan",
+    "plan_layout",
     "shm_encode_state",
     "shm_decode_state",
 ]
@@ -218,6 +219,13 @@ def _unwrap(code: Any) -> Any:
     return code.value if type(code) is _Stray else code
 
 
+# Identity-mode codes that *are* native ints decode to themselves;
+# ``Relation.from_interned`` uses this marker to skip the decode map on
+# result columns the pure-int classifier clears (the attribute may carry
+# strays plan-wide while this particular column does not).
+_unwrap.identity_when_int = True  # type: ignore[attr-defined]
+
+
 #: Per-attribute encoding modes, pinned the first time the attribute is seen.
 _MODE_IDENTITY = 0  # codes are the int values themselves (+ stray wrappers)
 _MODE_DICT = 1  # codes are dense ints assigned by the interning dictionary
@@ -332,6 +340,303 @@ class _JoinOp:
         self.kw = kw
 
 
+class _SemijoinLayout:
+    """Position-only description of one reducer step (see :func:`plan_layout`)."""
+
+    __slots__ = ("target", "source", "tkey", "skey")
+
+    def __init__(
+        self,
+        target: int,
+        source: int,
+        tkey: Tuple[int, ...],
+        skey: Tuple[int, ...],
+    ) -> None:
+        self.target = target
+        self.source = source
+        self.tkey = tkey
+        self.skey = skey
+
+
+class _JoinLayout:
+    """Position-only description of one join step (see :func:`plan_layout`).
+
+    ``proj_pos`` (child-semijoin shape), ``extract_pos`` and ``cnew_pos``
+    (general shape) carry the column positions the compiled backend turns
+    into ``itemgetter`` programs; ``None`` marks a position program the shape
+    does not use.  ``ckey`` follows the compiled convention: positions in the
+    *unprojected* child row for the mother-semijoin shape, positions in the
+    projected child layout otherwise (the pair also keys stats lineages).
+    """
+
+    __slots__ = (
+        "kind",
+        "mother",
+        "node",
+        "tag",
+        "has_proj",
+        "mkey",
+        "ckey",
+        "kw",
+        "proj_pos",
+        "extract_pos",
+        "cnew_pos",
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        mother: int,
+        node: int,
+        tag: int,
+        *,
+        has_proj: bool = False,
+        mkey: Tuple[int, ...] = (),
+        ckey: Tuple[int, ...] = (),
+        kw: int = 0,
+        proj_pos: Optional[Tuple[int, ...]] = None,
+        extract_pos: Optional[Tuple[int, ...]] = None,
+        cnew_pos: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        self.kind = kind
+        self.mother = mother
+        self.node = node
+        self.tag = tag
+        self.has_proj = has_proj
+        self.mkey = mkey
+        self.ckey = ckey
+        self.kw = kw
+        self.proj_pos = proj_pos
+        self.extract_pos = extract_pos
+        self.cnew_pos = cnew_pos
+
+
+class _PlanLayout:
+    """The fully positional step program shared by the execution backends.
+
+    ``final_positions`` is ``None`` when the root's final layout already
+    matches the target's canonical column order (projection is a no-op).
+    """
+
+    __slots__ = ("semijoins", "joins", "final_positions")
+
+    def __init__(
+        self,
+        semijoins: Tuple[_SemijoinLayout, ...],
+        joins: Tuple[_JoinLayout, ...],
+        final_positions: Optional[Tuple[int, ...]],
+    ) -> None:
+        self.semijoins = semijoins
+        self.joins = joins
+        self.final_positions = final_positions
+
+
+def plan_layout(prepared) -> _PlanLayout:
+    """Replay the plan's column algebra symbolically into a positional layout.
+
+    The columns every slot carries at each join step are a function of the
+    plan alone (the same recurrence :class:`~repro.engine.prepared
+    .PreparedQuery` uses to place its early projections), so the shape of
+    every join — semijoin degeneration included — is decided here, once.
+    Intermediate column layouts are *not* kept sorted: a general join's
+    output layout is the mother's layout followed by the child's new
+    columns, so the execution-time combine is a bare concatenation and only
+    the final projection re-establishes the canonical order.
+
+    Both the compiled (tuple-program) and vectorized (array-program)
+    backends consume this layout, which is what keeps their step semantics
+    — and their stats lineages — identical by construction.
+    """
+    schema = prepared.schema
+    columns: Tuple[Tuple[Attribute, ...], ...] = tuple(
+        relation.sorted_attributes() for relation in schema.relations
+    )
+    positions = tuple(
+        {column: index for index, column in enumerate(cols)} for cols in columns
+    )
+    semijoins: List[_SemijoinLayout] = []
+    for step in prepared.semijoin_steps:
+        tcols, scols = columns[step.target], columns[step.source]
+        shared = sorted(set(tcols) & set(scols))
+        semijoins.append(
+            _SemijoinLayout(
+                step.target,
+                step.source,
+                tuple(positions[step.target][a] for a in shared),
+                tuple(positions[step.source][a] for a in shared),
+            )
+        )
+
+    current: Dict[int, Tuple[Attribute, ...]] = {
+        index: cols for index, cols in enumerate(columns)
+    }
+    joins: List[_JoinLayout] = []
+    for tag, step in enumerate(prepared.join_steps):
+        orig_child_cols = current[step.node]
+        orig_positions = {c: i for i, c in enumerate(orig_child_cols)}
+        child_cols = orig_child_cols
+        has_proj = step.projection is not None
+        if has_proj:
+            child_cols = step.projection.sorted_attributes()
+        mother_cols = current[step.mother]
+        mother_positions = {c: i for i, c in enumerate(mother_cols)}
+        mother_set = set(mother_cols)
+        shared = sorted(mother_set & set(child_cols))
+        mkey = tuple(mother_positions[c] for c in shared)
+        if len(shared) == len(child_cols):
+            # Projection (if any) keeps exactly the key columns, so the key
+            # set read off the unprojected rows IS the projected child; no
+            # materialization needed.
+            joins.append(
+                _JoinLayout(
+                    _JOIN_SEMI_MOTHER,
+                    step.mother,
+                    step.node,
+                    tag,
+                    has_proj=has_proj,
+                    mkey=mkey,
+                    ckey=tuple(orig_positions[c] for c in shared),
+                )
+            )
+            current[step.mother] = mother_cols
+            continue
+        child_positions = {c: i for i, c in enumerate(child_cols)}
+        ckey = tuple(child_positions[c] for c in shared)
+        if len(shared) == len(mother_cols):
+            proj_pos = (
+                tuple(orig_positions[c] for c in child_cols) if has_proj else None
+            )
+            joins.append(
+                _JoinLayout(
+                    _JOIN_SEMI_CHILD,
+                    step.mother,
+                    step.node,
+                    tag,
+                    has_proj=has_proj,
+                    mkey=mkey,
+                    ckey=ckey,
+                    proj_pos=proj_pos,
+                )
+            )
+            current[step.mother] = child_cols
+            continue
+        new_cols = tuple(c for c in child_cols if c not in mother_set)
+        if has_proj:
+            # One pass extracts (key, new) in that order off the unprojected
+            # rows; since key ∪ new covers every projected column, deduping
+            # the extraction IS the projection.
+            extract_pos: Optional[Tuple[int, ...]] = tuple(
+                [orig_positions[c] for c in shared]
+                + [orig_positions[c] for c in new_cols]
+            )
+            cnew_pos: Optional[Tuple[int, ...]] = None
+        else:
+            extract_pos = None
+            cnew_pos = tuple(child_positions[c] for c in new_cols)
+        joins.append(
+            _JoinLayout(
+                _JOIN_GENERAL,
+                step.mother,
+                step.node,
+                tag,
+                has_proj=has_proj,
+                mkey=mkey,
+                ckey=ckey,
+                kw=len(shared),
+                extract_pos=extract_pos,
+                cnew_pos=cnew_pos,
+            )
+        )
+        current[step.mother] = mother_cols + new_cols
+
+    final_columns = prepared.final_projection.sorted_attributes()
+    final_positions: Optional[Tuple[int, ...]]
+    if columns:
+        root_cols = current[prepared.root]
+        if final_columns == root_cols:
+            final_positions = None
+        else:
+            root_positions = {c: i for i, c in enumerate(root_cols)}
+            final_positions = tuple(root_positions[c] for c in final_columns)
+    else:
+        final_positions = None
+    return _PlanLayout(tuple(semijoins), tuple(joins), final_positions)
+
+
+def build_row_ops(layout: _PlanLayout):
+    """Compile a positional layout into row-tuple step programs.
+
+    Returns ``(semijoin_ops, join_ops, final_get)`` — the ``itemgetter``
+    programs :func:`execute_row_program` runs.  Shared by the compiled
+    backend and the vectorized backend's no-numpy fallback (which executes
+    the same row program over its column-built encodings).
+    """
+    semijoin_ops = tuple(
+        _SemijoinOp(sj.target, sj.source, sj.tkey, sj.skey)
+        for sj in layout.semijoins
+    )
+    join_ops: List[_JoinOp] = []
+    for jl in layout.joins:
+        if jl.kind == _JOIN_SEMI_MOTHER:
+            join_ops.append(
+                _JoinOp(
+                    jl.kind,
+                    jl.mother,
+                    jl.node,
+                    jl.tag,
+                    has_proj=jl.has_proj,
+                    mkey=jl.mkey,
+                    ckey=jl.ckey,
+                )
+            )
+        elif jl.kind == _JOIN_SEMI_CHILD:
+            join_ops.append(
+                _JoinOp(
+                    jl.kind,
+                    jl.mother,
+                    jl.node,
+                    jl.tag,
+                    proj_get=(
+                        _tuple_getter(jl.proj_pos)
+                        if jl.proj_pos is not None
+                        else None
+                    ),
+                    has_proj=jl.has_proj,
+                    mkey=jl.mkey,
+                    ckey=jl.ckey,
+                )
+            )
+        else:
+            join_ops.append(
+                _JoinOp(
+                    jl.kind,
+                    jl.mother,
+                    jl.node,
+                    jl.tag,
+                    has_proj=jl.has_proj,
+                    mkey=jl.mkey,
+                    ckey=jl.ckey,
+                    cnew=(
+                        _tuple_getter(jl.cnew_pos)
+                        if jl.cnew_pos is not None
+                        else None
+                    ),
+                    extract=(
+                        _tuple_getter(jl.extract_pos)
+                        if jl.extract_pos is not None
+                        else None
+                    ),
+                    kw=jl.kw,
+                )
+            )
+    final_get = (
+        None
+        if layout.final_positions is None
+        else _tuple_getter(layout.final_positions)
+    )
+    return semijoin_ops, tuple(join_ops), final_get
+
+
 class CompiledPlan:
     """A fully positional, interned-value program for one prepared query.
 
@@ -413,130 +718,18 @@ class CompiledPlan:
         #: Number of interner epochs opened so far (0 = the original epoch).
         self.interner_epoch = 0
 
-        # -- reducer program: positions of the shared attributes per side ----
-        positions = tuple(
-            {column: index for index, column in enumerate(cols)} for cols in columns
+        # -- step programs: turn the shared positional layout into getters ---
+        # ``plan_layout`` replays the column algebra symbolically (see its
+        # notes); ``build_row_ops`` compiles each layout entry's positions
+        # into ``itemgetter`` programs over code-tuple rows.
+        self._semijoin_ops, self._join_ops, self._final_get = build_row_ops(
+            plan_layout(prepared)
         )
-        semijoin_ops: List[_SemijoinOp] = []
-        for step in prepared.semijoin_steps:
-            tcols, scols = columns[step.target], columns[step.source]
-            shared = sorted(set(tcols) & set(scols))
-            tkey = tuple(positions[step.target][a] for a in shared)
-            skey = tuple(positions[step.source][a] for a in shared)
-            semijoin_ops.append(_SemijoinOp(step.target, step.source, tkey, skey))
-        self._semijoin_ops = tuple(semijoin_ops)
-
-        # -- join program: replay the column algebra symbolically ------------
-        # The columns every slot carries at each join step are a function of
-        # the plan alone (the same recurrence PreparedQuery uses to place its
-        # early projections), so the shape of every join — semijoin
-        # degeneration included — is decided here, once.  Intermediate column
-        # layouts are *not* kept sorted: a general join's output layout is
-        # the mother's layout followed by the child's new columns, so the
-        # execution-time combine is a bare tuple concatenation and only the
-        # final projection re-establishes the canonical order.
-        current: Dict[int, Tuple[Attribute, ...]] = {
-            index: cols for index, cols in enumerate(columns)
-        }
-        join_ops: List[_JoinOp] = []
-        for tag, step in enumerate(prepared.join_steps):
-            orig_child_cols = current[step.node]
-            orig_positions = {c: i for i, c in enumerate(orig_child_cols)}
-            child_cols = orig_child_cols
-            has_proj = step.projection is not None
-            if has_proj:
-                child_cols = step.projection.sorted_attributes()
-            mother_cols = current[step.mother]
-            mother_positions = {c: i for i, c in enumerate(mother_cols)}
-            mother_set = set(mother_cols)
-            shared = sorted(mother_set & set(child_cols))
-            mkey = tuple(mother_positions[c] for c in shared)
-            if len(shared) == len(child_cols):
-                # Projection (if any) keeps exactly the key columns, so the
-                # key set read off the unprojected rows IS the projected
-                # child; no materialization needed.
-                join_ops.append(
-                    _JoinOp(
-                        _JOIN_SEMI_MOTHER,
-                        step.mother,
-                        step.node,
-                        tag,
-                        has_proj=has_proj,
-                        mkey=mkey,
-                        ckey=tuple(orig_positions[c] for c in shared),
-                    )
-                )
-                current[step.mother] = mother_cols
-                continue
-            child_positions = {c: i for i, c in enumerate(child_cols)}
-            ckey = tuple(child_positions[c] for c in shared)
-            if len(shared) == len(mother_cols):
-                proj_get = None
-                if has_proj:
-                    proj_get = _tuple_getter(
-                        [orig_positions[c] for c in child_cols]
-                    )
-                join_ops.append(
-                    _JoinOp(
-                        _JOIN_SEMI_CHILD,
-                        step.mother,
-                        step.node,
-                        tag,
-                        proj_get=proj_get,
-                        has_proj=has_proj,
-                        mkey=mkey,
-                        ckey=ckey,
-                    )
-                )
-                current[step.mother] = child_cols
-                continue
-            new_cols = tuple(c for c in child_cols if c not in mother_set)
-            out_cols = mother_cols + new_cols
-            if has_proj:
-                # One pass extracts (key, new) in that order off the
-                # unprojected rows; since key ∪ new covers every projected
-                # column, deduping the extraction IS the projection.
-                extract = _tuple_getter(
-                    [orig_positions[c] for c in shared]
-                    + [orig_positions[c] for c in new_cols]
-                )
-                cnew = None
-            else:
-                extract = None
-                cnew = _tuple_getter([child_positions[c] for c in new_cols])
-            join_ops.append(
-                _JoinOp(
-                    _JOIN_GENERAL,
-                    step.mother,
-                    step.node,
-                    tag,
-                    has_proj=has_proj,
-                    mkey=mkey,
-                    ckey=ckey,
-                    cnew=cnew,
-                    extract=extract,
-                    kw=len(shared),
-                )
-            )
-            current[step.mother] = out_cols
-        self._join_ops = tuple(join_ops)
 
         # -- final projection ---------------------------------------------------
         final = prepared.final_projection
-        final_columns = final.sorted_attributes()
         self._final_schema = final
-        self._final_columns = final_columns
-        if columns:
-            root_cols = current[self.root]
-            if final_columns == root_cols:
-                self._final_get = None
-            else:
-                root_positions = {c: i for i, c in enumerate(root_cols)}
-                self._final_get = _tuple_getter(
-                    [root_positions[c] for c in final_columns]
-                )
-        else:
-            self._final_get = None
+        self._final_columns = final.sorted_attributes()
 
     # -- encoding --------------------------------------------------------------
 
@@ -571,9 +764,7 @@ class CompiledPlan:
         # Identity fast path: when every column is (or can become)
         # identity-mode and every cell is a native int, the value rows are
         # their own encoding — no per-cell work at all.
-        if all(modes[a] != _MODE_DICT for a in attrs) and all(
-            type(v) is int for row in rows for v in row
-        ):
+        if all(modes[a] != _MODE_DICT for a in attrs) and pure_int_rows(rows):
             for a in attrs:
                 if modes[a] is None:
                     modes[a] = _MODE_IDENTITY
@@ -582,14 +773,10 @@ class CompiledPlan:
         for attribute, column in zip(attrs, zip(*rows)):
             mode = modes[attribute]
             if mode is None:
-                mode = (
-                    _MODE_IDENTITY
-                    if all(type(v) is int for v in column)
-                    else _MODE_DICT
-                )
+                mode = _MODE_IDENTITY if pure_int_column(column) else _MODE_DICT
                 modes[attribute] = mode
             if mode == _MODE_IDENTITY:
-                if all(type(v) is int for v in column):
+                if pure_int_column(column):
                     coded_columns.append(column)
                 else:
                     stray = self._stray_code
@@ -737,177 +924,17 @@ class CompiledPlan:
                 backend="compiled",
                 stats=stats,
             )
-        views: List[_Encoding] = list(compiled_state.encodings)
-
-        # Phase 1: the full-reducer semijoin program.  Key-set lookups are
-        # inlined (this loop runs per state on the serving path).
-        for op in self._semijoin_ops:
-            source_view = views[op.source]
-            source_keys = source_view.keysets.get(op.skey)
-            if source_keys is None:
-                source_keys = set(map(op.sget, source_view.rows))
-                source_view.keysets[op.skey] = source_keys
-                if stats is not None:
-                    lineage = (op.source, op.skey)
-                    builds = stats.keyset_builds
-                    builds[lineage] = builds.get(lineage, 0) + 1
-            target_view = views[op.target]
-            target_keys = target_view.keysets.get(op.tkey)
-            if target_keys is None:
-                target_keys = set(map(op.tget, target_view.rows))
-                target_view.keysets[op.tkey] = target_keys
-                if stats is not None:
-                    lineage = (op.target, op.tkey)
-                    builds = stats.keyset_builds
-                    builds[lineage] = builds.get(lineage, 0) + 1
-            if target_keys <= source_keys:
-                if stats is not None:
-                    stats.identity_semijoins += 1
-                continue
-            getter = op.tget
-            kept = tuple(
-                row for row in target_view.rows if getter(row) in source_keys
-            )
-            filtered = _Encoding(kept)
-            filtered.keysets[op.tkey] = target_keys & source_keys
-            views[op.target] = filtered
-            if stats is not None:
-                stats.filtering_semijoins += 1
-        max_intermediate = max((len(view.rows) for view in views), default=0)
-
-        # Phase 2: the bottom-up join with early projection.
-        join_count = 0
-        for op in self._join_ops:
-            child_view = views[op.node]
-            mother_view = views[op.mother]
-            join_count += 1
-            if op.kind == _JOIN_SEMI_MOTHER:
-                cached = child_view.buckets.get(op.tag)
-                if cached is None:
-                    # The (projected) child's columns are exactly the key, so
-                    # its key set is its row set — read in one composed pass.
-                    keys = set(map(op.cget, child_view.rows))
-                    proj_len: Optional[int] = len(keys) if op.has_proj else None
-                    child_view.buckets[op.tag] = (keys, proj_len)  # type: ignore[assignment]
-                    if stats is not None:
-                        lineage = (op.node, op.ckey)
-                        builds = stats.bucket_builds
-                        builds[lineage] = builds.get(lineage, 0) + 1
-                else:
-                    keys, proj_len = cached  # type: ignore[assignment]
-                if proj_len is not None and proj_len > max_intermediate:
-                    max_intermediate = proj_len
-                # Identity detection keeps the mother's view object — and
-                # with it every cached index a later step (where this slot is
-                # the child) would otherwise rebuild.  On consistent states
-                # the mother's key set is usually already cached from the
-                # reducer phase, making the check allocation-free.
-                mother_keys = mother_view.keysets.get(op.mkey)
-                if mother_keys is not None and mother_keys <= keys:
-                    joined = mother_view
-                else:
-                    getter = op.mget
-                    kept = tuple(
-                        row for row in mother_view.rows if getter(row) in keys
-                    )
-                    if len(kept) == len(mother_view.rows):
-                        joined = mother_view
-                    else:
-                        joined = _Encoding(kept)
-            elif op.kind == _JOIN_SEMI_CHILD:
-                if op.proj_get is not None:
-                    # The projected child is a function of the (possibly
-                    # shared) child view alone — cache it there, like the
-                    # other join shapes cache their buckets.
-                    cached = child_view.buckets.get(op.tag)
-                    if cached is None:
-                        child_rows: Iterable = tuple(
-                            set(map(op.proj_get, child_view.rows))
-                        )
-                        child_view.buckets[op.tag] = (child_rows, len(child_rows))  # type: ignore[assignment]
-                        if stats is not None:
-                            lineage = (op.node, op.ckey)
-                            builds = stats.bucket_builds
-                            builds[lineage] = builds.get(lineage, 0) + 1
-                    else:
-                        child_rows = cached[0]
-                    if len(child_rows) > max_intermediate:  # type: ignore[arg-type]
-                        max_intermediate = len(child_rows)  # type: ignore[arg-type]
-                else:
-                    child_rows = child_view.rows
-                mother_keys = mother_view.keysets.get(op.mkey)
-                if mother_keys is None:
-                    mother_keys = set(map(op.mget, mother_view.rows))
-                    mother_view.keysets[op.mkey] = mother_keys
-                    if stats is not None:
-                        lineage = (op.mother, op.mkey)
-                        builds = stats.keyset_builds
-                        builds[lineage] = builds.get(lineage, 0) + 1
-                getter = op.cget
-                kept = tuple(row for row in child_rows if getter(row) in mother_keys)
-                if op.proj_get is None and len(kept) == len(child_view.rows):
-                    joined = child_view
-                else:
-                    joined = _Encoding(kept)
-            else:
-                cached = child_view.buckets.get(op.tag)
-                if cached is None:
-                    # Buckets store the pre-extracted *new* child columns, so
-                    # the probe loop below is a bare tuple concatenation.
-                    grouped: Dict[Any, list] = {}
-                    setdefault = grouped.setdefault
-                    if op.extract is not None:
-                        # Composed projection: dedup the (key, new) extraction
-                        # (≡ the projected child), then split by fixed width.
-                        extracted = set(map(op.extract, child_view.rows))
-                        proj_len = len(extracted)
-                        kw = op.kw
-                        if kw == 1:
-                            for row in extracted:
-                                setdefault(row[0], []).append(row[1:])
-                        else:
-                            for row in extracted:
-                                setdefault(row[:kw], []).append(row[kw:])
-                    else:
-                        proj_len = None
-                        cget = op.cget
-                        cnew = op.cnew
-                        for row in child_view.rows:
-                            setdefault(cget(row), []).append(cnew(row))
-                    buckets = {key: tuple(parts) for key, parts in grouped.items()}
-                    child_view.buckets[op.tag] = (buckets, proj_len)
-                    if stats is not None:
-                        lineage = (op.node, op.ckey)
-                        builds = stats.bucket_builds
-                        builds[lineage] = builds.get(lineage, 0) + 1
-                else:
-                    buckets, proj_len = cached
-                if proj_len is not None and proj_len > max_intermediate:
-                    max_intermediate = proj_len
-                # Distinct (mother row, part) pairs concatenate injectively —
-                # key + new part cover every child column — so the output
-                # rows are distinct by construction and need no dedup set.
-                combined: List[Tuple[int, ...]] = []
-                append = combined.append
-                mget = op.mget
-                get_bucket = buckets.get
-                for mrow in mother_view.rows:
-                    bucket = get_bucket(mget(mrow))
-                    if bucket:
-                        for part in bucket:
-                            append(mrow + part)
-                joined = _Encoding(tuple(combined))
-            if len(joined.rows) > max_intermediate:
-                max_intermediate = len(joined.rows)
-            views[op.mother] = joined
+        final_rows, join_count, max_intermediate = execute_row_program(
+            self._semijoin_ops,
+            self._join_ops,
+            self.root,
+            self._final_get,
+            list(compiled_state.encodings),
+            stats,
+        )
 
         # Final projection + decode: the only value-level materialization
         # (and a no-op for pure identity-mode columns).
-        root_rows = views[self.root].rows
-        if self._final_get is None:
-            final_rows: Iterable = root_rows
-        else:
-            final_rows = set(map(self._final_get, root_rows))
         result = Relation.from_interned(
             self._final_schema,
             self._final_columns,
@@ -955,6 +982,7 @@ class CompiledPlan:
                 stats.deduped_states += 1
             runs.append(run)
         return runs
+
 
     # -- maintenance -----------------------------------------------------------
 
@@ -1015,6 +1043,198 @@ class CompiledPlan:
             f"target={self.target.to_notation()!r}, "
             f"semijoins={len(self._semijoin_ops)}, joins={len(self._join_ops)})"
         )
+
+
+def execute_row_program(
+    semijoin_ops: Tuple[_SemijoinOp, ...],
+    join_ops: Tuple[_JoinOp, ...],
+    root: int,
+    final_get,
+    views: List[_Encoding],
+    stats: Optional[ExecutionStats] = None,
+) -> Tuple[Iterable, int, int]:
+    """Run the row-tuple reducer + bottom-up join program over ``views``.
+
+    The execution core of the compiled backend, shared with the vectorized
+    backend's no-numpy fallback: ``views`` holds one encoding-like object
+    per slot (anything exposing ``rows``/``keysets``/``buckets``, filled
+    lazily) and is mutated in place as steps replace slot views.  Returns
+    ``(final_rows, join_count, max_intermediate)`` with ``final_rows`` still
+    interned — the caller decodes against its own epoch decoders.
+
+    Semantics — result, semijoin/join counts and the intermediate-size
+    accounting — match the classic executor exactly; the equivalence suites
+    check this on random schemas and states for both consuming backends.
+    """
+    # Phase 1: the full-reducer semijoin program.  Key-set lookups are
+    # inlined (this loop runs per state on the serving path).
+    for op in semijoin_ops:
+        source_view = views[op.source]
+        source_keys = source_view.keysets.get(op.skey)
+        if source_keys is None:
+            source_keys = set(map(op.sget, source_view.rows))
+            source_view.keysets[op.skey] = source_keys
+            if stats is not None:
+                lineage = (op.source, op.skey)
+                builds = stats.keyset_builds
+                builds[lineage] = builds.get(lineage, 0) + 1
+        target_view = views[op.target]
+        target_keys = target_view.keysets.get(op.tkey)
+        if target_keys is None:
+            target_keys = set(map(op.tget, target_view.rows))
+            target_view.keysets[op.tkey] = target_keys
+            if stats is not None:
+                lineage = (op.target, op.tkey)
+                builds = stats.keyset_builds
+                builds[lineage] = builds.get(lineage, 0) + 1
+        if target_keys <= source_keys:
+            if stats is not None:
+                stats.identity_semijoins += 1
+            continue
+        getter = op.tget
+        kept = tuple(
+            row for row in target_view.rows if getter(row) in source_keys
+        )
+        filtered = _Encoding(kept)
+        filtered.keysets[op.tkey] = target_keys & source_keys
+        views[op.target] = filtered
+        if stats is not None:
+            stats.filtering_semijoins += 1
+    max_intermediate = max((len(view.rows) for view in views), default=0)
+
+    # Phase 2: the bottom-up join with early projection.
+    join_count = 0
+    for op in join_ops:
+        child_view = views[op.node]
+        mother_view = views[op.mother]
+        join_count += 1
+        if op.kind == _JOIN_SEMI_MOTHER:
+            cached = child_view.buckets.get(op.tag)
+            if cached is None:
+                # The (projected) child's columns are exactly the key, so
+                # its key set is its row set — read in one composed pass.
+                keys = set(map(op.cget, child_view.rows))
+                proj_len: Optional[int] = len(keys) if op.has_proj else None
+                child_view.buckets[op.tag] = (keys, proj_len)  # type: ignore[assignment]
+                if stats is not None:
+                    lineage = (op.node, op.ckey)
+                    builds = stats.bucket_builds
+                    builds[lineage] = builds.get(lineage, 0) + 1
+            else:
+                keys, proj_len = cached  # type: ignore[assignment]
+            if proj_len is not None and proj_len > max_intermediate:
+                max_intermediate = proj_len
+            # Identity detection keeps the mother's view object — and
+            # with it every cached index a later step (where this slot is
+            # the child) would otherwise rebuild.  On consistent states
+            # the mother's key set is usually already cached from the
+            # reducer phase, making the check allocation-free.
+            mother_keys = mother_view.keysets.get(op.mkey)
+            if mother_keys is not None and mother_keys <= keys:
+                joined = mother_view
+            else:
+                getter = op.mget
+                kept = tuple(
+                    row for row in mother_view.rows if getter(row) in keys
+                )
+                if len(kept) == len(mother_view.rows):
+                    joined = mother_view
+                else:
+                    joined = _Encoding(kept)
+        elif op.kind == _JOIN_SEMI_CHILD:
+            if op.proj_get is not None:
+                # The projected child is a function of the (possibly
+                # shared) child view alone — cache it there, like the
+                # other join shapes cache their buckets.
+                cached = child_view.buckets.get(op.tag)
+                if cached is None:
+                    child_rows: Iterable = tuple(
+                        set(map(op.proj_get, child_view.rows))
+                    )
+                    child_view.buckets[op.tag] = (child_rows, len(child_rows))  # type: ignore[assignment]
+                    if stats is not None:
+                        lineage = (op.node, op.ckey)
+                        builds = stats.bucket_builds
+                        builds[lineage] = builds.get(lineage, 0) + 1
+                else:
+                    child_rows = cached[0]
+                if len(child_rows) > max_intermediate:  # type: ignore[arg-type]
+                    max_intermediate = len(child_rows)  # type: ignore[arg-type]
+            else:
+                child_rows = child_view.rows
+            mother_keys = mother_view.keysets.get(op.mkey)
+            if mother_keys is None:
+                mother_keys = set(map(op.mget, mother_view.rows))
+                mother_view.keysets[op.mkey] = mother_keys
+                if stats is not None:
+                    lineage = (op.mother, op.mkey)
+                    builds = stats.keyset_builds
+                    builds[lineage] = builds.get(lineage, 0) + 1
+            getter = op.cget
+            kept = tuple(row for row in child_rows if getter(row) in mother_keys)
+            if op.proj_get is None and len(kept) == len(child_view.rows):
+                joined = child_view
+            else:
+                joined = _Encoding(kept)
+        else:
+            cached = child_view.buckets.get(op.tag)
+            if cached is None:
+                # Buckets store the pre-extracted *new* child columns, so
+                # the probe loop below is a bare tuple concatenation.
+                grouped: Dict[Any, list] = {}
+                setdefault = grouped.setdefault
+                if op.extract is not None:
+                    # Composed projection: dedup the (key, new) extraction
+                    # (≡ the projected child), then split by fixed width.
+                    extracted = set(map(op.extract, child_view.rows))
+                    proj_len = len(extracted)
+                    kw = op.kw
+                    if kw == 1:
+                        for row in extracted:
+                            setdefault(row[0], []).append(row[1:])
+                    else:
+                        for row in extracted:
+                            setdefault(row[:kw], []).append(row[kw:])
+                else:
+                    proj_len = None
+                    cget = op.cget
+                    cnew = op.cnew
+                    for row in child_view.rows:
+                        setdefault(cget(row), []).append(cnew(row))
+                buckets = {key: tuple(parts) for key, parts in grouped.items()}
+                child_view.buckets[op.tag] = (buckets, proj_len)
+                if stats is not None:
+                    lineage = (op.node, op.ckey)
+                    builds = stats.bucket_builds
+                    builds[lineage] = builds.get(lineage, 0) + 1
+            else:
+                buckets, proj_len = cached
+            if proj_len is not None and proj_len > max_intermediate:
+                max_intermediate = proj_len
+            # Distinct (mother row, part) pairs concatenate injectively —
+            # key + new part cover every child column — so the output
+            # rows are distinct by construction and need no dedup set.
+            combined: List[Tuple[int, ...]] = []
+            append = combined.append
+            mget = op.mget
+            get_bucket = buckets.get
+            for mrow in mother_view.rows:
+                bucket = get_bucket(mget(mrow))
+                if bucket:
+                    for part in bucket:
+                        append(mrow + part)
+            joined = _Encoding(tuple(combined))
+        if len(joined.rows) > max_intermediate:
+            max_intermediate = len(joined.rows)
+        views[op.mother] = joined
+
+    # Final projection: still interned — the caller decodes.
+    root_rows = views[root].rows
+    if final_get is None:
+        final_rows: Iterable = root_rows
+    else:
+        final_rows = set(map(final_get, root_rows))
+    return final_rows, join_count, max_intermediate
 
 
 class CompiledState:
@@ -1127,7 +1347,7 @@ def shm_encode_state(state: DatabaseState) -> bytes:
         rows = relation.rows
         width = len(relation.schema)
         packed: Optional[array] = None
-        if all(type(value) is int for row in rows for value in row):
+        if pure_int_rows(rows):
             flat = array("q")
             try:
                 for row in rows:

@@ -50,7 +50,7 @@ from typing import (
 from ..exceptions import RelationError
 from ..hypergraph.schema import Attribute, RelationSchema
 
-__all__ = ["Row", "Relation"]
+__all__ = ["Row", "Relation", "pure_int_column", "pure_int_rows"]
 
 #: A row is exposed to callers as an attribute -> value mapping.
 Row = Mapping[Attribute, Any]
@@ -62,6 +62,30 @@ def _coerce_schema(attributes: _AttributesLike) -> RelationSchema:
     if isinstance(attributes, RelationSchema):
         return attributes
     return RelationSchema(attributes)
+
+
+def pure_int_column(column: Iterable[Any]) -> bool:
+    """True when every cell is a *native* ``int`` (``bool`` excluded).
+
+    The per-column form of :func:`pure_int_rows`; such a column of interned
+    codes is its own decoding (value == code in identity mode), so decode and
+    wire paths can skip per-cell work entirely.
+    """
+    return all(type(value) is int for value in column)
+
+
+def pure_int_rows(rows: Iterable[Tuple[Any, ...]]) -> bool:
+    """True when every cell of every row is a native ``int``.
+
+    This is the wire-format classifier shared by the shm transport
+    (:func:`repro.relational.compiled.shm_encode_state` packs such relations
+    as flat int64 buffers), the compiled backend's identity encode fast path,
+    and the vectorized backend's array adoption: for pure-int rows the values
+    *are* the identity-mode codes.  ``bool`` is deliberately excluded
+    (``type(True) is int`` is false): booleans join with their int values but
+    must round-trip through the interner, not the raw buffer.
+    """
+    return all(type(value) is int for row in rows for value in row)
 
 
 def _tuple_getter(positions: Sequence[int]) -> Callable[[Sequence[Any]], Tuple[Any, ...]]:
@@ -201,6 +225,13 @@ class Relation:
         :meth:`_from_trusted`, callers must pass ``columns ==
         schema.sorted_attributes()``; decode runs column-wise so the per-cell
         work is a C-level ``map`` over each column.
+
+        Decoders marked ``identity_when_int`` (the compiled backend's
+        identity-mode stray unwrapper) additionally skip the decode map
+        whenever the column at hand is classified pure-int by the shm
+        wire-format classifier (:func:`pure_int_column`): the attribute may
+        have interned strays plan-wide, but *this* result column carries only
+        native ints, which are their own values.
         """
         if not columns or all(decoder is None for decoder in decoders):
             rows: FrozenSet[Tuple[Any, ...]] = frozenset(code_rows)
@@ -212,7 +243,13 @@ class Relation:
             )
             if materialized:
                 decoded_columns = [
-                    column if decoder is None else tuple(map(decoder, column))
+                    column
+                    if decoder is None
+                    or (
+                        getattr(decoder, "identity_when_int", False)
+                        and pure_int_column(column)
+                    )
+                    else tuple(map(decoder, column))
                     for decoder, column in zip(decoders, zip(*materialized))
                 ]
                 rows = frozenset(zip(*decoded_columns))

@@ -1,0 +1,1169 @@
+"""Array-backed vectorized execution backend for prepared queries.
+
+The compiled backend (:mod:`repro.relational.compiled`) freezes the plan's
+column algebra into positional step programs, but still *executes* them as
+per-row Python: key sets are built by mapping ``itemgetter`` over tuple rows,
+semijoins probe Python sets row by row, and general joins concatenate tuples
+in a Python loop.  Since every intermediate is already a table of dense
+``int`` codes, all of that is vector work in disguise.  This module runs the
+same positional programs (:func:`repro.relational.compiled.plan_layout` is
+shared verbatim, so the step semantics — and the stats lineages — are
+identical by construction) over contiguous int64 **code arrays**:
+
+* **Representation.**  Each relation slot encodes column-major into one
+  contiguous int64 array per column (`numpy` when importable; the stdlib
+  ``array`` module otherwise, so the dependency stays optional).  Composite
+  join keys pack their columns into a C-contiguous ``(n, k)`` block viewed as
+  a ``numpy`` void dtype — one fixed-width scalar per row — so every kernel
+  below works uniformly for single- and multi-column keys.
+* **Semijoins as membership masks.**  A key set is the sorted unique key
+  array (``np.unique``); membership is a batch binary search
+  (``searchsorted`` + one vectorized equality), and filtering is a boolean
+  gather.  Subset checks (the identity-semijoin detection the compiled
+  backend does with ``set <= set``) are the same mask, reduced with
+  ``all()``.
+* **Mother/child semijoin joins as gathers.**  The degenerate join shapes
+  reuse the membership mask; early projections dedup via
+  ``np.unique(return_index)`` over the projected key block and gather the
+  kept columns once.
+* **General joins as index cross products.**  The child groups by join key
+  once per (slot, step) — stable argsort, boundary scan, pre-gathered "new"
+  columns in sort order — and the probe expands mother rows with
+  ``np.repeat``/``cumsum`` index arithmetic: output columns are built by two
+  gathers (mother rows by repeat index, child parts by group-offset index)
+  with no per-row Python at all.
+* **Bulk interning.**  Dictionary-mode encode of an all-string column runs
+  ``np.unique(return_inverse)`` over the raw values and only walks the
+  *unique* values through the interning dictionary — the vectorized
+  canonical-value mode the ROADMAP left open.  Warm columns still take the
+  C-level ``map`` fast path shared with the compiled backend.
+
+**Interning modes and promotion.**  Codes must live in int64 arrays, so the
+compiled backend's ``_Stray`` wrappers (objects used as out-of-band codes in
+identity-mode columns) have no representation here.  Instead, an attribute
+pinned identity-mode that later meets a non-int value — or an int outside
+int64 — is **promoted** to dictionary mode: the promotion drops every cached
+slot encoding (their identity codes for that attribute are retired) and
+restarts the in-progress state encode so a single state never mixes modes.
+Promotions are monotone (identity → dict only) and surface as
+:attr:`VectorizedPlan.mode_promotions`.  Numeric-tower equality
+(``1 == 1.0 == True``) holds in dictionary mode for free: equal values are
+equal dict keys, so they intern to one code.
+
+**Epochs, caches, lifecycle.**  The plan mirrors the compiled backend's
+bounded growth machinery one-for-one: per-slot LRU encoding caches with
+miss-streak self-disable, a ``max_interned_values`` cap whose overflow opens
+a new interner epoch at the next state-encode boundary, and per-state
+decoders captured at encode time so in-flight states decode against the
+epoch that minted their codes.
+
+**No-numpy fallback.**  Without numpy, columns encode into ``array('q')``
+buffers and execution zips them back to code-tuple rows, running the *exact*
+compiled row program (:func:`repro.relational.compiled.execute_row_program`
+over :func:`~repro.relational.compiled.build_row_ops` programs) — a
+correctness-grade engine proving the dependency optional, equivalence-tested
+on the same suite.
+
+**Process boundaries.**  Like a ``CompiledPlan``, a ``VectorizedPlan`` never
+crosses a process boundary; workers rebuild plans from ``PlanSpec``.  The
+shm transport's raw-int64 blocks are *exactly* this backend's identity-mode
+column encoding, so :func:`shm_attach_state` adopts a shard payload into
+column arrays directly — one ``frombuffer`` + transpose copy per relation,
+no ``DatabaseState`` detour — whenever every block is int64 and no attribute
+has gone dictionary-mode.
+
+The classic executor remains the property-test oracle
+(``tests/relational/test_vectorized_equivalence.py``), with the compiled
+backend as a second cross-check.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from collections import OrderedDict
+from operator import itemgetter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+try:  # pragma: no cover - absence is exercised by the no-numpy test leg
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+from ..exceptions import SchemaError
+from .compiled import (
+    DEFAULT_MAX_INTERNED_VALUES,
+    ExecutionStats,
+    _JOIN_GENERAL,
+    _JOIN_SEMI_CHILD,
+    _JOIN_SEMI_MOTHER,
+    _MODE_DICT,
+    _MODE_IDENTITY,
+    _SHM_INT64_HEADER,
+    _SHM_KIND_INT64,
+    _SHM_STATE_HEADER,
+    _USE_DEFAULT_CAP,
+    build_row_ops,
+    execute_row_program,
+    plan_layout,
+)
+from .database import DatabaseState
+from .relation import Relation, pure_int_column
+from .yannakakis import YannakakisRun
+
+__all__ = [
+    "VectorizedPlan",
+    "VectorizedState",
+    "numpy_available",
+    "shm_attach_state",
+    "vectorize_plan",
+]
+
+
+def numpy_available() -> bool:
+    """True when the numpy kernel backs new :class:`VectorizedPlan` objects
+    (``repro.relational.vectorized._np`` is the patch point for tests)."""
+    return _np is not None
+
+
+class _PromoteToDict(Exception):
+    """Internal: an identity-mode column met a value int64 cannot carry.
+
+    Raised inside a state encode and handled at the encode loop: the
+    attribute's mode flips to dictionary, stale caches are dropped, and the
+    state encode restarts from its first slot (modes only ever move
+    identity → dict, so the restart loop terminates).
+    """
+
+    def __init__(self, attribute: Any) -> None:
+        super().__init__(attribute)
+        self.attribute = attribute
+
+
+class _VecEncoding:
+    """Encoded columns of one relation slot plus its reusable key indexes.
+
+    ``columns`` holds one contiguous int64 code array per column (numpy
+    arrays or ``array('q')`` buffers, matching the owning plan's engine) and
+    ``n`` the row count — kept explicitly so zero-width (nullary) slots
+    still know their cardinality.  ``keysets`` caches sorted-unique key
+    arrays per key-position tuple (plain Python sets in the fallback
+    engine); ``keyarrays`` caches packed per-row key arrays; ``buckets``
+    caches per-join-step structures.  Encodings held in a batch cache are
+    shared across states, so cached indexes amortize exactly like the
+    compiled backend's.
+
+    ``rows`` materializes code-tuple rows lazily — only the no-numpy
+    fallback engine (which runs the compiled row program) ever touches it.
+    """
+
+    __slots__ = ("columns", "n", "keysets", "keyarrays", "buckets", "_rows")
+
+    def __init__(self, columns: Tuple[Any, ...], n: int) -> None:
+        self.columns = columns
+        self.n = n
+        self.keysets: Dict[Tuple[int, ...], Any] = {}
+        self.keyarrays: Dict[Tuple[int, ...], Any] = {}
+        self.buckets: Dict[int, Any] = {}
+        self._rows: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+    @property
+    def rows(self) -> Tuple[Tuple[int, ...], ...]:
+        rows = self._rows
+        if rows is None:
+            if self.columns:
+                rows = tuple(zip(*self.columns))
+            else:
+                rows = ((),) * self.n
+            self._rows = rows
+        return rows
+
+
+# -- numpy kernels ---------------------------------------------------------------
+#
+# All helpers take the numpy module explicitly (the plan pins it at
+# construction) and treat int64 1-D arrays and fixed-width void arrays
+# uniformly: a void scalar is the packed bytes of one composite key row, and
+# ``unique``/``searchsorted``/``argsort``/``==`` all operate on it like any
+# scalar dtype.  Byte order of the void comparisons is not numeric order,
+# but every kernel only needs a *consistent* total order on both sides.
+
+
+def _build_key(np, columns, n: int, kpos: Tuple[int, ...]):
+    """Pack the key columns at ``kpos`` into one array of per-row keys.
+
+    Empty keys pack as zeros (every row shares one key — the degenerate
+    cross-product/nonempty-test semantics the row engine gets from its
+    ``lambda row: ()`` getter); single columns pass through; composite keys
+    copy into a C-contiguous block viewed as a fixed-width void scalar.
+    """
+    if not kpos:
+        return np.zeros(n, dtype=np.int64)
+    if len(kpos) == 1:
+        return columns[kpos[0]]
+    k = len(kpos)
+    block = np.empty((n, k), dtype=np.int64)
+    for j, p in enumerate(kpos):
+        block[:, j] = columns[p]
+    return block.view(np.dtype((np.void, 8 * k))).ravel()
+
+
+def _key_array(np, encoding: _VecEncoding, kpos: Tuple[int, ...]):
+    """Per-row key array for an encoding, cached per key-position tuple."""
+    cached = encoding.keyarrays.get(kpos)
+    if cached is None:
+        cached = _build_key(np, encoding.columns, encoding.n, kpos)
+        encoding.keyarrays[kpos] = cached
+    return cached
+
+
+def _member_mask(np, sorted_unique, keys):
+    """Boolean mask: which of ``keys`` occur in the sorted-unique array."""
+    if len(sorted_unique) == 0:
+        return np.zeros(len(keys), dtype=bool)
+    index = sorted_unique.searchsorted(keys)
+    np.minimum(index, len(sorted_unique) - 1, out=index)
+    return sorted_unique[index] == keys
+
+
+#: Dense-scatter dedup is allowed to allocate up to this many slots per row.
+_DENSE_DEDUP_SLACK = 4
+
+
+def _unique_rows_index(np, encoding: _VecEncoding, positions: Tuple[int, ...]):
+    """Indices of one representative of each distinct row at ``positions``.
+
+    Within-relation dedup needs no cross-relation key representation, so it
+    avoids the void-dtype sort (memcmp comparisons — the slowest kernel in
+    the module) entirely.  Columns pack into a single int64 by range
+    compression; a small packed domain dedups by pure scatter (no sort at
+    all), a larger one by a single typed ``np.unique``.  Domains too wide to
+    pack fall back to iterative inverse recompression: one typed unique per
+    column, with the running group id recompressed below ``n`` each step so
+    the arithmetic never overflows.  Representatives are arbitrary (callers
+    gather whole equal rows), and output order is irrelevant.
+    """
+    n = encoding.n
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    cols = [encoding.columns[p] for p in positions]
+    lows = [int(col.min()) for col in cols]
+    widths = [int(col.max()) - low + 1 for col, low in zip(cols, lows)]
+    span = 1
+    for width in widths:
+        span *= width
+    if span < 1 << 62:
+        combined = cols[0] - lows[0]
+        for col, low, width in zip(cols[1:], lows[1:], widths[1:]):
+            combined = combined * width + (col - low)
+        if span <= max(_DENSE_DEDUP_SLACK * n, 1 << 16):
+            representative = np.full(span, -1, dtype=np.intp)
+            representative[combined] = np.arange(n, dtype=np.intp)
+            return representative[representative >= 0]
+        _, index = np.unique(combined, return_index=True)
+        return index
+    inverse = None
+    for col in cols:
+        _, col_inverse = np.unique(col, return_inverse=True)
+        col_inverse = col_inverse.astype(np.int64, copy=False)
+        if inverse is None:
+            inverse = col_inverse
+        else:
+            # Both factors are < n, so the product stays well inside int64.
+            inverse = inverse * (int(col_inverse.max()) + 1) + col_inverse
+            _, inverse = np.unique(inverse, return_inverse=True)
+            inverse = inverse.astype(np.int64, copy=False)
+    representative = np.empty(int(inverse.max()) + 1, dtype=np.intp)
+    representative[inverse] = np.arange(n, dtype=np.intp)
+    return representative
+
+
+def _filtered(np, encoding: _VecEncoding, mask) -> _VecEncoding:
+    """A fresh encoding keeping the masked rows of every column."""
+    return _VecEncoding(
+        tuple(column[mask] for column in encoding.columns),
+        int(mask.sum()),
+    )
+
+
+def _empty_like(np, width: int) -> _VecEncoding:
+    empty = np.empty(0, dtype=np.int64)
+    return _VecEncoding(tuple(empty for _ in range(width)), 0)
+
+
+def _general_bucket(np, child: _VecEncoding, op):
+    """Group a general-join child by its key, early projection folded in.
+
+    Returns ``(group_keys, starts, counts, new_sorted, proj_len)``:
+    sorted-unique group keys, each group's start offset and length in stable
+    key-sort order, the child's *new* columns pre-gathered into that order
+    (so the probe's second gather indexes them directly), and the projected
+    child's cardinality when the step carries an early projection.
+    """
+    if op.extract_pos is not None:
+        # Composed projection: dedup the (key, new) extraction — which IS
+        # the projected child — then split by the fixed key width.
+        index = _unique_rows_index(np, child, op.extract_pos)
+        extracted = [child.columns[p][index] for p in op.extract_pos]
+        m = len(index)
+        proj_len: Optional[int] = m
+        key = _build_key(np, extracted, m, tuple(range(op.kw)))
+        new_source = extracted[op.kw :]
+    else:
+        proj_len = None
+        key = _key_array(np, child, op.ckey)
+        new_source = [child.columns[p] for p in op.cnew_pos]
+        m = child.n
+    order = np.argsort(key, kind="stable")
+    sorted_keys = key[order]
+    if m:
+        boundary = np.empty(m, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        starts = np.flatnonzero(boundary)
+        counts = np.diff(np.append(starts, m))
+        group_keys = sorted_keys[starts]
+    else:
+        starts = np.empty(0, dtype=np.intp)
+        counts = np.empty(0, dtype=np.int64)
+        group_keys = sorted_keys
+    new_sorted = tuple(column[order] for column in new_source)
+    return group_keys, starts, counts, new_sorted, proj_len
+
+
+class VectorizedPlan:
+    """An array-program twin of :class:`~repro.relational.compiled.CompiledPlan`.
+
+    Built once per :class:`~repro.engine.prepared.PreparedQuery` (see its
+    ``vectorized`` property); owns the per-attribute interning dictionaries,
+    the positional step layout shared with the compiled backend, and the
+    same bounded per-slot encoding cache.  Execution semantics — results,
+    semijoin/join counts, intermediate-size accounting, and the lineage
+    attribution of :class:`~repro.relational.compiled.ExecutionStats` —
+    match the compiled backend branch for branch.
+    """
+
+    _ENCODE_CACHE_MAX = 1024
+    _CACHE_MISS_STREAK_MAX = 512
+
+    __slots__ = (
+        "schema",
+        "target",
+        "root",
+        "slot_columns",
+        "_np",
+        "_modes",
+        "_intern",
+        "_values",
+        "_encode_lock",
+        "_semijoins",
+        "_joins",
+        "_final_positions",
+        "_final_permutes",
+        "_final_schema",
+        "_final_columns",
+        "_row_semijoin_ops",
+        "_row_join_ops",
+        "_row_final_get",
+        "_slot_cache",
+        "_cache_meta",
+        "max_interned_values",
+        "interner_epoch",
+        "mode_promotions",
+    )
+
+    def __init__(
+        self, prepared, *, max_interned_values: Optional[int] = _USE_DEFAULT_CAP
+    ) -> None:
+        schema = prepared.schema
+        self.schema = schema
+        self.target = prepared.target
+        self.root = prepared.root
+        #: The array engine is pinned at construction so a plan's behaviour
+        #: never changes under it (tests patch the module global before
+        #: building a plan to exercise the fallback).
+        self._np = _np
+        columns = tuple(
+            relation.sorted_attributes() for relation in schema.relations
+        )
+        self.slot_columns = columns
+        self._modes: Dict[Any, Optional[int]] = {
+            attribute: None for attribute in schema.attributes
+        }
+        self._intern: Dict[Any, Dict[Any, int]] = {
+            attribute: {} for attribute in schema.attributes
+        }
+        self._values: Dict[Any, List[Any]] = {
+            attribute: [] for attribute in schema.attributes
+        }
+        self._encode_lock = threading.Lock()
+        self._slot_cache: Tuple["OrderedDict[Relation, _VecEncoding]", ...] = tuple(
+            OrderedDict() for _ in columns
+        )
+        self._cache_meta: List[List[int]] = [[0, 0] for _ in columns]
+        self.max_interned_values: Optional[int] = (
+            DEFAULT_MAX_INTERNED_VALUES
+            if max_interned_values is _USE_DEFAULT_CAP
+            else max_interned_values
+        )
+        self.interner_epoch = 0
+        #: Identity→dictionary mode promotions forced by stray or oversized
+        #: values arriving in a pinned identity column (see module notes).
+        self.mode_promotions = 0
+
+        layout = plan_layout(prepared)
+        self._semijoins = layout.semijoins
+        self._joins = layout.joins
+        self._final_positions = layout.final_positions
+        # Candidate for the final-projection permutation shortcut: the
+        # positions are distinct and cover a prefix 0..k-1 (the execution
+        # still checks they span the root's whole final layout).
+        self._final_permutes = layout.final_positions is not None and sorted(
+            layout.final_positions
+        ) == list(range(len(layout.final_positions)))
+        final = prepared.final_projection
+        self._final_schema = final
+        self._final_columns = final.sorted_attributes()
+        if self._np is None:
+            # Fallback engine: the compiled row program over zipped columns.
+            (
+                self._row_semijoin_ops,
+                self._row_join_ops,
+                self._row_final_get,
+            ) = build_row_ops(layout)
+        else:
+            self._row_semijoin_ops = ()
+            self._row_join_ops = ()
+            self._row_final_get = None
+
+    # -- encoding --------------------------------------------------------------
+
+    def _int64_or_none(self, data):
+        """Convert rows/column to an int64 array at C speed, or ``None``.
+
+        Conversion without an explicit dtype lets numpy *classify* instead
+        of coerce: pure native-int data lands exactly on int64, while every
+        hazard the per-cell classifier guards against lands elsewhere —
+        floats on float64 (never truncated), pure bools on bool, out-of-range
+        ints on object (or an ``OverflowError``), strings on unicode, ragged
+        or exotic values on object/``ValueError`` — and is rejected by the
+        dtype/ndim check.  The one deliberate coarsening: a *mixed* int/bool
+        column converts to int64, canonicalizing ``True``/``False`` onto
+        ``1``/``0``.  That is equality-preserving (``True == 1`` across the
+        numeric tower, and the dictionary mode of both backends already
+        canonicalizes tower-equal values onto one representative), so
+        results still compare equal to the classic oracle's.
+        """
+        np = self._np
+        try:
+            converted = np.asarray(data)
+        except Exception:
+            return None
+        if converted.dtype == np.int64:
+            return converted
+        return None
+
+    def _encode_dict_column(self, attribute: Any, column):
+        """One dictionary-mode column as a contiguous int64 code array.
+
+        Warm columns — every value already interned, the serving steady
+        state on stable value domains — encode as one C-level ``map`` over
+        the interning dictionary (the idiom shared with the compiled
+        backend) and stay columnar: no zip back into row tuples.  A novel
+        value falls through to the bulk path: for all-string columns,
+        ``np.unique`` collapses the raw values at C speed and only the
+        *unique* values touch the interning dictionary, so per-cell Python
+        work is proportional to the distinct-value count, not the row count
+        (the vectorized canonical-value mode).  Everything else takes the
+        interning loop.
+        """
+        np = self._np
+        intern_map = self._intern[attribute]
+        values = self._values[attribute]
+        if intern_map:
+            try:
+                codes = list(map(intern_map.__getitem__, column))
+            except KeyError:
+                pass
+            else:
+                if np is not None:
+                    return np.asarray(codes, dtype=np.int64)
+                return array("q", codes)
+        # The type scan runs as C-level ``map``; mixed columns must never
+        # reach ``np.asarray`` below, which would silently stringify them.
+        if np is not None and set(map(type, column)) == {str}:
+            uniques, inverse = np.unique(np.asarray(column), return_inverse=True)
+            unique_codes = np.empty(len(uniques), dtype=np.int64)
+            get = intern_map.get
+            for position, value in enumerate(uniques.tolist()):
+                code = get(value)
+                if code is None:
+                    code = len(values)
+                    intern_map[value] = code
+                    values.append(value)
+                unique_codes[position] = code
+            return unique_codes[inverse]
+        get = intern_map.get
+        codes = []
+        append = codes.append
+        for value in column:
+            code = get(value)
+            if code is None:
+                code = len(values)
+                intern_map[value] = code
+                values.append(value)
+            append(code)
+        if np is not None:
+            return np.asarray(codes, dtype=np.int64)
+        return array("q", codes)
+
+    def _encode_relation(self, slot: int, relation: Relation) -> _VecEncoding:
+        """Encode one relation column-major into int64 code arrays."""
+        rows = relation.rows
+        attrs = self.slot_columns[slot]
+        n = len(rows)
+        np = self._np
+        if not attrs:
+            return _VecEncoding((), n)
+        if not n:
+            if np is not None:
+                empty = np.empty(0, dtype=np.int64)
+                return _VecEncoding(tuple(empty for _ in attrs), 0)
+            return _VecEncoding(tuple(array("q") for _ in attrs), 0)
+        rows_t = tuple(rows)
+        modes = self._modes
+        if np is not None:
+            # Whole-slot identity fast path: one 2-D classify-and-convert
+            # (see ``_int64_or_none``) + transpose copy turns the value rows
+            # into contiguous per-column arrays — value == code in identity
+            # mode, no per-cell Python at all.
+            if all(modes[a] != _MODE_DICT for a in attrs):
+                block = self._int64_or_none(rows_t)
+                if block is not None and block.ndim == 2:
+                    for a in attrs:
+                        if modes[a] is None:
+                            modes[a] = _MODE_IDENTITY
+                    transposed = np.ascontiguousarray(block.T)
+                    return _VecEncoding(
+                        tuple(transposed[j] for j in range(len(attrs))), n
+                    )
+            # Columns extract via ``map(itemgetter, ...)`` pipelines instead
+            # of a ``zip(*rows)`` transpose: star-unpacking tens of
+            # thousands of rows costs more than one C pass per column, and
+            # the warm dictionary path below never materializes the column
+            # at all — extraction and interning fuse into nested C maps.
+            coded: List[Any] = []
+            for position, attribute in enumerate(attrs):
+                getter = itemgetter(position)
+                mode = modes[attribute]
+                if mode == _MODE_DICT:
+                    intern_map = self._intern[attribute]
+                    if intern_map:
+                        try:
+                            codes = list(
+                                map(intern_map.__getitem__, map(getter, rows_t))
+                            )
+                        except KeyError:
+                            pass
+                        else:
+                            coded.append(np.asarray(codes, dtype=np.int64))
+                            continue
+                    coded.append(
+                        self._encode_dict_column(
+                            attribute, tuple(map(getter, rows_t))
+                        )
+                    )
+                    continue
+                column = tuple(map(getter, rows_t))
+                converted = self._int64_or_none(column)
+                if converted is not None and converted.ndim == 1:
+                    if mode is None:
+                        modes[attribute] = _MODE_IDENTITY
+                    coded.append(converted)
+                    continue
+                if mode is None:
+                    modes[attribute] = _MODE_DICT
+                else:
+                    # Pinned identity met a column int64 cannot carry.
+                    raise _PromoteToDict(attribute)
+                coded.append(self._encode_dict_column(attribute, column))
+            return _VecEncoding(tuple(coded), n)
+        coded = []
+        for attribute, column in zip(attrs, zip(*rows_t)):
+            mode = modes[attribute]
+            if mode is None:
+                mode = _MODE_IDENTITY if pure_int_column(column) else _MODE_DICT
+                modes[attribute] = mode
+            if mode == _MODE_IDENTITY:
+                if not pure_int_column(column):
+                    raise _PromoteToDict(attribute)
+                try:
+                    coded.append(array("q", column))
+                except OverflowError:
+                    raise _PromoteToDict(attribute) from None
+                continue
+            coded.append(self._encode_dict_column(attribute, column))
+        return _VecEncoding(tuple(coded), n)
+
+    def _decoders(self) -> Tuple[Optional[Any], ...]:
+        """Per-final-column decoders for the *current* interner epoch.
+
+        ``None`` for identity columns (no strays exist in this backend —
+        they promote instead); dictionary columns index their epoch's value
+        list.  Captured onto each :class:`VectorizedState` at encode time.
+        """
+        return tuple(
+            self._values[attribute].__getitem__
+            if self._modes[attribute] == _MODE_DICT
+            else None
+            for attribute in self._final_columns
+        )
+
+    def _encode_all_locked(self, state: DatabaseState, use_cache: bool):
+        """One cache-assisted encode pass over every slot (lock held)."""
+        encodings: List[_VecEncoding] = []
+        encoded = cached_hits = 0
+        for slot, relation in enumerate(state.relations):
+            meta = self._cache_meta[slot]
+            caching = use_cache and not meta[1]
+            if caching:
+                cache = self._slot_cache[slot]
+                encoding = cache.get(relation)
+                if encoding is not None:
+                    cache.move_to_end(relation)
+                    meta[0] = 0
+                    cached_hits += 1
+                    encodings.append(encoding)
+                    continue
+            encoding = self._encode_relation(slot, relation)
+            encoded += 1
+            if caching:
+                cache = self._slot_cache[slot]
+                cache[relation] = encoding
+                if len(cache) > self._ENCODE_CACHE_MAX:
+                    cache.popitem(last=False)
+                meta[0] += 1
+                if meta[0] > self._CACHE_MISS_STREAK_MAX:
+                    meta[1] = 1
+                    cache.clear()
+            encodings.append(encoding)
+        return encodings, encoded, cached_hits
+
+    def encode_state(
+        self,
+        state: DatabaseState,
+        *,
+        use_cache: bool = True,
+        stats: Optional[ExecutionStats] = None,
+    ) -> "VectorizedState":
+        """Encode a database state against this plan's interner.
+
+        Mirrors :meth:`CompiledPlan.encode_state` (bounded per-slot caches,
+        epoch rollover at the cap, captured decoders), plus the
+        identity→dictionary promotion restart described in the module notes.
+        Stats are committed only after a successful pass, so a restarted
+        encode is not double-counted.
+        """
+        schema = state.schema
+        if schema is not self.schema and schema != self.schema:
+            raise SchemaError("the state is for a different schema than the query")
+        with self._encode_lock:
+            cap = self.max_interned_values
+            if cap is not None and self.interned_value_count() > cap:
+                self._open_interner_epoch_locked()
+                if stats is not None:
+                    stats.interner_resets += 1
+            while True:
+                try:
+                    encodings, encoded, cached_hits = self._encode_all_locked(
+                        state, use_cache
+                    )
+                    break
+                except _PromoteToDict as promote:
+                    self._modes[promote.attribute] = _MODE_DICT
+                    self.mode_promotions += 1
+                    # Cached encodings of slots containing the promoted
+                    # attribute carry identity codes for it and must go; a
+                    # slot without the attribute is untouched by the mode
+                    # flip, so its cache (and future hits) survive.
+                    for slot, columns in enumerate(self.slot_columns):
+                        if promote.attribute in columns:
+                            self._slot_cache[slot].clear()
+            decoders = self._decoders()
+        if stats is not None:
+            stats.states += 1
+            stats.encoded_slots += encoded
+            stats.cached_slots += cached_hits
+        return VectorizedState(self, state, tuple(encodings), decoders)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(
+        self,
+        vectorized_state: "VectorizedState",
+        stats: Optional[ExecutionStats] = None,
+    ) -> YannakakisRun:
+        """Run the vector program against one encoded state.
+
+        Semantics — result, semijoin/join counts and the intermediate-size
+        accounting — match the classic and compiled executors exactly; the
+        equivalence suite checks this on random schemas and states.
+        """
+        if vectorized_state.plan is not self:
+            raise SchemaError("the vectorized state belongs to a different plan")
+        if not self.slot_columns:
+            return YannakakisRun(
+                result=Relation.nullary_true(),
+                semijoin_count=0,
+                join_count=0,
+                max_intermediate_size=1,
+                backend="vectorized",
+                stats=stats,
+            )
+        if self._np is not None:
+            return self._execute_arrays(vectorized_state, stats)
+        return self._execute_rows(vectorized_state, stats)
+
+    def _execute_rows(
+        self, vectorized_state: "VectorizedState", stats: Optional[ExecutionStats]
+    ) -> YannakakisRun:
+        """Fallback engine: the compiled row program over zipped columns."""
+        final_rows, join_count, max_intermediate = execute_row_program(
+            self._row_semijoin_ops,
+            self._row_join_ops,
+            self.root,
+            self._row_final_get,
+            list(vectorized_state.encodings),
+            stats,
+        )
+        result = Relation.from_interned(
+            self._final_schema,
+            self._final_columns,
+            final_rows,
+            vectorized_state.decoders,
+        )
+        if len(result) > max_intermediate:
+            max_intermediate = len(result)
+        return YannakakisRun(
+            result=result,
+            semijoin_count=len(self._semijoins),
+            join_count=join_count,
+            max_intermediate_size=max_intermediate,
+            backend="vectorized",
+            stats=stats,
+        )
+
+    def _execute_arrays(
+        self, vectorized_state: "VectorizedState", stats: Optional[ExecutionStats]
+    ) -> YannakakisRun:
+        np = self._np
+        views: List[_VecEncoding] = list(vectorized_state.encodings)
+
+        # Phase 1: the full-reducer semijoin program as membership masks.
+        for op in self._semijoins:
+            source_view = views[op.source]
+            source_keys = source_view.keysets.get(op.skey)
+            if source_keys is None:
+                source_keys = np.unique(_key_array(np, source_view, op.skey))
+                source_view.keysets[op.skey] = source_keys
+                if stats is not None:
+                    lineage = (op.source, op.skey)
+                    builds = stats.keyset_builds
+                    builds[lineage] = builds.get(lineage, 0) + 1
+            target_view = views[op.target]
+            target_keys = target_view.keysets.get(op.tkey)
+            if target_keys is None:
+                target_keys = np.unique(_key_array(np, target_view, op.tkey))
+                target_view.keysets[op.tkey] = target_keys
+                if stats is not None:
+                    lineage = (op.target, op.tkey)
+                    builds = stats.keyset_builds
+                    builds[lineage] = builds.get(lineage, 0) + 1
+            subset_mask = _member_mask(np, source_keys, target_keys)
+            if bool(subset_mask.all()):
+                if stats is not None:
+                    stats.identity_semijoins += 1
+                continue
+            mask = _member_mask(
+                np, source_keys, _key_array(np, target_view, op.tkey)
+            )
+            filtered = _filtered(np, target_view, mask)
+            filtered.keysets[op.tkey] = target_keys[subset_mask]
+            views[op.target] = filtered
+            if stats is not None:
+                stats.filtering_semijoins += 1
+        max_intermediate = max((view.n for view in views), default=0)
+
+        # Phase 2: the bottom-up join as gathers.
+        join_count = 0
+        for op in self._joins:
+            child_view = views[op.node]
+            mother_view = views[op.mother]
+            join_count += 1
+            if op.kind == _JOIN_SEMI_MOTHER:
+                cached = child_view.buckets.get(op.tag)
+                if cached is None:
+                    # The (projected) child's columns are exactly the key,
+                    # so its sorted-unique key array IS the projected child.
+                    keys = np.unique(_key_array(np, child_view, op.ckey))
+                    proj_len: Optional[int] = len(keys) if op.has_proj else None
+                    child_view.buckets[op.tag] = (keys, proj_len)
+                    if stats is not None:
+                        lineage = (op.node, op.ckey)
+                        builds = stats.bucket_builds
+                        builds[lineage] = builds.get(lineage, 0) + 1
+                else:
+                    keys, proj_len = cached
+                if proj_len is not None and proj_len > max_intermediate:
+                    max_intermediate = proj_len
+                # Identity detection keeps the mother's view object — and
+                # with it every cached index a later step would rebuild.
+                mother_keys = mother_view.keysets.get(op.mkey)
+                if mother_keys is not None and bool(
+                    _member_mask(np, keys, mother_keys).all()
+                ):
+                    joined = mother_view
+                else:
+                    mask = _member_mask(
+                        np, keys, _key_array(np, mother_view, op.mkey)
+                    )
+                    if bool(mask.all()):
+                        joined = mother_view
+                    else:
+                        joined = _filtered(np, mother_view, mask)
+            elif op.kind == _JOIN_SEMI_CHILD:
+                if op.proj_pos is not None:
+                    cached = child_view.buckets.get(op.tag)
+                    if cached is None:
+                        index = _unique_rows_index(np, child_view, op.proj_pos)
+                        projected = tuple(
+                            child_view.columns[p][index] for p in op.proj_pos
+                        )
+                        cached = (projected, len(index))
+                        child_view.buckets[op.tag] = cached
+                        if stats is not None:
+                            lineage = (op.node, op.ckey)
+                            builds = stats.bucket_builds
+                            builds[lineage] = builds.get(lineage, 0) + 1
+                    child_columns, child_n = cached
+                    if child_n > max_intermediate:
+                        max_intermediate = child_n
+                else:
+                    child_columns, child_n = child_view.columns, child_view.n
+                mother_keys = mother_view.keysets.get(op.mkey)
+                if mother_keys is None:
+                    mother_keys = np.unique(
+                        _key_array(np, mother_view, op.mkey)
+                    )
+                    mother_view.keysets[op.mkey] = mother_keys
+                    if stats is not None:
+                        lineage = (op.mother, op.mkey)
+                        builds = stats.keyset_builds
+                        builds[lineage] = builds.get(lineage, 0) + 1
+                child_key = _build_key(np, child_columns, child_n, op.ckey)
+                mask = _member_mask(np, mother_keys, child_key)
+                if op.proj_pos is None and bool(mask.all()):
+                    joined = child_view
+                else:
+                    joined = _VecEncoding(
+                        tuple(column[mask] for column in child_columns),
+                        int(mask.sum()),
+                    )
+            else:
+                cached = child_view.buckets.get(op.tag)
+                if cached is None:
+                    cached = _general_bucket(np, child_view, op)
+                    child_view.buckets[op.tag] = cached
+                    if stats is not None:
+                        lineage = (op.node, op.ckey)
+                        builds = stats.bucket_builds
+                        builds[lineage] = builds.get(lineage, 0) + 1
+                group_keys, starts, counts, new_sorted, proj_len = cached
+                if proj_len is not None and proj_len > max_intermediate:
+                    max_intermediate = proj_len
+                mother_n = mother_view.n
+                if mother_n == 0 or len(group_keys) == 0:
+                    joined = _empty_like(
+                        np, len(mother_view.columns) + len(new_sorted)
+                    )
+                else:
+                    mother_key = _key_array(np, mother_view, op.mkey)
+                    position = group_keys.searchsorted(mother_key)
+                    np.minimum(position, len(group_keys) - 1, out=position)
+                    match = group_keys[position] == mother_key
+                    per_mother = np.where(match, counts[position], 0)
+                    total = int(per_mother.sum())
+                    if total == 0:
+                        joined = _empty_like(
+                            np, len(mother_view.columns) + len(new_sorted)
+                        )
+                    else:
+                        # Expand: mother row index per output row, and the
+                        # matched group's offsets into the key-sorted child.
+                        mother_index = np.repeat(
+                            np.arange(mother_n), per_mother
+                        )
+                        cumulative = np.cumsum(per_mother)
+                        offsets = np.arange(total) - np.repeat(
+                            cumulative - per_mother, per_mother
+                        )
+                        group_start = np.where(match, starts[position], 0)
+                        child_index = np.repeat(group_start, per_mother) + offsets
+                        joined = _VecEncoding(
+                            tuple(
+                                column[mother_index]
+                                for column in mother_view.columns
+                            )
+                            + tuple(column[child_index] for column in new_sorted),
+                            total,
+                        )
+            if joined.n > max_intermediate:
+                max_intermediate = joined.n
+            views[op.mother] = joined
+
+        # Final projection + decode: the only value-level materialization
+        # (and a bare ``tolist`` for pure identity-mode columns).
+        root_view = views[self.root]
+        final_positions = self._final_positions
+        if final_positions is None:
+            final_columns = root_view.columns
+            final_n = root_view.n
+        elif not final_positions:
+            # Projection onto the nullary target relation.
+            final_columns = ()
+            final_n = 1 if root_view.n else 0
+        elif self._final_permutes and len(final_positions) == len(
+            root_view.columns
+        ):
+            # Pure column reorder: no column is dropped, so the root's rows
+            # (distinct by construction) stay distinct — skip the dedup.
+            final_columns = tuple(root_view.columns[p] for p in final_positions)
+            final_n = root_view.n
+        else:
+            index = _unique_rows_index(np, root_view, final_positions)
+            final_columns = tuple(
+                root_view.columns[p][index] for p in final_positions
+            )
+            final_n = len(index)
+        if not final_columns:
+            rows = frozenset([()]) if final_n else frozenset()
+        else:
+            decoded = []
+            for column, decoder in zip(final_columns, vectorized_state.decoders):
+                cells = column.tolist()
+                decoded.append(cells if decoder is None else list(map(decoder, cells)))
+            rows = frozenset(zip(*decoded))
+        result = Relation._from_trusted(
+            self._final_schema, self._final_columns, rows
+        )
+        if len(result) > max_intermediate:
+            max_intermediate = len(result)
+        return YannakakisRun(
+            result=result,
+            semijoin_count=len(self._semijoins),
+            join_count=join_count,
+            max_intermediate_size=max_intermediate,
+            backend="vectorized",
+            stats=stats,
+        )
+
+    def execute_state(
+        self, state: DatabaseState, stats: Optional[ExecutionStats] = None
+    ) -> YannakakisRun:
+        """Encode (cache-assisted) and execute one state."""
+        return self.execute(self.encode_state(state, stats=stats), stats=stats)
+
+    def execute_batch(self, states: Iterable[DatabaseState]) -> List[YannakakisRun]:
+        """Execute many states as one batch with shared instrumentation.
+
+        Identical contract to :meth:`CompiledPlan.execute_batch`: shared
+        interner and slot caches across the batch, repeated states executed
+        once, one :class:`ExecutionStats` describing the whole batch.
+        """
+        stats = ExecutionStats()
+        runs: List[YannakakisRun] = []
+        memo: Dict[DatabaseState, YannakakisRun] = {}
+        for state in states:
+            run = memo.get(state)
+            if run is None:
+                run = self.execute_state(state, stats=stats)
+                memo[state] = run
+            else:
+                stats.deduped_states += 1
+            runs.append(run)
+        return runs
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _open_interner_epoch_locked(self) -> None:
+        """Rebuild the interner and retire every encoding of the old epoch.
+
+        Same contract as the compiled backend's rollover: interning maps and
+        value lists are *replaced* (never cleared in place) so in-flight
+        states keep decoding against the retired epoch's intact lists, slot
+        caches are dropped wholesale, and attribute modes — including past
+        promotions — stay pinned.
+        """
+        self._intern = {attribute: {} for attribute in self._intern}
+        self._values = {attribute: [] for attribute in self._values}
+        for cache in self._slot_cache:
+            cache.clear()
+        for meta in self._cache_meta:
+            meta[0] = 0
+            meta[1] = 0
+        self.interner_epoch += 1
+
+    def cache_sizes(self) -> Tuple[int, ...]:
+        """Cached encodings per slot (diagnostic)."""
+        return tuple(len(cache) for cache in self._slot_cache)
+
+    def clear_encode_cache(self) -> None:
+        """Drop cached slot encodings and re-arm tripped slot caches (the
+        interner is left intact)."""
+        with self._encode_lock:
+            for cache in self._slot_cache:
+                cache.clear()
+            for meta in self._cache_meta:
+                meta[0] = 0
+                meta[1] = 0
+
+    def interned_value_count(self) -> int:
+        """Total distinct dictionary-mode values interned (diagnostic).
+
+        Identity-mode columns intern nothing in this backend — values that
+        would have been strays promote the attribute instead.
+        """
+        return sum(len(intern_map) for intern_map in self._intern.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        engine = "numpy" if self._np is not None else "array"
+        return (
+            f"VectorizedPlan(schema={self.schema.to_notation()!r}, "
+            f"target={self.target.to_notation()!r}, engine={engine!r}, "
+            f"semijoins={len(self._semijoins)}, joins={len(self._joins)})"
+        )
+
+
+class VectorizedState:
+    """One database state encoded against a vectorized plan's interner.
+
+    Holds one (possibly cache-shared) :class:`_VecEncoding` per relation
+    slot plus the decoders of the interner epoch that minted its codes.
+    ``state`` is the source :class:`DatabaseState`, or ``None`` for states
+    adopted straight off the shm wire by :func:`shm_attach_state`.
+    Immutable from the executor's point of view — execution replaces slot
+    views instead of mutating them — so it can be executed any number of
+    times.
+    """
+
+    __slots__ = ("plan", "state", "encodings", "decoders")
+
+    def __init__(
+        self,
+        plan: VectorizedPlan,
+        state: Optional[DatabaseState],
+        encodings: Tuple[_VecEncoding, ...],
+        decoders: Optional[Tuple[Optional[Any], ...]] = None,
+    ) -> None:
+        self.plan = plan
+        self.state = state
+        self.encodings = encodings
+        self.decoders = plan._decoders() if decoders is None else decoders
+
+    @classmethod
+    def from_state(
+        cls,
+        plan: VectorizedPlan,
+        state: DatabaseState,
+        *,
+        use_cache: bool = True,
+        stats: Optional[ExecutionStats] = None,
+    ) -> "VectorizedState":
+        """Encode ``state`` for ``plan`` (the public entry point)."""
+        return plan.encode_state(state, use_cache=use_cache, stats=stats)
+
+    def execute(self, stats: Optional[ExecutionStats] = None) -> YannakakisRun:
+        """Run the owning plan against this encoded state."""
+        return self.plan.execute(self, stats=stats)
+
+    def total_rows(self) -> int:
+        """Total encoded tuples across all slots."""
+        return sum(encoding.n for encoding in self.encodings)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        sizes = ", ".join(str(encoding.n) for encoding in self.encodings)
+        return f"VectorizedState({self.plan.schema.to_notation()!r}, sizes=[{sizes}])"
+
+
+def vectorize_plan(
+    prepared, *, max_interned_values: Optional[int] = _USE_DEFAULT_CAP
+) -> VectorizedPlan:
+    """Build a :class:`VectorizedPlan` for a prepared query (see the module
+    notes; normally reached through ``prepared.vectorized``)."""
+    return VectorizedPlan(prepared, max_interned_values=max_interned_values)
+
+
+def shm_attach_state(
+    plan: VectorizedPlan, buffer
+) -> Optional[VectorizedState]:
+    """Adopt one shm wire payload straight into column arrays, if possible.
+
+    The shm transport's int64 blocks (:func:`~repro.relational.compiled
+    .shm_encode_state`) carry exactly this backend's identity-mode column
+    encoding, so an all-int64 payload attaches as one ``frombuffer`` +
+    transpose copy per relation — no ``DatabaseState`` reconstruction, no
+    per-cell encode.  Returns ``None`` when the fast path does not apply
+    (no numpy, any pickled block, or any attribute already promoted to
+    dictionary mode) — the caller then falls back to
+    :func:`~repro.relational.compiled.shm_decode_state` + a normal encode.
+
+    The returned state carries ``state=None`` and bypasses the slot caches:
+    it is a transient per-shard handoff, and the arrays are copied out of
+    the segment so the caller may release it immediately.
+    """
+    np = plan._np
+    if np is None:
+        return None
+    view = memoryview(buffer)
+    (count,) = _SHM_STATE_HEADER.unpack_from(view, 0)
+    if count != len(plan.slot_columns):
+        raise ValueError(
+            f"shm payload carries {count} relation(s) but the plan "
+            f"expects {len(plan.slot_columns)}"
+        )
+    blocks: List[Tuple[int, int, int]] = []
+    offset = _SHM_STATE_HEADER.size
+    for attrs in plan.slot_columns:
+        if view[offset] != _SHM_KIND_INT64:
+            return None
+        _, n_rows, width = _SHM_INT64_HEADER.unpack_from(view, offset)
+        if width != len(attrs):
+            return None
+        offset += _SHM_INT64_HEADER.size
+        blocks.append((offset, n_rows, width))
+        offset += n_rows * width * 8
+    with plan._encode_lock:
+        for attrs in plan.slot_columns:
+            for attribute in attrs:
+                if plan._modes[attribute] == _MODE_DICT:
+                    return None
+        encodings: List[_VecEncoding] = []
+        for block_offset, n_rows, width in blocks:
+            if width:
+                flat = np.frombuffer(
+                    view, dtype=np.int64, count=n_rows * width, offset=block_offset
+                )
+                transposed = np.ascontiguousarray(flat.reshape(n_rows, width).T)
+                encodings.append(
+                    _VecEncoding(
+                        tuple(transposed[j] for j in range(width)), n_rows
+                    )
+                )
+            else:
+                encodings.append(_VecEncoding((), n_rows))
+        for attrs in plan.slot_columns:
+            for attribute in attrs:
+                if plan._modes[attribute] is None:
+                    plan._modes[attribute] = _MODE_IDENTITY
+        decoders = plan._decoders()
+    return VectorizedState(plan, None, tuple(encodings), decoders)

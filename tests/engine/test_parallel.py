@@ -280,7 +280,11 @@ class TestPlanSpec:
         the policy it was built with."""
         from dataclasses import replace as dc_replace
 
-        from repro.engine.parallel import _plan_for_spec, _worker_plans
+        from repro.engine.parallel import (
+            _plan_for_spec,
+            _serial_plan,
+            _worker_plans,
+        )
 
         schema = chain_schema(2)
         prepared = analyze(schema).prepare(RelationSchema({"x0", "x2"}))
@@ -293,11 +297,13 @@ class TestPlanSpec:
         try:
             plan_a, compiled_a = _plan_for_spec(first)
             assert compiled_a == 1
-            assert plan_a.compiled.max_interned_values is None
+            serial_a = _serial_plan(plan_a, spec.serial_backend)
+            assert serial_a.max_interned_values is None
             plan_b, _ = _plan_for_spec(second)
             # Same resident plan; the later spec must not overwrite its policy.
-            assert plan_b.compiled is plan_a.compiled
-            assert plan_b.compiled.max_interned_values is None
+            serial_b = _serial_plan(plan_b, spec.serial_backend)
+            assert serial_b is serial_a
+            assert serial_b.max_interned_values is None
         finally:
             _worker_plans.pop(first, None)
             _worker_plans.pop(second, None)

@@ -19,7 +19,7 @@ from repro.hypergraph import (
     random_tree_schema,
     star_schema,
 )
-from repro.relational import DatabaseState, naive_join_project
+from repro.relational import DatabaseState, naive_join_project, numpy_available
 from repro.relational.universal import random_database_state, random_ur_database
 
 FAMILIES = [
@@ -303,14 +303,24 @@ class TestCompiledBackendRouting:
     def _state(self, schema, seed=0, tuple_count=20):
         return random_ur_database(schema, tuple_count=tuple_count, domain_size=5, rng=seed)
 
-    def test_auto_resolves_to_compiled(self):
+    def test_auto_resolves_to_serial_backend(self):
         schema = chain_schema(3)
         prepared = analyze(schema).prepare(RelationSchema({"x0", "x3"}))
+        # 20 tuples x 3 relations sits under VECTORIZED_MIN_STATE_ROWS, so
+        # auto stays on the compiled backend whether or not numpy imports.
         state = self._state(schema)
         assert prepared.execute(state).backend == "compiled"
         assert prepared.execute(state, backend="auto").backend == "compiled"
         assert prepared.execute(state, backend="classic").backend == "classic"
         assert prepared.execute(state, backend="compiled").backend == "compiled"
+        assert prepared.execute(state, backend="vectorized").backend == "vectorized"
+        # A state big enough to amortize the array toll upgrades auto to the
+        # vectorized kernel exactly when numpy is importable.  (A wide
+        # domain, because random_ur_database dedups verbatim rows.)
+        big = random_ur_database(schema, tuple_count=200, domain_size=60, rng=1)
+        serial = "vectorized" if numpy_available() else "compiled"
+        assert prepared.execute(big).backend == serial
+        assert prepared.execute_many([big, big])[0].backend == serial
 
     def test_unknown_backend_rejected(self):
         schema = chain_schema(3)
@@ -329,6 +339,8 @@ class TestCompiledBackendRouting:
     def test_empty_schema_reports_resolved_backend(self):
         prepared = PreparedQuery(parse_schema(""), RelationSchema(()))
         state = DatabaseState(parse_schema(""), [])
+        # A zero-relation state has zero rows, so auto's profitability gate
+        # keeps it on the compiled backend everywhere.
         assert prepared.execute(state).backend == "compiled"
         assert prepared.execute(state, backend="classic").backend == "classic"
 

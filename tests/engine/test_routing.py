@@ -13,7 +13,7 @@ from repro.engine.routing import (
     override_decision,
 )
 from repro.hypergraph import RelationSchema, chain_schema
-from repro.relational import DatabaseState, Relation
+from repro.relational import DatabaseState, Relation, numpy_available
 
 
 def _states(schema, count, *, rows=3, salt=0):
@@ -135,6 +135,16 @@ class TestGates:
         assert payload["backend"] == "compiled"
         assert payload["rule"] == "small-batch"
         assert set(payload) >= {"reason", "states", "unique_states", "unique_rows"}
+
+    def test_large_states_upgrade_serial_verdict(self, prepared):
+        # 200 rows x 3 relations clears VECTORIZED_MIN_STATE_ROWS, so the
+        # in-process verdict names the vectorized kernel whenever numpy
+        # imports; tiny batches (every other test here) stay compiled.
+        states = _states(prepared.schema, 4, rows=200)
+        decision = RoutingPolicy(per_row_s=1.0).decide(prepared, states, workers=2)
+        expected = "vectorized" if numpy_available() else "compiled"
+        assert decision.backend == expected
+        assert decision.rule == "small-batch"
 
     def test_override_decision(self, prepared):
         states = _states(prepared.schema, 3) * 2

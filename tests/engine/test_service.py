@@ -168,7 +168,8 @@ class TestRouting:
 
     def test_auto_routes_thin_batch_in_process(self, service, prepared):
         # 3 tiny states sit far under min_parallel_states: the small-batch
-        # gate keeps them on the compiled backend without probing timing.
+        # gate keeps them on the compiled backend without probing timing
+        # (tiny states never upgrade to the vectorized kernel).
         states = _states(prepared.schema, 3)
         handle = service.submit(prepared, states)
         handle.result(timeout=60)

@@ -106,7 +106,7 @@ class TestExecuteEquivalence:
         schema, target, states = instance
         prepared = analyze(schema).prepare(target)
         classic_runs = prepared.execute_many(states, backend="classic")
-        compiled_runs = prepared.execute_many(states)
+        compiled_runs = prepared.execute_many(states, backend="compiled")
         assert len(classic_runs) == len(compiled_runs)
         for classic, compiled in zip(classic_runs, compiled_runs):
             _assert_runs_agree(classic, compiled)
@@ -122,7 +122,7 @@ class TestExecuteEquivalence:
     def test_yannakakis_wrapper_routes_backends(self, instance):
         schema, target, (state,) = instance
         classic = yannakakis(schema, target, state, backend="classic")
-        compiled = yannakakis(schema, target, state, backend="auto")
+        compiled = yannakakis(schema, target, state, backend="compiled")
         _assert_runs_agree(classic, compiled)
 
     @settings(max_examples=30, deadline=None)
@@ -131,7 +131,7 @@ class TestExecuteEquivalence:
         """Cold path: a fresh analysis (and thus a fresh interner) per call."""
         schema, target, (state,) = instance
         clear_analysis_cache()
-        compiled = yannakakis(schema, target, state)
+        compiled = yannakakis(schema, target, state, backend="compiled")
         clear_analysis_cache()
         classic = yannakakis(schema, target, state, backend="classic")
         _assert_runs_agree(classic, compiled)
@@ -154,7 +154,7 @@ class TestEncodeDecodeRoundTrip:
         relation = Relation(relation_schema, rows)
         schema = DatabaseSchema([relation_schema])
         prepared = analyze(schema).prepare(relation_schema)
-        run = prepared.execute(DatabaseState(schema, [relation]))
+        run = prepared.execute(DatabaseState(schema, [relation]), backend="compiled")
         assert run.backend == "compiled"
         assert run.result == relation
 
@@ -169,7 +169,7 @@ class TestEncodeDecodeRoundTrip:
             )
             for i in range(4)
         ]
-        runs = prepared.execute_many(states)
+        runs = prepared.execute_many(states, backend="compiled")
         for state, run in zip(states, runs):
             assert run.result == state.relations[0]
         # "k" is dictionary-interned once for the whole batch.

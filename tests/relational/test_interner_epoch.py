@@ -54,7 +54,7 @@ class TestEpochRollover:
         schema = _schema()
         prepared, plan = _fresh_plan(cap=20)
         for salt in range(12):
-            prepared.execute(_string_state(schema, salt))
+            prepared.execute(_string_state(schema, salt), backend="compiled")
         assert plan.interner_epoch > 0
         # Growth is bounded by cap + one state's worth of fresh values.
         assert plan.interned_value_count() <= 20 + 4 * 3
@@ -64,7 +64,7 @@ class TestEpochRollover:
         prepared, plan = _fresh_plan(cap=10)
         for salt in range(15):
             state = _string_state(schema, salt)
-            compiled = prepared.execute(state)
+            compiled = prepared.execute(state, backend="compiled")
             classic = prepared.execute(state, backend="classic")
             assert compiled.result == classic.result
             assert compiled.max_intermediate_size == classic.max_intermediate_size
@@ -74,7 +74,7 @@ class TestEpochRollover:
         schema = _schema()
         prepared, plan = _fresh_plan(cap=10)
         states = [_string_state(schema, salt) for salt in range(10)]
-        runs = prepared.execute_many(states)
+        runs = prepared.execute_many(states, backend="compiled")
         stats = runs[0].stats
         assert stats.interner_resets > 0
         assert stats.interner_resets == plan.interner_epoch
@@ -83,14 +83,14 @@ class TestEpochRollover:
         schema = _schema()
         prepared, plan = _fresh_plan(cap=10)
         state = _string_state(schema, 0)
-        prepared.execute(state)
+        prepared.execute(state, backend="compiled")
         assert sum(plan.cache_sizes()) > 0
         for salt in range(1, 8):
-            prepared.execute(_string_state(schema, salt))
+            prepared.execute(_string_state(schema, salt), backend="compiled")
         assert plan.interner_epoch > 0
         # Re-executing the very first state after rollovers re-encodes it
         # against the new epoch and still answers correctly.
-        rerun = prepared.execute(state)
+        rerun = prepared.execute(state, backend="compiled")
         classic = prepared.execute(state, backend="classic")
         assert rerun.result == classic.result
 
@@ -107,7 +107,7 @@ class TestEpochRollover:
         expected = prepared.execute(state, backend="classic").result
         assert pinned.execute().result == expected
         for salt in range(1, 9):
-            prepared.execute(_string_state(schema, salt))
+            prepared.execute(_string_state(schema, salt), backend="compiled")
         assert plan.interner_epoch > 0
         # Same pinned encoding, executed against a plan that has since
         # rolled its interner over (possibly several times).
@@ -117,7 +117,7 @@ class TestEpochRollover:
         schema = _schema()
         prepared, plan = _fresh_plan(cap=None)
         for salt in range(10):
-            prepared.execute(_string_state(schema, salt))
+            prepared.execute(_string_state(schema, salt), backend="compiled")
         assert plan.interner_epoch == 0
         assert plan.interned_value_count() > 20
 
@@ -133,7 +133,7 @@ class TestEpochRollover:
                     Relation(schema[1], [(i, salt * 10 + i) for i in range(4)]),
                 ],
             )
-            compiled = prepared.execute(state)
+            compiled = prepared.execute(state, backend="compiled")
             classic = prepared.execute(state, backend="classic")
             assert compiled.result == classic.result
         assert plan.interner_epoch == 0
@@ -150,6 +150,6 @@ class TestEpochRollover:
         prepared, plan = _fresh_plan(cap=cap)
         for salt in salts:
             state = _string_state(schema, salt, rows=3)
-            compiled = prepared.execute(state)
+            compiled = prepared.execute(state, backend="compiled")
             classic = prepared.execute(state, backend="classic")
             assert compiled.result == classic.result

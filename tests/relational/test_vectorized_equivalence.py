@@ -1,0 +1,405 @@
+"""Property-based tests: the array-backed vectorized backend ≡ the classic
+object-tuple operators on every exposed entry point.
+
+The classic executor (``backend="classic"``) is the retained oracle — it
+shares no execution code with :mod:`repro.relational.vectorized`: no
+interning, no code arrays, no membership masks or gather joins.  Agreement
+on random tree schemas and random states (empty relations, dangling tuples,
+mixed value types across the numeric tower, repeated states) is strong
+evidence the vectorization is faithful.  The suite also pins the vectorized
+backend to the *compiled* backend's execution accounting (stats parity), and
+re-runs the core equivalence with numpy masked out, proving the stdlib
+``array`` fallback computes the same answers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.relational.vectorized as vectorized_module
+from repro.engine import analyze, clear_analysis_cache
+from repro.hypergraph import (
+    DatabaseSchema,
+    RelationSchema,
+    chain_schema,
+    random_tree_schema,
+    star_schema,
+)
+from repro.relational import (
+    DatabaseState,
+    Relation,
+    numpy_available,
+    vectorize_plan,
+)
+from repro.relational.compiled import (
+    ExecutionStats,
+    compile_plan,
+    shm_encode_state,
+)
+from repro.relational.vectorized import shm_attach_state
+
+#: Value pool spanning the numeric tower (1 == 1.0 == True) plus strings and
+#: None — both interner modes — extended with an int64-overflowing integer
+#: and a tuple value so the identity→dictionary promotion path runs too.
+VALUES = st.one_of(
+    st.integers(-3, 6),
+    st.sampled_from(
+        [1.0, 2.5, -1.0, True, False, "a", "b", "v1", None, 1 << 70, (1, 2)]
+    ),
+)
+
+
+def _build_schema(family: str, size: int, seed: int) -> DatabaseSchema:
+    if family == "chain":
+        return chain_schema(size)
+    if family == "star":
+        return star_schema(max(size, 2))
+    return random_tree_schema(size, rng=seed)
+
+
+@st.composite
+def tree_instances(draw, max_states: int = 1):
+    """A tree schema, a target, and ``max_states`` random (possibly
+    repeated) states with independently sized relations."""
+    family = draw(st.sampled_from(["chain", "star", "random-tree"]))
+    size = draw(st.integers(1, 5))
+    schema = _build_schema(family, size, draw(st.integers(0, 10**6)))
+    attrs = schema.attributes.sorted_attributes()
+    target = RelationSchema(
+        draw(st.sets(st.sampled_from(list(attrs)), max_size=min(3, len(attrs))))
+    )
+
+    def draw_state() -> DatabaseState:
+        relations = []
+        for relation_schema in schema.relations:
+            width = len(relation_schema.sorted_attributes())
+            rows = draw(
+                st.lists(st.tuples(*([VALUES] * width)), min_size=0, max_size=8)
+            )
+            relations.append(Relation(relation_schema, rows))
+        return DatabaseState(schema, relations)
+
+    states = [draw_state()]
+    while len(states) < max_states:
+        if draw(st.booleans()):
+            states.append(states[draw(st.integers(0, len(states) - 1))])
+        else:
+            states.append(draw_state())
+    return schema, target, states
+
+
+def _assert_runs_agree(classic, vectorized) -> None:
+    assert vectorized.result == classic.result
+    assert vectorized.semijoin_count == classic.semijoin_count
+    assert vectorized.join_count == classic.join_count
+    assert vectorized.max_intermediate_size == classic.max_intermediate_size
+    assert classic.backend == "classic"
+    assert vectorized.backend == "vectorized"
+
+
+class TestExecuteEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(tree_instances())
+    def test_execute_matches_classic(self, instance):
+        schema, target, (state,) = instance
+        prepared = analyze(schema).prepare(target)
+        classic = prepared.execute(state, backend="classic")
+        run = prepared.execute(state, backend="vectorized")
+        _assert_runs_agree(classic, run)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree_instances(max_states=4))
+    def test_execute_many_matches_classic(self, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare(target)
+        classic_runs = prepared.execute_many(states, backend="classic")
+        runs = prepared.execute_many(states, backend="vectorized")
+        assert len(classic_runs) == len(runs)
+        for classic, run in zip(classic_runs, runs):
+            _assert_runs_agree(classic, run)
+        # One shared stats object describes the whole batch; repeated states
+        # are deduplicated rather than re-executed.
+        stats_ids = {id(run.stats) for run in runs}
+        assert len(stats_ids) == 1
+        stats = runs[0].stats
+        assert stats.states + stats.deduped_states == len(states)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree_instances())
+    def test_fresh_plan_equivalence(self, instance):
+        """Cold path: a fresh analysis (and thus a fresh interner) per call."""
+        schema, target, (state,) = instance
+        clear_analysis_cache()
+        prepared = analyze(schema).prepare(target)
+        run = prepared.execute(state, backend="vectorized")
+        clear_analysis_cache()
+        classic = analyze(schema).prepare(target).execute(state, backend="classic")
+        _assert_runs_agree(classic, run)
+
+    def test_auto_prefers_vectorized_when_numpy_imports(self):
+        schema = chain_schema(2)
+        attrs = schema.attributes.sorted_attributes()
+        prepared = analyze(schema).prepare(RelationSchema((attrs[0],)))
+        # Large enough to clear the profitability floor: auto upgrades to
+        # the array kernel exactly when numpy imports ...
+        big = DatabaseState(
+            schema,
+            [Relation(rs, [(i, i + 1) for i in range(200)]) for rs in schema.relations],
+        )
+        expected = "vectorized" if numpy_available() else "compiled"
+        assert prepared.execute(big).backend == expected
+        # ... while a one-tuple state stays on the compiled backend even
+        # with numpy present: arrays cannot pay for themselves there.
+        tiny = DatabaseState(
+            schema, [Relation(rs, [(1, 2)]) for rs in schema.relations]
+        )
+        assert prepared.execute(tiny).backend == "compiled"
+
+
+class TestCompiledStatsParity:
+    """The vectorized kernel reproduces the compiled backend's execution
+    accounting, not just its answers: same keyset/bucket build schedule,
+    same identity-vs-filtering semijoin lineage, same encode/cache counts —
+    except after an identity→dictionary promotion, which the compiled
+    backend does not have (it canonicalizes strays in place); there the
+    per-slot totals still reconcile."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(tree_instances(max_states=3))
+    def test_stats_match_compiled(self, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare(target)
+        vplan = vectorize_plan(prepared)
+        cplan = compile_plan(prepared)
+        vstats, cstats = ExecutionStats(), ExecutionStats()
+        for state in states:
+            vrun = vplan.execute_state(state, stats=vstats)
+            crun = cplan.execute_state(state, stats=cstats)
+            assert vrun.result == crun.result
+        for field in ("states", "identity_semijoins", "filtering_semijoins"):
+            assert getattr(vstats, field) == getattr(cstats, field)
+        if vplan.mode_promotions == 0:
+            for field in (
+                "encoded_slots",
+                "cached_slots",
+                "keyset_builds",
+                "bucket_builds",
+            ):
+                assert getattr(vstats, field) == getattr(cstats, field)
+        else:
+            assert (
+                vstats.encoded_slots + vstats.cached_slots
+                == cstats.encoded_slots + cstats.cached_slots
+            )
+
+
+class TestArrayFallback:
+    """numpy masked out: plans must build on the stdlib ``array`` fallback
+    and compute exactly what the classic operators compute."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree_instances(max_states=2))
+    def test_fallback_matches_classic(self, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare(target)
+        classic_runs = [
+            prepared.execute(state, backend="classic") for state in states
+        ]
+        saved = vectorized_module._np
+        vectorized_module._np = None
+        try:
+            assert not numpy_available()
+            plan = vectorize_plan(prepared)
+            runs = plan.execute_batch(states)
+        finally:
+            vectorized_module._np = saved
+        for classic, run in zip(classic_runs, runs):
+            _assert_runs_agree(classic, run)
+
+    def test_fallback_promotes_on_big_ints(self):
+        schema = DatabaseSchema([RelationSchema("ab")])
+        prepared = analyze(schema).prepare(RelationSchema("ab"))
+        saved = vectorized_module._np
+        vectorized_module._np = None
+        try:
+            plan = vectorize_plan(prepared)
+            small = DatabaseState(
+                schema, [Relation(schema[0], [(1, 2)])]
+            )
+            assert plan.execute_state(small).result == small.relations[0]
+            big = DatabaseState(
+                schema, [Relation(schema[0], [(1 << 70, 2)])]
+            )
+            assert plan.execute_state(big).result == big.relations[0]
+            assert plan.mode_promotions >= 1
+        finally:
+            vectorized_module._np = saved
+
+
+class TestValueSemantics:
+    def test_numeric_tower_joins_across_relations(self):
+        schema = DatabaseSchema([RelationSchema("ab"), RelationSchema("bc")])
+        target = RelationSchema("ac")
+        prepared = analyze(schema).prepare(target)
+        state = DatabaseState(
+            schema,
+            [
+                Relation(schema[0], [(1, "x"), (2.0, "y"), (True, "z")]),
+                Relation(schema[1], [("x", 10), ("y", 2), ("z", 30)]),
+            ],
+        )
+        classic = prepared.execute(state, backend="classic")
+        run = prepared.execute(state, backend="vectorized")
+        _assert_runs_agree(classic, run)
+        assert len(run.result) == 3
+
+    def test_identity_pinned_then_promotion(self):
+        """A plan that saw pure-int columns first must still join later
+        states carrying values int64 cannot hold (promotion restart)."""
+        schema = DatabaseSchema([RelationSchema("ab"), RelationSchema("bc")])
+        target = RelationSchema("ac")
+        prepared = analyze(schema).prepare(target)
+        plan = vectorize_plan(prepared)
+        first = DatabaseState(
+            schema,
+            [Relation(schema[0], [(5, 1)]), Relation(schema[1], [(1, 9)])],
+        )
+        plan.execute_state(first)  # pins attributes to identity mode
+        mixed = DatabaseState(
+            schema,
+            [
+                Relation(schema[0], [(5.0, True), (1 << 70, 1)]),
+                Relation(schema[1], [(1.0, 9)]),
+            ],
+        )
+        classic = prepared.execute(mixed, backend="classic")
+        run = plan.execute_state(mixed)
+        _assert_runs_agree(classic, run)
+        assert plan.mode_promotions >= 1
+
+    def test_empty_relations_and_empty_target(self):
+        schema = chain_schema(3)
+        state = DatabaseState(
+            schema, [Relation(relation, []) for relation in schema.relations]
+        )
+        prepared = analyze(schema).prepare(RelationSchema(()))
+        classic = prepared.execute(state, backend="classic")
+        run = prepared.execute(state, backend="vectorized")
+        _assert_runs_agree(classic, run)
+        assert len(run.result) == 0
+
+    def test_nullary_relation_slot(self):
+        schema = DatabaseSchema([RelationSchema("ab"), RelationSchema(())])
+        target = RelationSchema("ab")
+        prepared = analyze(schema).prepare(target)
+        for nullary_rows in ([], [()]):
+            state = DatabaseState(
+                schema,
+                [
+                    Relation(schema[0], [(1, 2), (3, 4)]),
+                    Relation(schema[1], nullary_rows),
+                ],
+            )
+            classic = prepared.execute(state, backend="classic")
+            run = prepared.execute(state, backend="vectorized")
+            _assert_runs_agree(classic, run)
+
+    def test_dangling_tuples_random_states(self):
+        rng = random.Random(20260808)
+        for _ in range(25):
+            schema = _build_schema(
+                rng.choice(["chain", "star", "random-tree"]),
+                rng.randint(2, 5),
+                rng.randint(0, 10**6),
+            )
+            attrs = schema.attributes.sorted_attributes()
+            target = RelationSchema(rng.sample(attrs, min(2, len(attrs))))
+            relations = [
+                Relation(
+                    rs,
+                    [
+                        tuple(
+                            rng.randrange(4)
+                            for _ in range(len(rs.sorted_attributes()))
+                        )
+                        for _ in range(rng.randint(0, 10))
+                    ],
+                )
+                for rs in schema.relations
+            ]
+            state = DatabaseState(schema, relations)
+            prepared = analyze(schema).prepare(target)
+            classic = prepared.execute(state, backend="classic")
+            run = prepared.execute(state, backend="vectorized")
+            _assert_runs_agree(classic, run)
+
+
+class TestInternerLifecycle:
+    def test_interner_epoch_rollover(self):
+        schema = DatabaseSchema([RelationSchema("ab")])
+        prepared = analyze(schema).prepare(RelationSchema("ab"))
+        plan = vectorize_plan(prepared, max_interned_values=4)
+        stats = ExecutionStats()
+        for index in range(8):
+            state = DatabaseState(
+                schema,
+                [Relation(schema[0], [(f"k{index}", f"v{index}")])],
+            )
+            run = plan.execute_state(state, stats=stats)
+            assert run.result == state.relations[0]
+        assert plan.interner_epoch > 0
+        assert stats.interner_resets > 0
+        cap = plan.max_interned_values
+        assert cap is not None and plan.interned_value_count() <= cap + 2
+
+    def test_batch_dedups_repeated_states(self):
+        schema = DatabaseSchema([RelationSchema("ab")])
+        prepared = analyze(schema).prepare(RelationSchema("ab"))
+        plan = vectorize_plan(prepared)
+        state = DatabaseState(schema, [Relation(schema[0], [(1, 2)])])
+        runs = plan.execute_batch([state, state, state])
+        assert runs[0] is runs[1] is runs[2]
+        assert runs[0].stats.deduped_states == 2
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy kernel not available")
+class TestShmAttach:
+    def test_attach_matches_decode_execute(self):
+        schema = chain_schema(2)
+        attrs = schema.attributes.sorted_attributes()
+        prepared = analyze(schema).prepare(RelationSchema((attrs[0],)))
+        rng = random.Random(7)
+        relations = [
+            Relation(
+                rs,
+                [
+                    tuple(rng.randrange(30) for _ in rs.sorted_attributes())
+                    for _ in range(40)
+                ],
+            )
+            for rs in schema.relations
+        ]
+        state = DatabaseState(schema, relations)
+        classic = prepared.execute(state, backend="classic")
+        plan = vectorize_plan(prepared)
+        payload = shm_encode_state(state)
+        vstate = shm_attach_state(plan, memoryview(payload))
+        assert vstate is not None
+        run = plan.execute(vstate)
+        assert run.result == classic.result
+        assert run.backend == "vectorized"
+
+    def test_attach_refuses_dictionary_mode(self):
+        schema = DatabaseSchema([RelationSchema("ab")])
+        prepared = analyze(schema).prepare(RelationSchema("ab"))
+        plan = vectorize_plan(prepared)
+        strings = DatabaseState(
+            schema, [Relation(schema[0], [("x", "y")])]
+        )
+        plan.execute_state(strings)  # pins dictionary mode
+        ints = DatabaseState(schema, [Relation(schema[0], [(1, 2)])])
+        payload = shm_encode_state(ints)
+        assert shm_attach_state(plan, memoryview(payload)) is None
