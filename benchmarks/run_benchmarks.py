@@ -8,9 +8,11 @@ batched compiled vs the sharded multi-process executor at 2/4 workers, pool
 reuse timed separately from cold spawn), the PR-6 ``robustness`` section
 (supervision overhead when healthy, recovery latency under one injected
 worker crash), the PR-7 ``service`` section (routing verdicts, shm vs
-pickle transport) and the PR-8 ``vectorized`` section (the array-backed
+pickle transport), the PR-8 ``vectorized`` section (the array-backed
 kernel vs classic and compiled on output-explosion joins and string-heavy
-encode batches) outside pytest and records sizes, median wall times and
+encode batches) and the PR-9 ``cyclic`` section (batched compiled cyclic
+plans vs the per-call Theorem 6.1 solver on aring/aclique serving
+families) outside pytest and records sizes, median wall times and
 max-intermediate sizes as JSON so that every PR has a regression baseline to
 compare against.  Multi-process sections warn loudly on hosts with fewer
 than four cores and stamp ``host_cpus`` into every row.
@@ -1156,6 +1158,123 @@ def bench_vectorized(repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
+#: PR-9 cyclic serving families: ``(case, family, size, target, tuple_count,
+#: domain_size, states)``.  Many small states per pass — the regime where the
+#: per-call solver's re-planning (tree-projection search + program rebuild
+#: per state) dominates and the frozen ``CyclicPreparedQuery`` plan should
+#: win by a wide margin.
+CYCLIC_CASES = (
+    # Many-small-state serving shapes where the per-call solver pays its
+    # planning tax (tree-projection search + augmented-program rebuild)
+    # on every state while the prepared plan amortizes it across the batch.
+    ("cyclic-aring-10", "aring", 10, "af", 8, 6, 100),
+    ("cyclic-aring-12", "aring", 12, "ag", 8, 6, 100),
+    ("cyclic-aclique-8", "aclique", 8, "ab", 5, 16, 150),
+)
+
+
+def bench_cyclic(repeats: int) -> List[Dict[str, Any]]:
+    """Batched compiled cyclic serving vs the per-call Theorem 6.1 solver.
+
+    The baseline is :func:`repro.treeproj.solver.solve_with_tree_projection`
+    over a sequential-join program — the paper-verbatim construction, which
+    re-searches the tree projection and rebuilds the augmented program on
+    every call.  The contender is ``prepare_cyclic(target)`` executed once
+    and then ``execute_many(states, backend="compiled")`` per pass.  Fresh
+    state sets per timed pass (serving fairness protocol), and every batched
+    answer is asserted equal to the classic cyclic oracle in-loop so the
+    speedup can never come from a wrong answer.  On a pre-PR-9 checkout the
+    section degrades to an empty list (``prepare_cyclic`` missing), keeping
+    ``--phase before`` snapshots runnable.
+    """
+    from repro.hypergraph import aclique
+    from repro.relational.program import Program, default_base_names
+    from repro.treeproj.solver import solve_with_tree_projection
+
+    rows: List[Dict[str, Any]] = []
+    for case, family, size, target_attrs, tuple_count, domain_size, count in CYCLIC_CASES:
+        schema = aring(size) if family == "aring" else aclique(size)
+        target = RelationSchema(target_attrs)
+        clear_analysis_cache()
+        analysis = analyze(schema)
+        if not hasattr(analysis, "prepare_cyclic"):  # pre-PR-9 engine
+            return rows
+        prepared = analysis.prepare_cyclic(target)
+        choice = prepared.projection_choice
+
+        # The solver's input program: join every base relation in order, so
+        # its extended schema covers U(D) and the per-call tree-projection
+        # search always succeeds.  Built once — only the *solving* is
+        # per-call, exactly the cost a plan-less serving loop would pay.
+        program = Program(schema)
+        names = list(default_base_names(schema))
+        current = names[0]
+        for index, name in enumerate(names[1:], start=1):
+            joined = f"J{index}"
+            program.join(joined, current, name)
+            current = joined
+
+        def fresh_sets(salt: int) -> List[List[Any]]:
+            return [
+                [
+                    random_ur_database(
+                        schema,
+                        tuple_count=tuple_count,
+                        domain_size=domain_size,
+                        rng=salt + 10_000 * (r + 1) + seed,
+                    )
+                    for seed in range(count)
+                ]
+                for r in range(repeats)
+            ]
+
+        solver_times: List[float] = []
+        for states in fresh_sets(0):
+            start = time.perf_counter()
+            for state in states:
+                solve_with_tree_projection(program, target, state)
+            solver_times.append(time.perf_counter() - start)
+
+        batched_times: List[float] = []
+        answer_rows = 0
+        for states in fresh_sets(1_000_000):
+            start = time.perf_counter()
+            runs = prepared.execute_many(states, backend="compiled")
+            batched_times.append(time.perf_counter() - start)
+            # In-loop correctness: batched compiled ≡ classic cyclic oracle.
+            for state, run in zip(states, runs):
+                classic = prepared.execute(state, backend="classic")
+                assert run.result == classic.result, case
+            answer_rows = len(runs[0].result)
+
+        solver_s = statistics.median(solver_times)
+        batched_s = statistics.median(batched_times)
+        rows.append(
+            {
+                "case": case,
+                "family": family,
+                "size": size,
+                "target": target_attrs,
+                "tuple_count": tuple_count,
+                "states": count,
+                "answer_rows": answer_rows,
+                "tree_projection": choice.projection.to_notation(),
+                "treefication_width": choice.width,
+                "projection_method": choice.method,
+                "projection_minimal": choice.minimal,
+                "guard_semijoins": prepared.guard_semijoins,
+                "backend": "compiled",
+                "solver_per_state_s": solver_s / count,
+                "batched_per_state_s": batched_s / count,
+                "median_s": batched_s / count,
+                "batched_speedup_vs_solver": (
+                    solver_s / batched_s if batched_s else None
+                ),
+            }
+        )
+    return rows
+
+
 def run_all(repeats: int) -> Dict[str, Any]:
     return {
         "python": platform.python_version(),
@@ -1176,6 +1295,7 @@ def run_all(repeats: int) -> Dict[str, Any]:
         "robustness": bench_robustness(repeats),
         "service": bench_service(repeats),
         "vectorized": bench_vectorized(repeats),
+        "cyclic": bench_cyclic(repeats),
     }
 
 
@@ -1193,6 +1313,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
         "robustness",
         "service",
         "vectorized",
+        "cyclic",
     ):
         before_rows = {row["case"]: row for row in before.get(section, ())}
         cases: Dict[str, float] = {}
@@ -1214,7 +1335,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--phase", choices=("before", "after"), default="after")
-    parser.add_argument("--out", default="BENCH_PR8.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_PR9.json", help="output JSON path")
     parser.add_argument(
         "--before",
         default=None,

@@ -392,7 +392,14 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
     target = parse_schema(
         arguments.target, attribute_separator=attribute_separator
     ).attributes
-    prepared = analysis.prepare(target)
+    # Cyclic schemas plan through their treefication (engine.cyclic) and
+    # serve on the same backends; tree schemas keep the direct Yannakakis
+    # plan, which has no prologue to pay.
+    cyclic = len(schema) > 0 and analysis.is_cyclic
+    if cyclic:
+        prepared = analysis.prepare_cyclic(target)
+    else:
+        prepared = analysis.prepare(target)
 
     if arguments.data is not None and arguments.random is not None:
         raise SystemExit("--data and --random are mutually exclusive")
@@ -506,7 +513,15 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
                 r.max_intermediate_size for r in runs if r is not None
             ),
             "result": run.result.to_dicts() if len(states) == 1 else None,
+            "cyclic": cyclic,
         }
+        if cyclic:
+            choice = prepared.projection_choice
+            payload["tree_projection"] = prepared.tree_projection.to_notation()
+            payload["treefication_width"] = prepared.treefication_width
+            payload["projection_method"] = choice.method
+            payload["projection_minimal"] = choice.minimal
+            payload["guard_semijoins"] = prepared.guard_semijoins
         if stream_info is not None:
             payload["stream"] = dict(stream_info)
             if stream_errors:
@@ -557,8 +572,21 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
 
     print(f"D  = {schema}")
     print(f"X  = {target.to_notation()}")
-    print(f"plan: {len(prepared.semijoin_steps)} semijoins, "
-          f"{len(prepared.join_steps)} joins (root R{prepared.root})")
+    if cyclic:
+        choice = prepared.projection_choice
+        minimal = ", minimal" if choice.minimal else ""
+        print(
+            f"plan: cyclic via tree projection "
+            f"{prepared.tree_projection.to_notation()} "
+            f"(width {prepared.treefication_width}, {choice.method}{minimal}); "
+            f"{prepared.prologue_joins} node joins + "
+            f"{prepared.guard_semijoins} guard semijoins, then "
+            f"{len(prepared.inner.semijoin_steps)} semijoins, "
+            f"{len(prepared.inner.join_steps)} joins (root N{prepared.root})"
+        )
+    else:
+        print(f"plan: {len(prepared.semijoin_steps)} semijoins, "
+              f"{len(prepared.join_steps)} joins (root R{prepared.root})")
     print(f"backend: {run.backend}; {len(states)} state(s) in {elapsed * 1e3:.2f} ms")
     if stream_info is not None:
         routing = stream_info["routing"]

@@ -27,6 +27,14 @@ This package is the primary public API of the library:
   fault-injection harness behind the recovery tests lives in
   :mod:`repro.engine.faults`.
 
+* :meth:`AnalyzedSchema.prepare_cyclic` — the same plan-once / execute-many
+  story for *cyclic* schemas (:mod:`repro.engine.cyclic`): a
+  :class:`CyclicPreparedQuery` selects a tree projection once (Greco–
+  Scarcello minimality-guided), lowers Theorem 6.1's guard-semijoin
+  construction into a frozen prologue, and serves through the same
+  compiled/vectorized/parallel substrate and :class:`PlanSpec` round-trip
+  as tree schemas.
+
 * :class:`QueryService` — the long-lived streaming serving front end
   (:mod:`repro.engine.service`): thread-safe ``submit``/``stream`` APIs with
   bounded admission control, adaptive compiled-vs-parallel routing from a
@@ -61,6 +69,11 @@ _PARALLEL_EXPORTS = (
     "execute_in_process",
 )
 _ROUTING_EXPORTS = ("RoutingDecision", "RoutingPolicy")
+_CYCLIC_EXPORTS = (
+    "CyclicPreparedQuery",
+    "ProjectionChoice",
+    "choose_tree_projection",
+)
 _SERVICE_EXPORTS = (
     "QueryService",
     "ServiceHandle",
@@ -79,6 +92,10 @@ def __getattr__(name: str):
         from . import routing
 
         return getattr(routing, name)
+    if name in _CYCLIC_EXPORTS:
+        from . import cyclic
+
+        return getattr(cyclic, name)
     if name in _SERVICE_EXPORTS:
         from . import service
 
@@ -92,14 +109,17 @@ def __dir__():
         | set(_PARALLEL_EXPORTS)
         | set(_ROUTING_EXPORTS)
         | set(_SERVICE_EXPORTS)
+        | set(_CYCLIC_EXPORTS)
     )
 
 __all__ = [
     "AnalyzedSchema",
+    "CyclicPreparedQuery",
     "ParallelExecutor",
     "ParallelStats",
     "PlanSpec",
     "PreparedQuery",
+    "ProjectionChoice",
     "JoinStep",
     "QueryService",
     "RoutingDecision",
@@ -110,6 +130,7 @@ __all__ = [
     "StreamItem",
     "analyze",
     "analysis_cache_size",
+    "choose_tree_projection",
     "clear_analysis_cache",
     "execute_in_process",
     "peek_analysis",

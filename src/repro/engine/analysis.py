@@ -114,6 +114,8 @@ class AnalyzedSchema:
         "_join_plans",
         "_prepared",
         "_cost_probes",
+        "_cyclic_choices",
+        "_cyclic_prepared",
     )
 
     def __init__(self, schema: Union[DatabaseSchema, Iterable[RelationSchema]]) -> None:
@@ -129,6 +131,8 @@ class AnalyzedSchema:
         object.__setattr__(self, "_join_plans", OrderedDict())
         object.__setattr__(self, "_prepared", OrderedDict())
         object.__setattr__(self, "_cost_probes", OrderedDict())
+        object.__setattr__(self, "_cyclic_choices", OrderedDict())
+        object.__setattr__(self, "_cyclic_prepared", OrderedDict())
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("AnalyzedSchema is immutable")
@@ -342,6 +346,60 @@ class AnalyzedSchema:
             _memo_put(self._prepared, key, prepared)
         return prepared
 
+    def cyclic_projection(self, target: TargetLike):
+        """The selected tree projection for ``(D, X)``, memoized per ``X``.
+
+        Returns the :class:`~repro.engine.cyclic.ProjectionChoice` the
+        cyclic pipeline executes through — candidate generation reuses the
+        cached GYO residue (Corollary 3.2's ``U(GR(D))``) and the layered
+        search of :mod:`repro.treeproj.tree_projection`, then shrinks toward
+        the Greco–Scarcello minimality criterion.  Also defined for tree
+        schemas (the projection degenerates to the reduction of ``D ∪ (X)``),
+        though :meth:`prepare` is the right entry point there.
+        """
+        from .cyclic import choose_tree_projection
+
+        target_schema = _as_relation_schema(target)
+        choice = _memo_get(self._cyclic_choices, target_schema)
+        if choice is None:
+            choice = choose_tree_projection(self._schema, target_schema)
+            _memo_put(self._cyclic_choices, target_schema, choice)
+        return choice
+
+    def prepare_cyclic(self, target: TargetLike, *, root: Optional[int] = None):
+        """Compile ``π_X(⋈ D)`` over a *cyclic* schema into a
+        :class:`~repro.engine.cyclic.CyclicPreparedQuery`, memoized per
+        ``(X, root)``.
+
+        The treefication counterpart of :meth:`prepare`: plans a tree
+        projection once (:meth:`cyclic_projection`), lowers the Theorem 6.1
+        guard-semijoin construction into a frozen prologue, and reuses a
+        tree-schema :class:`~repro.engine.prepared.PreparedQuery` over the
+        projection's nodes — so cyclic queries serve through the same
+        compiled/vectorized/parallel substrate.  ``root`` indexes a
+        projection node for the inner bottom-up join; left ``None`` it
+        defaults to a node covering ``X`` (the solver's choice).  Also
+        accepts tree schemas for uniformity, but :meth:`prepare` is cheaper
+        there (no prologue).  Raises
+        :class:`~repro.exceptions.SchemaError` when ``X ⊄ U(D)``.
+        """
+        from .cyclic import CyclicPreparedQuery, _default_root
+
+        target_schema = _as_relation_schema(target)
+        if not target_schema <= self._schema.attributes:
+            raise SchemaError("the target must be contained in U(D)")
+        choice = self.cyclic_projection(target_schema)
+        if root is None:
+            root = _default_root(choice.projection.relations, target_schema)
+        key = (target_schema, root)
+        prepared = _memo_get(self._cyclic_prepared, key)
+        if prepared is None:
+            prepared = CyclicPreparedQuery(
+                self._schema, target_schema, root=root, choice=choice
+            )
+            _memo_put(self._cyclic_prepared, key, prepared)
+        return prepared
+
     # -- cost probes -----------------------------------------------------------
 
     def cached_cost_probe(
@@ -457,9 +515,11 @@ def peek_analysis(
         return analysis
 
 
-def prepared_from_spec(spec) -> PreparedQuery:
-    """Rebuild the :class:`PreparedQuery` a :class:`~repro.engine.parallel.
-    PlanSpec` identifies, through the analysis LRU.
+def prepared_from_spec(spec):
+    """Rebuild the prepared query a :class:`~repro.engine.parallel.PlanSpec`
+    identifies — a :class:`PreparedQuery`, or a
+    :class:`~repro.engine.cyclic.CyclicPreparedQuery` for cyclic specs —
+    through the analysis LRU.
 
     The spec's ``relations`` tuple is the *ordered* relation tuple — exactly
     the key the analysis cache uses — so the round-trip hits every layer of
@@ -469,8 +529,15 @@ def prepared_from_spec(spec) -> PreparedQuery:
     object (compiled plan included).  This is what makes worker-side plan
     rebuilds pay analysis at most once per (worker, spec): the first call
     computes, every later call is two cache lookups.
+
+    Cyclic specs (``spec.cyclic``) rebuild through
+    :meth:`AnalyzedSchema.prepare_cyclic`, landing in the same per-target
+    memos — a worker that served a cyclic plan once never re-plans its tree
+    projection.
     """
     analysis = analyze(DatabaseSchema(spec.relations))
+    if getattr(spec, "cyclic", False):
+        return analysis.prepare_cyclic(spec.target, root=spec.root)
     return analysis.prepare(spec.target, root=spec.root)
 
 

@@ -124,6 +124,12 @@ from ..relational.yannakakis import YannakakisRun
 from ..hypergraph.schema import DatabaseSchema, RelationSchema
 from . import faults
 
+# Module-level on purpose: the shard body and the shm attach consult the
+# shape-aware profitability gate on every shard, and ``prepared`` imports
+# this module only lazily, so the import is cycle-free and hoisting it out
+# of the per-shard hot path costs nothing at import time.
+from .prepared import resolve_backend_for, vectorized_batch_profitable
+
 __all__ = [
     "ENV_MAX_RETRIES",
     "ENV_MAX_WORKERS",
@@ -341,6 +347,13 @@ class PlanSpec:
     #: must not live in the spec, which keys pinned pools and worker plan
     #: caches.
     serial_backend: str = "compiled"
+    #: True when the spec identifies a cyclic plan
+    #: (:class:`~repro.engine.cyclic.CyclicPreparedQuery`): workers rebuild
+    #: through ``prepare_cyclic`` (treefication prologue + inner tree plan)
+    #: and the shm transport's zero-copy vectorized attach is skipped — the
+    #: wire carries the *original* relations, while the vectorized plan runs
+    #: over the projection's node schema.
+    cyclic: bool = False
 
     @classmethod
     def of(cls, prepared) -> "PlanSpec":
@@ -373,6 +386,7 @@ class PlanSpec:
             root=prepared.root,
             max_interned_values=cap,
             serial_backend=serial,
+            cyclic=bool(getattr(prepared, "is_cyclic_plan", False)),
         )
 
     def describe(self) -> str:
@@ -412,8 +426,6 @@ def _shard_backend(
     """
     if preferred != "vectorized":
         return preferred
-    from .prepared import resolve_backend_for
-
     return resolve_backend_for("auto", states)
 
 #: Worker-local plan cache: spec → PreparedQuery (with its compiled plan
@@ -537,6 +549,7 @@ def _execute_shard_shm(
         if (
             spec.serial_backend == "vectorized"
             and spec.relations
+            and not spec.cyclic
             and numpy_available()
             and not faults.any_active()
         ):
@@ -593,15 +606,16 @@ def _attach_shard_vectorized(
             return None
         vstates.append(vstate)
     if vstates:
-        from .prepared import VECTORIZED_MIN_STATE_ROWS
-
         total = sum(
             sum(encoding.n for encoding in vstate.encodings)
             for vstate in vstates
         )
-        if total / len(vstates) < VECTORIZED_MIN_STATE_ROWS:
-            # Tiny shard: the array kernel's per-call toll outweighs the
-            # zero-copy attach; let the caller decode values and run the
+        if not vectorized_batch_profitable(
+            len(vstates), total, len(spec.relations)
+        ):
+            # Unprofitable shard (tiny states, or a wide schema of many
+            # small relations): the array kernel's per-join toll outweighs
+            # the zero-copy attach; let the caller decode values and run the
             # gated shard body (which will pick compiled).
             return None
     stats = ExecutionStats()

@@ -42,8 +42,11 @@ __all__ = [
     "JoinStep",
     "PreparedQuery",
     "VECTORIZED_MIN_STATE_ROWS",
+    "VECTORIZED_NARROW_RELATIONS",
+    "VECTORIZED_RELATION_ROWS_FACTOR",
     "resolve_backend",
     "resolve_backend_for",
+    "vectorized_batch_profitable",
 ]
 
 #: Execution backends accepted by :meth:`PreparedQuery.execute` /
@@ -80,12 +83,64 @@ def resolve_backend(backend: str) -> str:
 #: per-call toll (ndarray construction, argsort/searchsorted dispatch) on
 #: every relation it touches, and on tiny states that toll dwarfs the
 #: work.  The crossover sits around 200–250 total rows on the PR-8
-#: benchmark host; 256 keeps a margin on the compiled side of it.
+#: benchmark host; 256 keeps a margin on the compiled side of it.  This is
+#: the documented *floor*; :func:`vectorized_batch_profitable` adds a
+#: shape-aware test on top of it.
 VECTORIZED_MIN_STATE_ROWS = 256
+
+#: Shape term of the profitability gate: with ``n`` relations the plan runs
+#: ``O(n)`` semijoin/join steps, each paying the array kernel's fixed
+#: dispatch toll, so the rows available *per relation* must scale with the
+#: relation count for the tolls to amortize.  The first few slots' tolls
+#: hide under the batch's fixed costs (encode-cache setup, plan dispatch),
+#: so the requirement scales with the relation-count *surplus* over
+#: :data:`VECTORIZED_NARROW_RELATIONS`: ``auto`` upgrades to the vectorized
+#: kernel only when the batch's mean rows per relation reach
+#: ``VECTORIZED_RELATION_ROWS_FACTOR × (n − VECTORIZED_NARROW_RELATIONS)``.
+#: The pair (32, 4) is fit to measured extremes on the benchmark host:
+#: chain-6 at ~190 rows/relation (vectorized wins ~3×) clears 32·2 = 64,
+#: chain-8 at ~290 rows/relation clears 32·4 = 128, while flarge-star
+#: (12 relations, ~234 rows each — vectorized ran 0.67× compiled) stays
+#: under 32·8 = 256 and routes to compiled.
+VECTORIZED_RELATION_ROWS_FACTOR = 32
+
+#: Relation-count allowance of the shape term: schemas with at most this
+#: many relations are gated by the row floor alone (their few per-slot
+#: tolls are indistinguishable from the batch's fixed costs).
+VECTORIZED_NARROW_RELATIONS = 4
 
 
 def _state_rows(state: DatabaseState) -> int:
     return sum(len(relation) for relation in state.relations)
+
+
+def vectorized_batch_profitable(
+    state_count: int, total_rows: int, relation_count: int
+) -> bool:
+    """The shape-aware ``auto`` gate: is the vectorized kernel worth it?
+
+    True when the batch's mean total rows per state clear the
+    :data:`VECTORIZED_MIN_STATE_ROWS` floor **and** the mean rows per
+    relation clear :data:`VECTORIZED_RELATION_ROWS_FACTOR` ×
+    ``(relation_count − VECTORIZED_NARROW_RELATIONS)`` (wide schemas of
+    many small relations lose to the per-join array-setup toll even when
+    total rows look large; narrow schemas are floor-only).  This single
+    predicate backs the serial seam (:func:`resolve_backend_for`), the
+    parallel shard downgrade and the shm zero-copy attach, so the three
+    routing points cannot drift.
+    """
+    if state_count <= 0:
+        return False
+    mean_rows = total_rows / state_count
+    if mean_rows < VECTORIZED_MIN_STATE_ROWS:
+        return False
+    surplus = relation_count - VECTORIZED_NARROW_RELATIONS
+    if relation_count <= 0 or surplus <= 0:
+        return True
+    return (
+        mean_rows / relation_count
+        >= VECTORIZED_RELATION_ROWS_FACTOR * surplus
+    )
 
 
 def resolve_backend_for(
@@ -97,8 +152,10 @@ def resolve_backend_for(
     :func:`resolve_backend` answers the static question (which kernels can
     run here); this answers the routing question (which kernel *should* run
     this batch).  ``auto`` resolves to ``"vectorized"`` when numpy is
-    importable **and** the batch's mean state size clears
-    :data:`VECTORIZED_MIN_STATE_ROWS`; under that it stays on the compiled
+    importable **and** the batch clears the shape-aware gate of
+    :func:`vectorized_batch_profitable` — mean state size over the
+    :data:`VECTORIZED_MIN_STATE_ROWS` floor *and* enough rows per relation
+    to amortize the per-join array toll; otherwise it stays on the compiled
     backend, whose per-row interpreter has no array-construction toll to
     amortize.  Explicit backend names are never second-guessed.
     """
@@ -107,8 +164,13 @@ def resolve_backend_for(
         return resolved
     if not states:
         return "compiled"
-    mean_rows = sum(_state_rows(state) for state in states) / len(states)
-    return "vectorized" if mean_rows >= VECTORIZED_MIN_STATE_ROWS else "compiled"
+    total_rows = sum(_state_rows(state) for state in states)
+    relation_count = max(len(state.relations) for state in states)
+    return (
+        "vectorized"
+        if vectorized_batch_profitable(len(states), total_rows, relation_count)
+        else "compiled"
+    )
 
 
 def _subtree_intervals(

@@ -35,6 +35,14 @@ a cost model that every later batch reuses.
 Every knob is a constructor argument, so tests (and unusual deployments) can
 force either outcome deterministically; ``backend=`` on the service API
 remains an explicit override that bypasses the model entirely.
+
+The policy is plan-shape agnostic: it touches only the ``plan_spec`` /
+``compiled`` / ``vectorized`` / ``execute`` surface both
+:class:`~repro.engine.prepared.PreparedQuery` and the cyclic
+:class:`~repro.engine.cyclic.CyclicPreparedQuery` expose, so cyclic plans are
+probed, cached (their ``(target, root, backend)`` probe keys live on the same
+analysis, and never collide with tree plans — ``prepare`` refuses cyclic
+schemas) and routed identically.
 """
 
 from __future__ import annotations

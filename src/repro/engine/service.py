@@ -36,6 +36,11 @@ completes* — no batch barrier — releasing admission capacity shard by
 shard.  Under ``failure_policy="degrade"`` quarantined states surface as
 typed error items (``item.error`` carries the terminal exception the
 supervision ladder recorded) instead of poisoning the whole stream.
+
+Cyclic plans (:class:`~repro.engine.cyclic.CyclicPreparedQuery`) serve
+through every one of these paths unchanged: the service only touches
+``plan_spec()`` (whose ``cyclic`` flag keys distinct pinned pools) and the
+``execute_many`` knob matrix, both of which the cyclic plan mirrors.
 """
 
 from __future__ import annotations

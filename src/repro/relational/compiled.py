@@ -960,7 +960,11 @@ class CompiledPlan:
             self.encode_state(state, stats=stats), stats=stats
         )
 
-    def execute_batch(self, states: Iterable[DatabaseState]) -> List[YannakakisRun]:
+    def execute_batch(
+        self,
+        states: Iterable[DatabaseState],
+        stats: Optional[ExecutionStats] = None,
+    ) -> List[YannakakisRun]:
         """Execute many states as one batch with shared instrumentation.
 
         All states share the plan's interner and per-slot encoding cache, so
@@ -968,9 +972,12 @@ class CompiledPlan:
         indexes built — once for the whole batch; states repeated verbatim
         (duplicate requests) are executed once and their immutable run is
         shared.  Every returned run carries the same :class:`ExecutionStats`
-        object describing the batch.
+        object describing the batch; a wrapping plan (the cyclic prologue
+        adapter of :mod:`repro.engine.cyclic`) may pass its own ``stats`` to
+        fold pre-batch accounting into the same object.
         """
-        stats = ExecutionStats()
+        if stats is None:
+            stats = ExecutionStats()
         runs: List[YannakakisRun] = []
         memo: Dict[DatabaseState, YannakakisRun] = {}
         for state in states:

@@ -103,6 +103,30 @@ def _tuple_getter(positions: Sequence[int]) -> Callable[[Sequence[Any]], Tuple[A
     return itemgetter(*positions)
 
 
+def semijoin_key_layout(
+    left: RelationSchema, right: RelationSchema
+) -> Tuple[Tuple[Attribute, ...], Any, Any]:
+    """Precompute the ``(shared_columns, left_getter, right_getter)`` triple
+    :meth:`Relation.semijoin_many` needs for a fixed schema pair.
+
+    A frozen plan semijoins the same node/guard schema pair on every state;
+    hoisting the shared-column scan and getter construction out of the
+    per-state path leaves only the data-dependent work (key-set build and
+    row filter) at execution time.
+    """
+    left_columns = left.sorted_attributes()
+    left_positions = {column: i for i, column in enumerate(left_columns)}
+    right_columns = right.sorted_attributes()
+    shared_columns = tuple(
+        column for column in right_columns if column in left_positions
+    )
+    left_getter = _tuple_getter([left_positions[column] for column in shared_columns])
+    right_getter = _tuple_getter(
+        [right_columns.index(column) for column in shared_columns]
+    )
+    return shared_columns, left_getter, right_getter
+
+
 def _stable_row_key(row: Tuple[Any, ...]) -> Tuple[Tuple[str, Any], ...]:
     """Deterministic sort key for mixed-type rows: ``(type name, value)`` per cell."""
     return tuple((type(value).__name__, value) for value in row)
@@ -440,7 +464,10 @@ class Relation:
         surviving rows.  A full-reducer program therefore builds each
         relation's index once per (relation, key) pair per database state —
         the root-to-leaf pass and the bottom-up join reuse the leaf-to-root
-        pass's indexes even when rows were dropped in between.
+        pass's indexes even when rows were dropped in between.  One-shot
+        conjunctive filters that would never reuse the indexes (the cyclic
+        prologue's guard semijoins) go through :meth:`semijoin_many`
+        instead, which skips them.
         """
         shared = self._schema.attributes & other._schema.attributes
         if not shared:
@@ -480,6 +507,71 @@ class Relation:
                     filtered[key] = survivors
             derived[key_columns] = filtered
         return result
+
+    def semijoin_many(
+        self,
+        others: Sequence["Relation"],
+        *,
+        layouts: Optional[Sequence[Tuple[Tuple[Attribute, ...], Any, Any]]] = None,
+    ) -> "Relation":
+        """``R ⋉ S₁ ⋉ … ⋉ Sₖ`` — fold of :meth:`semijoin`, in one pass.
+
+        Semijoins are filters, so a chain of them is a single conjunctive
+        filter: each row survives iff its key joins every ``Sᵢ``.  Fusing
+        the chain skips the k−1 intermediate relations (row sets, index
+        inheritance) the fold would materialize — the cyclic prologue's
+        guard semijoins run through here, where a wide node value may be
+        guarded by many base relations per state.
+
+        ``layouts`` (from :func:`semijoin_key_layout`, aligned with
+        ``others``) supplies precomputed shared columns and key getters for
+        callers that repeat the same schema pair on every state — a frozen
+        plan's guards — so per-call setup reduces to building the key sets.
+        """
+        positions = self._positions
+        filters = []
+        for index, other in enumerate(others):
+            if layouts is not None:
+                shared_columns, left_getter, right_getter = layouts[index]
+            else:
+                # Column tuples are canonically sorted, so filtering one by
+                # membership in the other yields the sorted shared columns
+                # without a set intersection + sort round-trip.
+                shared_columns = tuple(
+                    column for column in other._columns if column in positions
+                )
+                left_getter = right_getter = None
+            if not shared_columns:
+                if not other._rows:
+                    return Relation._from_trusted(
+                        self._schema, self._columns, frozenset()
+                    )
+                continue
+            cached = other._indexes.get(shared_columns)
+            if cached is None:
+                if right_getter is None:
+                    right_getter = _tuple_getter(
+                        [other._positions[column] for column in shared_columns]
+                    )
+                keys = {right_getter(row) for row in other._rows}
+            else:
+                keys = cached
+            if left_getter is None:
+                left_getter = _tuple_getter(
+                    [positions[column] for column in shared_columns]
+                )
+            filters.append((left_getter, keys))
+        if not filters:
+            return self
+        # Cascade of list comprehensions: each pass shrinks the row set, and
+        # the C-level comprehension beats a per-row ``all(...)`` generator.
+        rows: Any = self._rows
+        for getter, keys in filters:
+            rows = [row for row in rows if getter(row) in keys]
+        kept = frozenset(rows)
+        if len(kept) == len(self._rows):
+            return self
+        return Relation._from_trusted(self._schema, self._columns, kept)
 
     def select(self, predicate: Callable[[Dict[Attribute, Any]], bool]) -> "Relation":
         """``σ_p(R)`` — keep rows satisfying ``predicate`` (given as dicts)."""

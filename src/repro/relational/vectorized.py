@@ -973,14 +973,21 @@ class VectorizedPlan:
         """Encode (cache-assisted) and execute one state."""
         return self.execute(self.encode_state(state, stats=stats), stats=stats)
 
-    def execute_batch(self, states: Iterable[DatabaseState]) -> List[YannakakisRun]:
+    def execute_batch(
+        self,
+        states: Iterable[DatabaseState],
+        stats: Optional[ExecutionStats] = None,
+    ) -> List[YannakakisRun]:
         """Execute many states as one batch with shared instrumentation.
 
         Identical contract to :meth:`CompiledPlan.execute_batch`: shared
         interner and slot caches across the batch, repeated states executed
-        once, one :class:`ExecutionStats` describing the whole batch.
+        once, one :class:`ExecutionStats` describing the whole batch
+        (caller-supplied via ``stats`` when a wrapping plan needs to fold in
+        its own accounting).
         """
-        stats = ExecutionStats()
+        if stats is None:
+            stats = ExecutionStats()
         runs: List[YannakakisRun] = []
         memo: Dict[DatabaseState, YannakakisRun] = {}
         for state in states:

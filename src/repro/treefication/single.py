@@ -8,6 +8,13 @@ schema.  The paper pins down the best choice exactly:
   ``S ⊇ U(GR(D))``;
 * Corollary 3.2 — therefore ``U(GR(D))`` is the (unique) least-cardinality
   relation schema whose addition treefies ``D``.
+
+:func:`treefying_relation` also feeds the cyclic execution planner
+(:func:`repro.engine.cyclic.choose_tree_projection`): widened by the query
+target, ``U(GR(D))`` is the "residue" candidate tree projection, competing
+against the greedy-merge triangulation and the layered search of
+:mod:`repro.treeproj.tree_projection` under the Greco–Scarcello
+minimality-first ranking.
 """
 
 from __future__ import annotations

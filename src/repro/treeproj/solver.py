@@ -20,6 +20,15 @@ The construction implemented here follows the proof idea:
 :func:`augment_program_with_semijoins` emits the construction as additional
 :class:`~repro.relational.program.Program` statements, so the result is again
 a program in the paper's sense; :func:`solve_with_tree_projection` runs it.
+
+This module plans *per call* — every invocation re-searches the tree
+projection and re-builds the augmented program — which is exactly the
+fidelity the paper's construction asks for, and exactly what a serving
+workload cannot afford.  The plan-once counterpart is
+:class:`repro.engine.cyclic.CyclicPreparedQuery`, which freezes the same
+Theorem 6.1 construction (node projections, guard semijoins, full reducer)
+into a reusable plan on the compiled backends; this solver stays on verbatim
+as its equivalence oracle (``tests/engine/test_cyclic_pipeline.py``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,403 @@
+"""Equivalence suite for the compiled cyclic pipeline (PR 9 tentpole).
+
+``CyclicPreparedQuery`` freezes the Theorem 6.1 construction — tree-projection
+node projections, guard semijoins, full reducer — into a reusable plan.  These
+tests pin the whole backend matrix against two independent oracles:
+
+* :func:`repro.treeproj.solver.solve_with_tree_projection` over a sequential
+  join program (the paper's per-call construction, kept verbatim), and
+* :func:`repro.relational.naive_join_project` (join everything, project).
+
+Shapes covered: Arings, Acliques, randomly chorded trees (which may come out
+acyclic — ``prepare_cyclic`` must serve those too), and the generator's random
+cyclic schemas.  States cover UR databases, non-UR states with dangling
+tuples, empty relations, and duplicate states in a batch.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import analyze, clear_analysis_cache
+from repro.engine import CyclicPreparedQuery, choose_tree_projection
+from repro.engine.analysis import prepared_from_spec
+from repro.engine.cyclic import _SHRINK_BUDGET  # noqa: F401  (import sanity)
+from repro.engine.prepared import (
+    VECTORIZED_MIN_STATE_ROWS,
+    VECTORIZED_NARROW_RELATIONS,
+    VECTORIZED_RELATION_ROWS_FACTOR,
+    resolve_backend_for,
+    vectorized_batch_profitable,
+)
+from repro.exceptions import SchemaError
+from repro.hypergraph import (
+    DatabaseSchema,
+    RelationSchema,
+    aclique,
+    aring,
+    is_tree_schema,
+    parse_schema,
+    random_cyclic_schema,
+    random_tree_schema,
+)
+from repro.relational import (
+    DatabaseState,
+    Relation,
+    naive_join_project,
+    numpy_available,
+)
+from repro.relational.program import Program, default_base_names
+from repro.relational.universal import random_database_state, random_ur_database
+from repro.treeproj import is_tree_projection
+from repro.treeproj.solver import solve_with_tree_projection
+
+
+def _chorded_tree(size: int, seed: int) -> DatabaseSchema:
+    """A random tree schema plus one chord relation over sampled attributes.
+
+    Depending on the draw the chord may be covered by an existing relation,
+    so the result is *sometimes* still a tree — deliberately: the cyclic
+    pipeline must accept tree schemas too (treefication width 0 case).
+    """
+    rng = random.Random(seed)
+    tree = random_tree_schema(size, rng=rng.randint(0, 10**6))
+    attributes = tree.attributes.sorted_attributes()
+    count = rng.randint(2, min(3, len(attributes)))
+    chord = RelationSchema(rng.sample(attributes, count))
+    return tree.add_relation(chord)
+
+
+FAMILIES = [
+    pytest.param(lambda seed: aring(3 + seed % 4), id="aring"),
+    pytest.param(lambda seed: aclique(3 + seed % 3), id="aclique"),
+    pytest.param(lambda seed: _chorded_tree(4 + seed % 3, seed), id="chorded-tree"),
+    pytest.param(
+        lambda seed: random_cyclic_schema(4 + seed % 3, rng=seed), id="random-cyclic"
+    ),
+]
+
+
+def _random_target(schema: DatabaseSchema, rng: random.Random) -> RelationSchema:
+    attributes = schema.attributes.sorted_attributes()
+    count = rng.randint(1, min(3, len(attributes)))
+    return RelationSchema(rng.sample(attributes, count))
+
+
+def _sequential_join_program(schema: DatabaseSchema) -> Program:
+    """``P(D)``: join every base relation in order — the solver oracle's input.
+
+    Its extended schema contains ``U(D)``, so ``TP(P(D), D ∪ (X))`` is never
+    empty and the per-call solver always succeeds.
+    """
+    program = Program(schema)
+    names = list(default_base_names(schema))
+    current = names[0]
+    for index, name in enumerate(names[1:], start=1):
+        joined = f"J{index}"
+        program.join(joined, current, name)
+        current = joined
+    return program
+
+
+def _solver_oracle(
+    schema: DatabaseSchema, target: RelationSchema, state: DatabaseState
+) -> Relation:
+    return solve_with_tree_projection(_sequential_join_program(schema), target, state)
+
+
+def _has_nested_relations(schema: DatabaseSchema) -> bool:
+    """True when some base relation schema is contained in another's.
+
+    The seed-era solver resolves anchor relations by *covering schema*, which
+    is exact on UR databases (Theorem 6.2's regime) but can anchor with a
+    projection of the wrong relation on arbitrary states when schemas nest.
+    The solver oracle is only consulted outside that blind spot; naive
+    join-project stays the unconditional ground truth.
+    """
+    relations = schema.relations
+    return any(a != b and a <= b for a in relations for b in relations)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_analysis_cache()
+    yield
+
+
+class TestProjectionChoice:
+    """The planner's tree projections are genuine and sensibly ranked."""
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_choice_is_a_tree_projection(self, build, seed):
+        schema = build(seed)
+        target = _random_target(schema, random.Random(seed))
+        choice = choose_tree_projection(schema, target)
+        lower = schema.add_relation(target)
+        assert is_tree_schema(choice.projection)
+        assert choice.projection.covers(lower)
+        # Soundness of the reported width: every node is at most that wide.
+        assert max(len(node) for node in choice.projection.relations) == choice.width
+        # The full construction is a tree projection w.r.t. an upper bound
+        # that contains it (the universe always works as the upper layer).
+        upper = schema.add_relation(RelationSchema(schema.attributes))
+        assert is_tree_projection(choice.projection, upper, lower)
+
+    def test_aring4_beats_universe(self):
+        # The 4-ring's triangulation (two triangles) must beat the one-node
+        # universe fallback: width 3 < 4.
+        choice = choose_tree_projection(aring(4), RelationSchema("ab"))
+        assert choice.width == 3
+        assert len(choice.projection) >= 2
+
+    def test_tree_schema_passes_through(self):
+        schema = parse_schema("ab,bc,cd")
+        choice = choose_tree_projection(schema, RelationSchema("ad"))
+        assert is_tree_schema(choice.projection)
+        assert choice.projection.covers(schema.add_relation(RelationSchema("ad")))
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(SchemaError):
+            choose_tree_projection(aring(3), RelationSchema("zz9"))
+
+
+class TestEquivalence:
+    """Cyclic execution ≡ per-call solver ≡ naive join-project."""
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ur_states_all_serial_backends(self, build, seed):
+        rng = random.Random(seed)
+        schema = build(seed)
+        target = _random_target(schema, rng)
+        state = random_ur_database(schema, tuple_count=20, domain_size=4, rng=seed)
+        prepared = analyze(schema).prepare_cyclic(target)
+        assert isinstance(prepared, CyclicPreparedQuery)
+        baseline, _ = naive_join_project(schema, target, state)
+        oracle = _solver_oracle(schema, target, state)
+        assert oracle == baseline
+        backends = ["classic", "compiled", "auto"]
+        if numpy_available():
+            backends.append("vectorized")
+        for backend in backends:
+            run = prepared.execute(state, backend=backend)
+            assert run.result == baseline, backend
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_non_ur_states_with_dangling_tuples(self, build, seed):
+        schema = build(seed)
+        target = _random_target(schema, random.Random(200 + seed))
+        # random_database_state fills relations independently, so most tuples
+        # dangle (no join partner) — the guard semijoins must drop them.
+        state = random_database_state(schema, tuple_count=10, domain_size=3, rng=seed)
+        prepared = analyze(schema).prepare_cyclic(target)
+        baseline, _ = naive_join_project(schema, target, state)
+        assert prepared.execute(state, backend="classic").result == baseline
+        assert prepared.execute(state, backend="compiled").result == baseline
+        if not _has_nested_relations(schema):
+            assert _solver_oracle(schema, target, state) == baseline
+
+    @pytest.mark.parametrize("build", FAMILIES)
+    def test_empty_relation_empties_the_answer(self, build):
+        schema = build(1)
+        target = _random_target(schema, random.Random(3))
+        state = random_ur_database(schema, tuple_count=12, domain_size=3, rng=3)
+        relations = list(state.relations)
+        relations[0] = Relation.empty(schema.relations[0])
+        state = DatabaseState(schema, relations)
+        prepared = analyze(schema).prepare_cyclic(target)
+        for backend in ("classic", "compiled"):
+            assert len(prepared.execute(state, backend=backend).result) == 0
+
+    def test_full_universe_target(self):
+        schema = aring(5)
+        target = RelationSchema(schema.attributes)
+        state = random_ur_database(schema, tuple_count=18, domain_size=3, rng=11)
+        prepared = analyze(schema).prepare_cyclic(target)
+        baseline, _ = naive_join_project(schema, target, state)
+        assert prepared.execute(state, backend="compiled").result == baseline
+        assert _solver_oracle(schema, target, state) == baseline
+
+
+def _states_strategy(draw, schema: DatabaseSchema, max_states: int):
+    values = st.integers(0, 3)
+    states = []
+    for _ in range(draw(st.integers(1, max_states))):
+        relations = []
+        for relation_schema in schema.relations:
+            width = len(relation_schema)
+            rows = draw(
+                st.lists(st.tuples(*([values] * width)), min_size=0, max_size=5)
+            )
+            relations.append(Relation(relation_schema, rows))
+        states.append(DatabaseState(schema, relations))
+    if len(states) > 1 and draw(st.booleans()):
+        # Duplicate one state: batch dedup must still answer per position.
+        states.append(states[draw(st.integers(0, len(states) - 1))])
+    return states
+
+
+@st.composite
+def cyclic_instances(draw, max_states: int = 5):
+    family = draw(st.sampled_from(["aring", "aclique", "chorded"]))
+    if family == "aring":
+        schema = aring(draw(st.integers(3, 6)))
+    elif family == "aclique":
+        schema = aclique(draw(st.integers(3, 5)))
+    else:
+        schema = _chorded_tree(draw(st.integers(3, 5)), draw(st.integers(0, 10**6)))
+    attributes = schema.attributes.sorted_attributes()
+    target_attrs = draw(
+        st.sets(st.sampled_from(attributes), min_size=1, max_size=min(3, len(attributes)))
+    )
+    target = RelationSchema(target_attrs)
+    states = _states_strategy(draw, schema, max_states)
+    return schema, target, states
+
+
+class TestHypothesisEquivalence:
+    """Property-based: arbitrary states, every backend agrees with naive."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(cyclic_instances())
+    def test_compiled_batch_matches_naive(self, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare_cyclic(target)
+        runs = prepared.execute_many(states, backend="compiled")
+        assert len(runs) == len(states)
+        for state, run in zip(states, runs):
+            baseline, _ = naive_join_project(schema, target, state)
+            assert run.result == baseline
+            assert run.backend == "compiled"
+
+    @settings(max_examples=15, deadline=None)
+    @given(cyclic_instances(max_states=3))
+    def test_serial_backends_match_solver(self, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare_cyclic(target)
+        program = _sequential_join_program(schema)
+        consult_solver = not _has_nested_relations(schema)
+        for state in states:
+            baseline, _ = naive_join_project(schema, target, state)
+            if consult_solver:
+                assert solve_with_tree_projection(program, target, state) == baseline
+            assert prepared.execute(state, backend="classic").result == baseline
+            if numpy_available():
+                assert prepared.execute(state, backend="vectorized").result == baseline
+
+    @settings(max_examples=10, deadline=None)
+    @given(cyclic_instances(max_states=4))
+    def test_auto_routing_matches_classic(self, instance):
+        schema, target, states = instance
+        prepared = analyze(schema).prepare_cyclic(target)
+        auto = prepared.execute_many(states, backend="auto")
+        for state, run in zip(states, auto):
+            assert run.result == prepared.execute(state, backend="classic").result
+
+
+class TestParallelCyclic:
+    """Cyclic plans ship through the parallel executor on both transports."""
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_parallel_matches_classic(self, transport):
+        schema = aring(4)
+        target = RelationSchema("ac")
+        states = [
+            random_ur_database(schema, tuple_count=15, domain_size=4, rng=seed)
+            for seed in range(8)
+        ]
+        prepared = analyze(schema).prepare_cyclic(target)
+        expected = [prepared.execute(s, backend="classic").result for s in states]
+        runs = prepared.execute_many(
+            states, backend="parallel", workers=2, transport=transport
+        )
+        assert [run.result for run in runs] == expected
+        assert all(run.backend == "parallel" for run in runs)
+
+    def test_parallel_rejects_single_state_execute(self):
+        prepared = analyze(aring(3)).prepare_cyclic(RelationSchema("ab"))
+        state = random_ur_database(aring(3), tuple_count=5, domain_size=3, rng=0)
+        with pytest.raises(ValueError, match="execute_many"):
+            prepared.execute(state, backend="parallel")
+
+
+class TestPlanSpecRoundTrip:
+    """Cyclic plans serialize and rebuild through the analysis LRU."""
+
+    def test_pickle_round_trip_same_object(self):
+        schema = aring(4)
+        target = RelationSchema("bd")
+        prepared = analyze(schema).prepare_cyclic(target)
+        spec = prepared.plan_spec()
+        assert spec.cyclic is True
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        rebuilt = prepared_from_spec(clone)
+        assert rebuilt is prepared
+
+    def test_tree_spec_still_noncyclic(self):
+        schema = parse_schema("ab,bc")
+        prepared = analyze(schema).prepare(RelationSchema("ac"))
+        assert prepared.plan_spec().cyclic is False
+
+    def test_memoization_per_target_and_root(self):
+        analysis = analyze(aring(4))
+        first = analysis.prepare_cyclic(RelationSchema("ab"))
+        assert analysis.prepare_cyclic(RelationSchema("ab")) is first
+        assert analysis.prepare_cyclic(RelationSchema("cd")) is not first
+        # The projection choice memo is shared across roots.
+        assert analysis.cyclic_projection(RelationSchema("ab")) is first.projection_choice
+
+
+class TestBackendGate:
+    """Satellite 1: shape-aware auto-gate (mean rows per relation)."""
+
+    def test_floor_still_applies(self):
+        assert not vectorized_batch_profitable(4, 4 * (VECTORIZED_MIN_STATE_ROWS - 1), 2)
+
+    def test_narrow_shape_clears_gate(self):
+        # 3 relations sit under the narrow allowance: the row floor alone
+        # decides, and 600 rows/state clears it.
+        assert vectorized_batch_profitable(10, 6000, 3)
+
+    def test_mid_chain_clears_gate(self):
+        # chain-6 at ~190 rows/relation (the yannakakis benchmark shape,
+        # where the array kernel wins ~3x) clears the surplus threshold
+        # 32*(6-4) = 64.
+        threshold = VECTORIZED_RELATION_ROWS_FACTOR * (6 - VECTORIZED_NARROW_RELATIONS)
+        assert 190 >= threshold
+        assert vectorized_batch_profitable(5, 5 * 6 * 190, 6)
+
+    def test_wide_star_shape_stays_compiled(self):
+        # 12 relations, 2808 rows/state (the flarge-star serving shape):
+        # 234 rows/rel < 32*(12-4) — the dense path would thrash per-relation.
+        threshold = VECTORIZED_RELATION_ROWS_FACTOR * (12 - VECTORIZED_NARROW_RELATIONS)
+        assert 2808 / 12 < threshold
+        assert not vectorized_batch_profitable(8, 8 * 2808, 12)
+
+    def test_zero_states_never_profitable(self):
+        assert not vectorized_batch_profitable(0, 0, 3)
+
+    def test_resolve_backend_for_uses_shape(self):
+        chain = parse_schema("ab,bc,cd")
+        states = [
+            random_ur_database(chain, tuple_count=600, domain_size=40, rng=seed)
+            for seed in range(3)
+        ]
+        assert resolve_backend_for("auto", states) in (
+            ("vectorized",) if numpy_available() else ("compiled",)
+        )
+        # The flarge-star serving profile: 12 binary relations sharing a hub,
+        # ~230 rows per relation per state — under the 32·(n−4) per-relation
+        # threshold.
+        wide = DatabaseSchema([RelationSchema({"hub", f"x{k}"}) for k in range(12)])
+        wide_states = [
+            random_ur_database(wide, tuple_count=300, domain_size=24, rng=seed)
+            for seed in range(3)
+        ]
+        assert resolve_backend_for("auto", wide_states) == "compiled"
