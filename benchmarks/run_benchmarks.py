@@ -10,9 +10,12 @@ reuse timed separately from cold spawn), the PR-6 ``robustness`` section
 worker crash), the PR-7 ``service`` section (routing verdicts, shm vs
 pickle transport), the PR-8 ``vectorized`` section (the array-backed
 kernel vs classic and compiled on output-explosion joins and string-heavy
-encode batches) and the PR-9 ``cyclic`` section (batched compiled cyclic
+encode batches), the PR-9 ``cyclic`` section (batched compiled cyclic
 plans vs the per-call Theorem 6.1 solver on aring/aclique serving
-families) outside pytest and records sizes, median wall times and
+families) and the PR-10 ``catalog`` section (cold-start analysis +
+prepare vs a warm persistent plan catalog, worker-respawn plan rebuilds
+with and without the catalog, plus an execution noise control) outside
+pytest and records sizes, median wall times and
 max-intermediate sizes as JSON so that every PR has a regression baseline to
 compare against.  Multi-process sections warn loudly on hosts with fewer
 than four cores and stamp ``host_cpus`` into every row.
@@ -1275,6 +1278,190 @@ def bench_cyclic(repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
+#: PR-10 catalog cases: ``(case, family, size, cyclic)``.  Analysis-heavy
+#: serving schemas: a cold start pays the full GYO / qual-tree / join-plan
+#: derivation (plus the tree-projection search on the cyclic case); a warm
+#: catalog replaces all of it with one verified disk read.  Targets span
+#: the schema's sorted-attribute extremes, as in the engine section.
+CATALOG_CASES = (
+    ("cat-chain-40", "chain", 40, False),
+    ("cat-star-48", "star", 48, False),
+    ("cat-random-tree-60", "random-tree", 60, False),
+    ("cat-aring-10", "aring", 10, True),
+)
+#: States per batch for the execution noise control — the check that a
+#: restored analysis executes exactly like a freshly derived one (~1x).
+CATALOG_EXEC_STATES = 30
+
+
+def bench_catalog(repeats: int) -> List[Dict[str, Any]]:
+    """Cold-start planning vs a warm persistent plan catalog (PR 10).
+
+    Four measurements per case, each pass against an empty analysis LRU:
+
+    * ``cold_prepare_s`` — ``analyze(schema)`` + ``prepare`` with no catalog:
+      the full derivation every fresh process pays;
+    * ``catalog_hit_prepare_s`` — the same call served from a warm
+      :class:`~repro.engine.catalog.PlanCatalog`: one verified disk read
+      restores the memoized artifacts, leaving only plan compilation;
+    * ``respawn_cold_s`` / ``respawn_warm_s`` — ``prepared_from_spec`` on the
+      plan's picklable spec, without and with the catalog: the exact path a
+      pool worker respawned after a crash pays to rebuild its plan;
+    * ``exec_cold_per_state_s`` / ``exec_restored_per_state_s`` — the noise
+      control: identical fresh batches executed through a freshly derived
+      and a catalog-restored plan, answers asserted equal in-loop.  The
+      catalog accelerates planning only, so ``exec_ratio`` must read ~1x.
+
+    On a pre-PR-10 checkout the catalog import fails and the section
+    degrades to an empty list, keeping ``--phase before`` snapshots
+    runnable.
+    """
+    import shutil
+    import tempfile
+
+    try:
+        from repro.engine.analysis import prepared_from_spec
+        from repro.engine.catalog import PlanCatalog
+        from repro.engine.parallel import PlanSpec
+    except ImportError:  # pre-PR-10 engine: no persistent catalog
+        return []
+    from repro.hypergraph import aring
+
+    rows: List[Dict[str, Any]] = []
+    # The env-default catalog must not leak into the no-catalog baselines.
+    saved_env = os.environ.pop("REPRO_CATALOG_DIR", None)
+    try:
+        for case, family, size, cyclic in CATALOG_CASES:
+            if family == "chain":
+                schema = chain_schema(size)
+                target = RelationSchema({"x0", f"x{size}"})
+            elif family == "star":
+                schema = star_schema(size)
+                attrs = schema.attributes.sorted_attributes()
+                target = RelationSchema({"x_hub", attrs[0]})
+            elif family == "aring":
+                schema = aring(size)
+                target = RelationSchema("af")
+            else:
+                schema = random_tree_schema(size, rng=3)
+                attrs = schema.attributes.sorted_attributes()
+                target = RelationSchema({attrs[0], attrs[-1]})
+
+            def build(catalog=None):
+                clear_analysis_cache()
+                analysis = analyze(schema, catalog=catalog)
+                prepared = (
+                    analysis.prepare_cyclic(target)
+                    if cyclic
+                    else analysis.prepare(target)
+                )
+                return analysis, prepared
+
+            directory = tempfile.mkdtemp(prefix="repro-bench-catalog-")
+            try:
+                catalog = PlanCatalog(directory)
+                # Seed the record untimed: one full derivation, stored once.
+                analysis, prepared = build()
+                start = time.perf_counter()
+                assert catalog.store(analysis), "catalog store failed"
+                store_s = time.perf_counter() - start
+                record_bytes = os.path.getsize(catalog.record_path(schema))
+                spec = PlanSpec.of(prepared)
+
+                cold_s = _median_time(lambda: build(), repeats)
+                hit_s = _median_time(lambda: build(catalog), repeats)
+                assert catalog.stats.hits >= repeats, catalog.stats.as_dict()
+                assert catalog.stats.quarantined == 0, catalog.stats.as_dict()
+
+                def respawn(catalog=None):
+                    clear_analysis_cache()
+                    return prepared_from_spec(spec, catalog=catalog)
+
+                respawn_cold_s = _median_time(lambda: respawn(), repeats)
+                respawn_warm_s = _median_time(lambda: respawn(catalog), repeats)
+
+                _, cold_prepared = build()
+                _, restored_prepared = build(catalog)
+                exec_backend = "compiled" if cyclic else None
+
+                def run(prepared_query, salt):
+                    states = [
+                        random_ur_database(
+                            schema, tuple_count=6, domain_size=6, rng=salt + seed
+                        )
+                        for seed in range(CATALOG_EXEC_STATES)
+                    ]
+                    start = time.perf_counter()
+                    if exec_backend:
+                        runs = prepared_query.execute_many(
+                            states, backend=exec_backend
+                        )
+                    else:
+                        runs = prepared_query.execute_many(states)
+                    elapsed = time.perf_counter() - start
+                    return elapsed, [run.result for run in runs]
+
+                # Alternate which plan is timed first and collect garbage
+                # before each timed region: the second-timed plan otherwise
+                # pays gen-2 GC traversals over the first plan's live slot
+                # caches (the PR-8 reused-plan effect), which reads as a
+                # phantom ~2x in whichever column runs last.
+                import gc
+
+                exec_cold_times: List[float] = []
+                exec_restored_times: List[float] = []
+                for r in range(repeats):
+                    salt = 20_000_000 + 10_000 * (r + 1)
+                    pair = [
+                        ("cold", cold_prepared, exec_cold_times),
+                        ("restored", restored_prepared, exec_restored_times),
+                    ]
+                    if r % 2:
+                        pair.reverse()
+                    answers = {}
+                    for label, plan, times in pair:
+                        gc.collect()
+                        elapsed, results = run(plan, salt)
+                        times.append(elapsed)
+                        answers[label] = results
+                    assert answers["cold"] == answers["restored"], case
+                exec_cold_s = statistics.median(exec_cold_times)
+                exec_restored_s = statistics.median(exec_restored_times)
+            finally:
+                shutil.rmtree(directory, ignore_errors=True)
+
+            rows.append(
+                {
+                    "case": case,
+                    "family": family,
+                    "size": size,
+                    "cyclic": cyclic,
+                    "record_bytes": record_bytes,
+                    "store_s": store_s,
+                    "cold_prepare_s": cold_s,
+                    "catalog_hit_prepare_s": hit_s,
+                    "median_s": hit_s,
+                    "catalog_speedup": (cold_s / hit_s) if hit_s else None,
+                    "respawn_cold_s": respawn_cold_s,
+                    "respawn_warm_s": respawn_warm_s,
+                    "respawn_speedup": (
+                        respawn_cold_s / respawn_warm_s if respawn_warm_s else None
+                    ),
+                    "exec_cold_per_state_s": exec_cold_s / CATALOG_EXEC_STATES,
+                    "exec_restored_per_state_s": (
+                        exec_restored_s / CATALOG_EXEC_STATES
+                    ),
+                    "exec_ratio": (
+                        exec_restored_s / exec_cold_s if exec_cold_s else None
+                    ),
+                }
+            )
+    finally:
+        if saved_env is not None:
+            os.environ["REPRO_CATALOG_DIR"] = saved_env
+    return rows
+
+
 def run_all(repeats: int) -> Dict[str, Any]:
     return {
         "python": platform.python_version(),
@@ -1296,6 +1483,7 @@ def run_all(repeats: int) -> Dict[str, Any]:
         "service": bench_service(repeats),
         "vectorized": bench_vectorized(repeats),
         "cyclic": bench_cyclic(repeats),
+        "catalog": bench_catalog(repeats),
     }
 
 
@@ -1314,6 +1502,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
         "service",
         "vectorized",
         "cyclic",
+        "catalog",
     ):
         before_rows = {row["case"]: row for row in before.get(section, ())}
         cases: Dict[str, float] = {}
@@ -1335,7 +1524,7 @@ def _speedups(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--phase", choices=("before", "after"), default="after")
-    parser.add_argument("--out", default="BENCH_PR9.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_PR10.json", help="output JSON path")
     parser.add_argument(
         "--before",
         default=None,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -195,9 +196,50 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: unbounded)",
     )
     query.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="persistent plan-catalog directory: analysis artifacts are "
+        "loaded from (and stored back to) DIR, so repeated invocations "
+        "skip re-planning (default: REPRO_CATALOG_DIR when set)",
+    )
+    query.add_argument(
         "--max-rows", type=int, default=20, help="answer rows to print (text mode)"
     )
     add_json_flag(query)
+
+    catalog_cmd = commands.add_parser(
+        "catalog",
+        help="inspect and maintain a persistent plan catalog",
+    )
+    catalog_actions = catalog_cmd.add_subparsers(dest="action", required=True)
+
+    catalog_ls = catalog_actions.add_parser(
+        "ls", help="list catalog records (schema, artifacts, size)"
+    )
+    catalog_ls.add_argument("directory", help="catalog directory")
+    add_json_flag(catalog_ls)
+
+    catalog_verify = catalog_actions.add_parser(
+        "verify",
+        help="verify every record end to end, quarantining corrupt ones",
+    )
+    catalog_verify.add_argument("directory", help="catalog directory")
+    add_json_flag(catalog_verify)
+
+    catalog_gc = catalog_actions.add_parser(
+        "gc",
+        help="remove quarantined records and orphaned temp files",
+    )
+    catalog_gc.add_argument("directory", help="catalog directory")
+    catalog_gc.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also prune records beyond the newest N (by mtime)",
+    )
+    add_json_flag(catalog_gc)
 
     return parser
 
@@ -387,7 +429,16 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
     from .relational.universal import random_ur_database
 
     as_json = arguments.json
-    analysis = analyze(arguments.schema, attribute_separator=attribute_separator)
+    catalog = None
+    if arguments.catalog is not None or os.environ.get("REPRO_CATALOG_DIR"):
+        from .engine.catalog import resolve_catalog
+
+        catalog = resolve_catalog(arguments.catalog)
+    analysis = analyze(
+        arguments.schema,
+        attribute_separator=attribute_separator,
+        catalog=catalog,
+    )
     schema = analysis.schema
     target = parse_schema(
         arguments.target, attribute_separator=attribute_separator
@@ -400,6 +451,10 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
         prepared = analysis.prepare_cyclic(target)
     else:
         prepared = analysis.prepare(target)
+    if catalog is not None:
+        # Store after preparing, so the record carries the qual tree / tree
+        # projection this invocation just planned.
+        catalog.store(analysis)
 
     if arguments.data is not None and arguments.random is not None:
         raise SystemExit("--data and --random are mutually exclusive")
@@ -454,6 +509,7 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
             shard_timeout=arguments.shard_timeout,
             max_retries=arguments.retries,
             failure_policy=arguments.failure_policy or "raise",
+            catalog=catalog,
         ) as service:
             streamed = service.stream(prepared, states, backend=arguments.backend)
             for item in streamed:
@@ -522,6 +578,8 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
             payload["projection_method"] = choice.method
             payload["projection_minimal"] = choice.minimal
             payload["guard_semijoins"] = prepared.guard_semijoins
+        if catalog is not None:
+            payload["catalog_stats"] = catalog.stats.as_dict()
         if stream_info is not None:
             payload["stream"] = dict(stream_info)
             if stream_errors:
@@ -588,6 +646,14 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
         print(f"plan: {len(prepared.semijoin_steps)} semijoins, "
               f"{len(prepared.join_steps)} joins (root R{prepared.root})")
     print(f"backend: {run.backend}; {len(states)} state(s) in {elapsed * 1e3:.2f} ms")
+    if catalog is not None:
+        cstats = catalog.stats
+        mode = " (degraded: in-memory only)" if cstats.disabled else ""
+        print(
+            f"catalog: {cstats.hits} hit(s), {cstats.misses} miss(es), "
+            f"{cstats.stores} store(s), {cstats.quarantined} quarantined, "
+            f"{cstats.degraded} degraded op(s){mode}"
+        )
     if stream_info is not None:
         routing = stream_info["routing"]
         first = stream_info["first_item_s"]
@@ -642,6 +708,78 @@ def _query(arguments: "argparse.Namespace", attribute_separator: Optional[str]) 
     return 0
 
 
+def _catalog(arguments: "argparse.Namespace") -> int:
+    """``repro catalog {ls,verify,gc}``: catalog inspection and maintenance."""
+    from .engine.catalog import PlanCatalog
+
+    as_json = arguments.json
+    try:
+        catalog = PlanCatalog(arguments.directory, create=False)
+    except Exception as error:
+        raise SystemExit(str(error))
+
+    if arguments.action == "ls":
+        infos = catalog.records()
+        if as_json:
+            _emit_json(
+                {
+                    "directory": catalog.directory,
+                    "records": [
+                        {
+                            "name": info.name,
+                            "ok": info.ok,
+                            "schema": info.schema,
+                            "artifacts": info.artifacts,
+                            "size": info.size,
+                            "error": info.error,
+                        }
+                        for info in infos
+                    ],
+                }
+            )
+            return 0
+        if not infos:
+            print(f"{catalog.directory}: no records")
+            return 0
+        for info in infos:
+            if info.ok:
+                print(
+                    f"{info.name}  {info.schema}  "
+                    f"{info.artifacts} artifact(s), {info.size} bytes"
+                )
+            else:
+                print(f"{info.name}  CORRUPT: {info.error}")
+        return 0
+
+    if arguments.action == "verify":
+        report = catalog.verify()
+        if as_json:
+            _emit_json({"directory": catalog.directory, **report})
+        else:
+            print(
+                f"{catalog.directory}: {report['checked']} record(s) checked, "
+                f"{report['ok']} ok, {len(report['quarantined'])} quarantined"
+            )
+            for name in report["quarantined"]:
+                print(f"  quarantined: {name} -> {name}.corrupt")
+        return 0 if not report["quarantined"] else 1
+
+    if arguments.action == "gc":
+        report = catalog.gc(keep=arguments.keep)
+        if as_json:
+            _emit_json({"directory": catalog.directory, **report})
+        else:
+            print(
+                f"{catalog.directory}: removed "
+                f"{report['removed_corrupt']} quarantined, "
+                f"{report['removed_temp']} temp file(s), "
+                f"{report['removed_records']} pruned record(s)"
+            )
+        return 0
+
+    raise SystemExit(f"unknown catalog action {arguments.action!r}")
+
+
 def _treefy(schema_text: str, attribute_separator: Optional[str], as_json: bool) -> int:
     analysis = analyze(schema_text, attribute_separator=attribute_separator)
     result = analysis.treefication
@@ -688,6 +826,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _tableau(arguments.schema, arguments.target, separator, as_json)
     if arguments.command == "query":
         return _query(arguments, separator)
+    if arguments.command == "catalog":
+        return _catalog(arguments)
     parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -81,6 +81,19 @@ _SERVICE_EXPORTS = (
     "ServiceStream",
     "StreamItem",
 )
+_CATALOG_EXPORTS = (
+    "CatalogStats",
+    "PlanCatalog",
+    "StateLogWriter",
+    "default_catalog",
+    "iter_states",
+    "load_schema",
+    "load_state",
+    "read_state_log",
+    "resolve_catalog",
+    "save_schema",
+    "save_state",
+)
 
 
 def __getattr__(name: str):
@@ -100,6 +113,10 @@ def __getattr__(name: str):
         from . import service
 
         return getattr(service, name)
+    if name in _CATALOG_EXPORTS:
+        from . import catalog
+
+        return getattr(catalog, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -110,13 +127,16 @@ def __dir__():
         | set(_ROUTING_EXPORTS)
         | set(_SERVICE_EXPORTS)
         | set(_CYCLIC_EXPORTS)
+        | set(_CATALOG_EXPORTS)
     )
 
 __all__ = [
     "AnalyzedSchema",
+    "CatalogStats",
     "CyclicPreparedQuery",
     "ParallelExecutor",
     "ParallelStats",
+    "PlanCatalog",
     "PlanSpec",
     "PreparedQuery",
     "ProjectionChoice",
@@ -127,13 +147,22 @@ __all__ = [
     "ServiceHandle",
     "ServiceStats",
     "ServiceStream",
+    "StateLogWriter",
     "StreamItem",
     "analyze",
     "analysis_cache_size",
     "choose_tree_projection",
     "clear_analysis_cache",
+    "default_catalog",
     "execute_in_process",
+    "iter_states",
+    "load_schema",
+    "load_state",
     "peek_analysis",
     "prepared_from_spec",
+    "read_state_log",
+    "resolve_catalog",
+    "save_schema",
+    "save_state",
     "resolve_backend",
 ]

@@ -23,6 +23,7 @@ semantics and the old-function → new-method migration table.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -462,6 +463,7 @@ def analyze(
     schema: Union[DatabaseSchema, str, Iterable[RelationSchema]],
     *,
     attribute_separator: Optional[str] = None,
+    catalog=None,
 ) -> AnalyzedSchema:
     """Analyze a schema, reusing a cached :class:`AnalyzedSchema` when possible.
 
@@ -471,6 +473,14 @@ def analyze(
     a bounded LRU keyed by the schema value, so repeated calls — including
     the ones made internally by ``gyo_reduce``/``canonical_connection``/
     ``plan_join_query``/``yannakakis`` — share one façade per schema.
+
+    ``catalog`` consults a persistent :class:`~repro.engine.catalog.PlanCatalog`
+    on an LRU miss (accepted forms: a catalog instance, a directory path, or
+    ``None`` for the ``REPRO_CATALOG_DIR`` default when that variable is
+    set).  A verified on-disk record restores a pre-populated analysis
+    without recomputing anything; catalog misses, corruption and I/O
+    failures all silently fall through to fresh analysis — the catalog can
+    make this function faster but never make it fail.
     """
     if isinstance(schema, str):
         schema = parse_schema(schema, attribute_separator=attribute_separator)
@@ -482,7 +492,17 @@ def analyze(
         if analysis is not None:
             _ANALYSIS_CACHE.move_to_end(key)
             return analysis
-    analysis = AnalyzedSchema(schema)
+    analysis = None
+    # The import is gated so catalog-free processes never pay for the
+    # persistence machinery on this hot path.
+    if catalog is not None or os.environ.get("REPRO_CATALOG_DIR"):
+        from .catalog import resolve_catalog
+
+        resolved = resolve_catalog(catalog)
+        if resolved is not None:
+            analysis = resolved.load(schema)
+    if analysis is None:
+        analysis = AnalyzedSchema(schema)
     with _CACHE_LOCK:
         existing = _ANALYSIS_CACHE.get(key)
         if existing is not None:
@@ -515,7 +535,7 @@ def peek_analysis(
         return analysis
 
 
-def prepared_from_spec(spec):
+def prepared_from_spec(spec, *, catalog=None):
     """Rebuild the prepared query a :class:`~repro.engine.parallel.PlanSpec`
     identifies — a :class:`PreparedQuery`, or a
     :class:`~repro.engine.cyclic.CyclicPreparedQuery` for cyclic specs —
@@ -530,15 +550,32 @@ def prepared_from_spec(spec):
     rebuilds pay analysis at most once per (worker, spec): the first call
     computes, every later call is two cache lookups.
 
+    With a catalog in play (the ``catalog`` argument, or ``REPRO_CATALOG_DIR``
+    inherited from the parent process) the miss path gets a third tier: the
+    analysis is first sought on disk, and after preparing, its artifacts are
+    **stored back** — so a worker respawned after a crash, or a whole fresh
+    process, skips re-analysis entirely.  The store is fingerprint-skipped
+    when the on-disk record is already current, so the per-call overhead on
+    a warm path is one in-memory comparison.
+
     Cyclic specs (``spec.cyclic``) rebuild through
     :meth:`AnalyzedSchema.prepare_cyclic`, landing in the same per-target
     memos — a worker that served a cyclic plan once never re-plans its tree
     projection.
     """
-    analysis = analyze(DatabaseSchema(spec.relations))
+    resolved = None
+    if catalog is not None or os.environ.get("REPRO_CATALOG_DIR"):
+        from .catalog import resolve_catalog
+
+        resolved = resolve_catalog(catalog)
+    analysis = analyze(DatabaseSchema(spec.relations), catalog=resolved)
     if getattr(spec, "cyclic", False):
-        return analysis.prepare_cyclic(spec.target, root=spec.root)
-    return analysis.prepare(spec.target, root=spec.root)
+        prepared = analysis.prepare_cyclic(spec.target, root=spec.root)
+    else:
+        prepared = analysis.prepare(spec.target, root=spec.root)
+    if resolved is not None:
+        resolved.store(analysis)
+    return prepared
 
 
 def clear_analysis_cache() -> None:

@@ -1,0 +1,1049 @@
+"""Crash-safe persistent plan catalog and on-disk interchange format.
+
+The analysis LRU (:mod:`repro.engine.analysis`) and the worker plan caches
+are per-process: they die with the process, so every cold start — and every
+worker respawned by the PR-6 supervisor — pays full planning again.  This
+module makes schema analysis a *durable* asset: a :class:`PlanCatalog` is a
+directory of verified records persisting the expensive artifacts of an
+:class:`~repro.engine.analysis.AnalyzedSchema` (GYO traces, qual trees,
+acyclicity flags, treefications, minimized tableaux, canonical connections,
+join plans, cyclic :class:`~repro.engine.cyclic.ProjectionChoice`\\ s), keyed
+by the **ordered relation tuple** — exactly the key discipline of the
+analysis LRU, for exactly the same reason: analysis artifacts are
+positional, and multiset-equal schemas in different orders must not share
+them.
+
+Durability first
+----------------
+
+The catalog is built to survive ``kill -9`` and to distrust everything it
+reads back:
+
+* **Durable writes.**  Every record is serialized in memory, written to a
+  temporary file *in the catalog directory* (same filesystem, so the rename
+  is atomic), fsynced, atomically renamed over the final name, and the
+  directory entry fsynced — under an advisory ``fcntl`` writer lock
+  (``.lock``) so concurrent processes can share one catalog directory.  A
+  crash at any point leaves either the old record or the new one, never a
+  half-visible name.
+* **Verified reads.**  Each record starts with a fixed header — magic,
+  format version, record kind, CRC-32 checksum, payload length — and the
+  read path verifies all five before deserializing.  Any mismatch
+  (truncation, bad magic, a format version this library does not speak,
+  checksum failure, trailing garbage, undeserializable payload) is treated
+  as corruption: the record is **quarantined** (renamed to ``*.corrupt``,
+  counted in :class:`CatalogStats`) and the caller falls back to fresh
+  analysis.  Corruption can never take the serving path down.
+* **Degraded mode.**  I/O failures (``ENOSPC``, permissions, a yanked
+  mount) are absorbed and counted; after
+  :data:`MAX_CONSECUTIVE_IO_ERRORS` consecutive failures the catalog stops
+  touching the disk entirely and serves pure misses, so a broken disk costs
+  one error per operation at worst and nothing once latched.  The serving
+  path never sees an exception from the catalog.
+
+The deterministic fault points behind the corruption tests live in
+:mod:`repro.engine.faults` (``REPRO_FAULT_TORN_WRITE``,
+``REPRO_FAULT_CORRUPT_RECORD``).
+
+Interchange format
+------------------
+
+The same record framing carries schemas and database states:
+:func:`save_schema` / :func:`load_schema` and :func:`save_state` /
+:func:`load_state` write single-record files with the durable protocol, and
+:class:`StateLogWriter` / :func:`iter_states` implement an **append log**
+for bulk workloads — one framed record per appended state, readable by
+streaming (each record is verified independently, and a torn tail — the
+normal result of a crash mid-append — is detected and reported without
+poisoning the records before it).
+
+Integration
+-----------
+
+``analyze(schema, catalog=...)`` consults a catalog on an analysis-LRU
+miss; :func:`~repro.engine.analysis.prepared_from_spec` both consults and
+writes back, which is what lets a respawned worker skip re-analysis.  The
+environment variable :data:`ENV_CATALOG_DIR` (``REPRO_CATALOG_DIR``) names
+a default catalog that is picked up process-wide — worker processes inherit
+it, so arming it warms every future cold start.  See
+``docs/persistence.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import struct
+import tempfile
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+try:  # pragma: no cover - platform dependent
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+from ..exceptions import CatalogCorruptionError, CatalogError
+from ..hypergraph.schema import DatabaseSchema, RelationSchema
+from ..relational.database import DatabaseState
+from . import faults
+
+__all__ = [
+    "ENV_CATALOG_DIR",
+    "FORMAT_VERSION",
+    "CatalogRecordInfo",
+    "CatalogStats",
+    "PlanCatalog",
+    "StateLogWriter",
+    "default_catalog",
+    "iter_states",
+    "load_schema",
+    "load_state",
+    "read_state_log",
+    "resolve_catalog",
+    "save_schema",
+    "save_state",
+    "snapshot_analysis",
+    "restore_analysis",
+]
+
+#: Directory of the process-wide default catalog (inherited by workers).
+ENV_CATALOG_DIR = "REPRO_CATALOG_DIR"
+
+#: Bump when the record framing or payload layout changes incompatibly.
+#: Readers quarantine records from other versions — a stale-version record
+#: is indistinguishable from one this build cannot be trusted to interpret.
+FORMAT_VERSION = 1
+
+#: Eight fixed magic bytes opening every record.
+MAGIC = b"RPROCAT\x01"
+
+#: Record kinds (``kind`` field of the header).
+KIND_ANALYSIS = 1
+KIND_SCHEMA = 2
+KIND_STATE = 3
+
+#: Header layout: magic ``8s``, format version ``H``, record kind ``H``,
+#: CRC-32 of the payload ``I``, payload length ``Q`` — 24 bytes.
+_HEADER = struct.Struct("<8sHHIQ")
+
+#: Consecutive I/O failures after which a catalog latches into degraded
+#: (in-memory-only) mode and stops touching the disk.
+MAX_CONSECUTIVE_IO_ERRORS = 8
+
+#: Guard against absurd/forged payload lengths before allocating.
+_MAX_PAYLOAD = 1 << 40
+
+SchemaLike = Union[DatabaseSchema, Sequence[RelationSchema]]
+
+
+# -- record framing -------------------------------------------------------------
+
+
+def _pack_record(kind: int, payload: bytes) -> bytes:
+    """Frame ``payload`` with the versioned, checksummed record header."""
+    checksum = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(MAGIC, FORMAT_VERSION, kind, checksum, len(payload)) + payload
+
+
+def _read_record(
+    data: bytes, offset: int, *, path: str = "<record>"
+) -> Tuple[int, bytes, int]:
+    """Verify and return one record at ``offset``: ``(kind, payload, end)``.
+
+    Raises :class:`~repro.exceptions.CatalogCorruptionError` on truncation,
+    bad magic, unsupported version, forged length or checksum mismatch.
+    """
+    if len(data) - offset < _HEADER.size:
+        raise CatalogCorruptionError(
+            f"truncated record header ({len(data) - offset} of "
+            f"{_HEADER.size} bytes)",
+            path=path,
+        )
+    magic, version, kind, checksum, length = _HEADER.unpack_from(data, offset)
+    if magic != MAGIC:
+        raise CatalogCorruptionError(f"bad record magic {magic!r}", path=path)
+    if version != FORMAT_VERSION:
+        raise CatalogCorruptionError(
+            f"unsupported format version {version} "
+            f"(this build speaks {FORMAT_VERSION})",
+            path=path,
+        )
+    if length > _MAX_PAYLOAD:
+        raise CatalogCorruptionError(
+            f"implausible payload length {length}", path=path
+        )
+    start = offset + _HEADER.size
+    if len(data) - start < length:
+        raise CatalogCorruptionError(
+            f"truncated payload ({len(data) - start} of {length} bytes)",
+            path=path,
+        )
+    payload = data[start : start + length]
+    if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+        raise CatalogCorruptionError("payload checksum mismatch", path=path)
+    return kind, payload, start + length
+
+
+def _unpack_single(data: bytes, expected_kind: int, *, path: str) -> bytes:
+    """Verify a single-record file: exactly one record of the right kind."""
+    kind, payload, end = _read_record(data, 0, path=path)
+    if kind != expected_kind:
+        raise CatalogCorruptionError(
+            f"record kind {kind} where {expected_kind} was expected", path=path
+        )
+    if end != len(data):
+        raise CatalogCorruptionError(
+            f"{len(data) - end} trailing bytes after the record", path=path
+        )
+    return payload
+
+
+def _loads(payload: bytes, *, path: str) -> Any:
+    """Deserialize a verified payload, converting any failure to corruption.
+
+    A checksum-valid payload can still fail to unpickle (a record written by
+    incompatible code, or a deliberately crafted file); the defense posture
+    is the same — quarantine, never crash the serving path — so every
+    deserialization error is normalized to
+    :class:`~repro.exceptions.CatalogCorruptionError`.
+    """
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise CatalogCorruptionError(
+            f"payload does not deserialize ({type(error).__name__}: {error})",
+            path=path,
+        ) from error
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _apply_write_faults(data: bytes) -> Tuple[bytes, Optional[str]]:
+    """Consult the injectable catalog fault points for one durable write.
+
+    Returns ``(data, torn_mode)``: data possibly with one payload byte
+    flipped (corrupt-record fault), torn_mode ``None``/``"torn"``/``"kill"``.
+    """
+    if not faults.catalog_faults_active():
+        return data, None
+    if faults.corrupt_record() and len(data) > _HEADER.size:
+        position = _HEADER.size + (len(data) - _HEADER.size) // 2
+        corrupted = bytearray(data)
+        corrupted[position] ^= 0xFF
+        data = bytes(corrupted)
+    return data, faults.torn_write_mode()
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """The durable write protocol: temp file, fsync, rename, directory fsync.
+
+    Raises ``OSError`` on failure (callers decide whether to degrade or
+    propagate).  The injected torn-write fault writes only a prefix, skips
+    the fsync and still renames — the on-disk picture of a crash after
+    rename with unflushed pages — and the ``kill`` flavor then SIGKILLs the
+    process, making crash tests deterministic.
+    """
+    data, torn = _apply_write_faults(data)
+    directory = os.path.dirname(path) or "."
+    descriptor, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp.", suffix=".part"
+    )
+    try:
+        if torn is not None:
+            os.write(descriptor, data[: max(_HEADER.size - 4, len(data) // 2)])
+            os.close(descriptor)
+            os.replace(tmp_path, path)
+            if torn == "kill":
+                faults.kill_self()
+            return
+        os.write(descriptor, data)
+        os.fsync(descriptor)
+        os.close(descriptor)
+    except OSError:
+        try:
+            os.close(descriptor)
+        except OSError:
+            pass
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory entry so the rename itself survives power loss."""
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover - fsync on dirs can be unsupported
+        pass
+    finally:
+        os.close(descriptor)
+
+
+# -- schema / state interchange -------------------------------------------------
+
+
+def _as_database_schema(schema: SchemaLike) -> DatabaseSchema:
+    return schema if isinstance(schema, DatabaseSchema) else DatabaseSchema(schema)
+
+
+def save_schema(path: str, schema: SchemaLike) -> None:
+    """Durably write ``schema`` as a single-record interchange file.
+
+    Unlike the catalog's serving-path methods, the explicit save/load API
+    raises (:class:`~repro.exceptions.CatalogError` wrapping the ``OSError``)
+    on failure — a user-initiated export must not fail silently.
+    """
+    payload = _dumps(_as_database_schema(schema))
+    try:
+        _atomic_write(path, _pack_record(KIND_SCHEMA, payload))
+    except OSError as error:
+        raise CatalogError(f"cannot write schema to {path}: {error}") from error
+
+
+def load_schema(path: str) -> DatabaseSchema:
+    """Read back a schema written by :func:`save_schema` (verified)."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise CatalogError(f"cannot read schema from {path}: {error}") from error
+    schema = _loads(_unpack_single(data, KIND_SCHEMA, path=path), path=path)
+    if not isinstance(schema, DatabaseSchema):
+        raise CatalogCorruptionError(
+            f"schema record holds a {type(schema).__name__}", path=path
+        )
+    return schema
+
+
+def save_state(path: str, state: DatabaseState) -> None:
+    """Durably write a database state as a single-record interchange file."""
+    payload = _dumps(state)
+    try:
+        _atomic_write(path, _pack_record(KIND_STATE, payload))
+    except OSError as error:
+        raise CatalogError(f"cannot write state to {path}: {error}") from error
+
+
+def load_state(path: str) -> DatabaseState:
+    """Read back a state written by :func:`save_state` (verified)."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise CatalogError(f"cannot read state from {path}: {error}") from error
+    state = _loads(_unpack_single(data, KIND_STATE, path=path), path=path)
+    if not isinstance(state, DatabaseState):
+        raise CatalogCorruptionError(
+            f"state record holds a {type(state).__name__}", path=path
+        )
+    return state
+
+
+class StateLogWriter:
+    """Append-log writer: one framed state record per :meth:`append`.
+
+    The log is the bulk-ingest format: a reader streams states back without
+    holding the whole file, and a crash mid-append costs at most the torn
+    tail record (every record is independently checksummed).  ``sync=True``
+    (the default) fsyncs after every append — each appended state is durable
+    the moment ``append`` returns; ``sync=False`` trades that for
+    throughput and fsyncs once on :meth:`close`.
+    """
+
+    def __init__(self, path: str, *, sync: bool = True) -> None:
+        self.path = path
+        self._sync = sync
+        try:
+            self._handle: Optional[io.BufferedWriter] = open(path, "ab")
+        except OSError as error:
+            raise CatalogError(f"cannot open state log {path}: {error}") from error
+        self.appended = 0
+
+    def append(self, state: DatabaseState) -> int:
+        """Append one state; returns the record's size in bytes."""
+        if self._handle is None:
+            raise CatalogError(f"state log {self.path} is closed")
+        record = _pack_record(KIND_STATE, _dumps(state))
+        try:
+            self._handle.write(record)
+            self._handle.flush()
+            if self._sync:
+                os.fsync(self._handle.fileno())
+        except OSError as error:
+            raise CatalogError(
+                f"cannot append to state log {self.path}: {error}"
+            ) from error
+        self.appended += 1
+        return len(record)
+
+    def close(self) -> None:
+        """Flush (and fsync) the log; idempotent."""
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            handle.flush()
+            os.fsync(handle.fileno())
+        except OSError:
+            pass
+        finally:
+            handle.close()
+
+    def __enter__(self) -> "StateLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_states(path: str, *, strict: bool = False) -> Iterator[DatabaseState]:
+    """Stream verified states out of an append log.
+
+    Records are verified one by one; iteration stops at the first corrupt or
+    torn record (the crash-mid-append signature).  With ``strict=True`` the
+    stop raises the underlying
+    :class:`~repro.exceptions.CatalogCorruptionError` instead — use strict
+    mode when the log is *supposed* to be complete and a torn tail means
+    data loss the caller must hear about.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise CatalogError(f"cannot read state log {path}: {error}") from error
+    offset = 0
+    while offset < len(data):
+        try:
+            kind, payload, offset = _read_record(data, offset, path=path)
+            if kind != KIND_STATE:
+                raise CatalogCorruptionError(
+                    f"record kind {kind} in a state log", path=path
+                )
+            state = _loads(payload, path=path)
+            if not isinstance(state, DatabaseState):
+                raise CatalogCorruptionError(
+                    f"log record holds a {type(state).__name__}", path=path
+                )
+        except CatalogCorruptionError:
+            if strict:
+                raise
+            return
+        yield state
+
+
+def read_state_log(path: str) -> Tuple[List[DatabaseState], bool]:
+    """Read a whole append log: ``(states, clean)``.
+
+    ``clean`` is False when the log ended in a torn or corrupt record (the
+    recovered states before it are still good — that is the point of
+    per-record framing).
+    """
+    states: List[DatabaseState] = []
+    iterator = iter_states(path, strict=True)
+    while True:
+        try:
+            states.append(next(iterator))
+        except StopIteration:
+            return states, True
+        except CatalogCorruptionError:
+            return states, False
+
+
+# -- analysis snapshots ---------------------------------------------------------
+
+
+def snapshot_analysis(analysis) -> Dict[str, Any]:
+    """Extract the persistable artifacts of an ``AnalyzedSchema``.
+
+    Captures everything expensive and deterministic: GYO traces, the qual
+    tree (including the *knowledge* that a cyclic schema has none),
+    acyclicity flags, the treefication, standard tableaux, canonical
+    connections (which carry the minimized tableaux), join plans and cyclic
+    projection choices.  Deliberately excluded: prepared queries and
+    compiled plans (process-local by design — interners and itemgetters do
+    not belong on disk) and cost probes (host- and load-specific timings).
+    """
+    from .analysis import _CACHE_LOCK, _UNSET
+
+    with _CACHE_LOCK:
+        gyo_traces = dict(analysis._gyo_traces)
+        tableaux = dict(analysis._tableaux)
+        connections = dict(analysis._connections)
+        join_plans = dict(analysis._join_plans)
+        cyclic_choices = dict(analysis._cyclic_choices)
+    qual_tree = analysis._qual_tree
+    record: Dict[str, Any] = {
+        "kind": "analysis",
+        "key": analysis.schema.relations,
+        "schema": analysis.schema,
+        "gyo_traces": gyo_traces,
+        "qual_tree_known": qual_tree is not _UNSET,
+        "qual_tree": None if qual_tree is _UNSET else qual_tree,
+        "flags": dict(analysis._flags),
+        "treefication": analysis._treefication,
+        "tableaux": tableaux,
+        "connections": connections,
+        "join_plans": join_plans,
+        "cyclic_choices": cyclic_choices,
+    }
+    record["artifacts"] = _artifact_count(record)
+    return record
+
+
+def _artifact_count(record: Dict[str, Any]) -> int:
+    """How many cached artifacts a snapshot carries (the dirtiness metric)."""
+    return (
+        len(record["gyo_traces"])
+        + len(record["flags"])
+        + len(record["tableaux"])
+        + len(record["connections"])
+        + len(record["join_plans"])
+        + len(record["cyclic_choices"])
+        + (1 if record["qual_tree_known"] else 0)
+        + (1 if record["treefication"] is not None else 0)
+    )
+
+
+def restore_analysis(record: Dict[str, Any], *, schema=None):
+    """Rebuild an ``AnalyzedSchema`` from a verified snapshot record.
+
+    The restored analysis is freshly constructed and then pre-populated, so
+    it behaves exactly like one that computed everything locally — memos
+    keep memoizing, prepared queries compile lazily on top of the restored
+    qual tree, and nothing persisted is ever recomputed.
+
+    ``schema`` grafts the *caller's* ``DatabaseSchema`` object in place of
+    the record's unpickled copy.  The compiled backend's per-state schema
+    check has an identity fast path (``state.schema is plan.schema``); an
+    unpickled schema object fails it and every state then pays a full
+    multiset-equality comparison — measurably slower on wide schemas.  Only
+    graft a schema whose **ordered** relation tuple equals the record key
+    (``PlanCatalog.load`` verifies that before calling); the memo contents
+    still reference the unpickled relation objects internally, which is
+    fine — they compare equal, and nothing below the top-level check keys
+    on identity.
+    """
+    from .analysis import AnalyzedSchema
+
+    analysis = AnalyzedSchema(record["schema"] if schema is None else schema)
+    analysis._gyo_traces.update(record["gyo_traces"])
+    analysis._tableaux.update(record["tableaux"])
+    analysis._connections.update(record["connections"])
+    analysis._join_plans.update(record["join_plans"])
+    analysis._cyclic_choices.update(record["cyclic_choices"])
+    analysis._flags.update(record["flags"])
+    if record["qual_tree_known"]:
+        object.__setattr__(analysis, "_qual_tree", record["qual_tree"])
+    if record["treefication"] is not None:
+        object.__setattr__(analysis, "_treefication", record["treefication"])
+    return analysis
+
+
+# -- the catalog ----------------------------------------------------------------
+
+
+class CatalogStats:
+    """Catalog-lifetime counters (every mutation under the catalog lock)."""
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "stores",
+        "store_skips",
+        "quarantined",
+        "degraded",
+        "key_mismatches",
+        "disabled",
+    )
+
+    def __init__(self) -> None:
+        #: Loads answered from a verified on-disk record.
+        self.hits = 0
+        #: Loads with no record on disk (quarantined reads count here too —
+        #: after quarantine the record is gone, and the caller re-analyzes).
+        self.misses = 0
+        #: Durable record writes performed.
+        self.stores = 0
+        #: Stores skipped because the on-disk record is already current.
+        self.store_skips = 0
+        #: Corrupt records renamed aside (``*.corrupt``).
+        self.quarantined = 0
+        #: I/O failures absorbed (the op degraded to an in-memory miss/no-op).
+        self.degraded = 0
+        #: Records whose stored key did not match the requested key (digest
+        #: collision or a foreign file) — served as misses.
+        self.key_mismatches = 0
+        #: True once consecutive I/O failures latched the catalog into
+        #: in-memory-only mode.
+        self.disabled = False
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "store_skips": self.store_skips,
+            "quarantined": self.quarantined,
+            "degraded": self.degraded,
+            "key_mismatches": self.key_mismatches,
+            "disabled": self.disabled,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CatalogStats(hits={self.hits}, misses={self.misses}, "
+            f"stores={self.stores}, quarantined={self.quarantined}, "
+            f"degraded={self.degraded})"
+        )
+
+
+@dataclass(frozen=True)
+class CatalogRecordInfo:
+    """One catalog entry as reported by :meth:`PlanCatalog.records`."""
+
+    name: str
+    path: str
+    size: int
+    mtime: float
+    ok: bool
+    #: Schema notation (verified records only).
+    schema: Optional[str] = None
+    #: Number of persisted artifacts (verified records only).
+    artifacts: Optional[int] = None
+    #: Why verification failed (corrupt records only).
+    error: Optional[str] = None
+
+
+class PlanCatalog:
+    """A disk-backed, crash-safe store of analyzed-schema artifacts.
+
+    One catalog owns a directory; records are files named by a digest of
+    the ordered relation tuple.  All methods are thread-safe, and multiple
+    processes may share one directory (writers serialize on the advisory
+    ``.lock`` file; readers need no lock — they only ever see a complete
+    old record or a complete new one, thanks to the atomic-rename
+    protocol).
+
+    The serving-path contract: :meth:`load` and :meth:`store` **never
+    raise**.  Corruption quarantines, I/O failure degrades, and both are
+    visible in :attr:`stats` — see the module docstring.
+    """
+
+    _RECORD_SUFFIX = ".plan"
+    _QUARANTINE_SUFFIX = ".corrupt"
+
+    def __init__(self, directory: str, *, create: bool = True) -> None:
+        self.directory = os.path.abspath(directory)
+        self.stats = CatalogStats()
+        self._lock = threading.Lock()
+        self._consecutive_errors = 0
+        #: digest -> artifact count last known to be on disk; lets `store`
+        #: skip rewriting records that already hold everything.
+        self._fingerprints: Dict[str, int] = {}
+        if create:
+            try:
+                os.makedirs(self.directory, exist_ok=True)
+            except OSError:
+                self._note_io_error()
+        elif not os.path.isdir(self.directory):
+            raise CatalogError(f"catalog directory {self.directory} does not exist")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PlanCatalog({self.directory!r})"
+
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def key_of(schema: SchemaLike) -> Tuple[RelationSchema, ...]:
+        """The catalog key: the **ordered** relation tuple."""
+        return _as_database_schema(schema).relations
+
+    @staticmethod
+    def key_digest(key: Tuple[RelationSchema, ...]) -> str:
+        """Stable cross-process digest of a catalog key."""
+        encoded = "\x1e".join(
+            "\x1f".join(relation.sorted_attributes()) for relation in key
+        )
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:32]
+
+    def record_path(self, schema: SchemaLike) -> str:
+        """The record file a schema's artifacts live in."""
+        return os.path.join(
+            self.directory,
+            self.key_digest(self.key_of(schema)) + self._RECORD_SUFFIX,
+        )
+
+    # -- degraded-mode accounting ----------------------------------------------
+
+    def _note_io_error(self) -> None:
+        with self._lock:
+            self.stats.degraded += 1
+            self._consecutive_errors += 1
+            if self._consecutive_errors >= MAX_CONSECUTIVE_IO_ERRORS:
+                self.stats.disabled = True
+
+    def _note_io_success(self) -> None:
+        with self._lock:
+            self._consecutive_errors = 0
+
+    @property
+    def disabled(self) -> bool:
+        """True once the catalog latched into in-memory-only mode."""
+        with self._lock:
+            return self.stats.disabled
+
+    # -- the writer lock -------------------------------------------------------
+
+    def _acquire_writer_lock(self) -> Optional[int]:
+        """Take the advisory cross-process writer lock (None: unavailable).
+
+        Advisory by design: readers never block, and a platform without
+        ``fcntl`` simply relies on atomic rename (last writer wins, which
+        is safe — records are pure functions of their key plus a monotone
+        artifact set).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return None
+        try:
+            descriptor = os.open(
+                os.path.join(self.directory, ".lock"),
+                os.O_CREAT | os.O_WRONLY,
+                0o644,
+            )
+            fcntl.flock(descriptor, fcntl.LOCK_EX)
+        except OSError:
+            return None
+        return descriptor
+
+    @staticmethod
+    def _release_writer_lock(descriptor: Optional[int]) -> None:
+        if descriptor is None:
+            return
+        try:
+            fcntl.flock(descriptor, fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover - unlock cannot realistically fail
+            pass
+        finally:
+            os.close(descriptor)
+
+    # -- quarantine ------------------------------------------------------------
+
+    def _quarantine(self, path: str, error: CatalogCorruptionError) -> None:
+        """Move a corrupt record aside (never raising) and count it."""
+        try:
+            os.replace(path, path + self._QUARANTINE_SUFFIX)
+            with self._lock:
+                self.stats.quarantined += 1
+        except OSError:
+            # Could not even rename (read-only mount?): degrade.  The next
+            # read will re-detect the corruption; serving stays up either way.
+            self._note_io_error()
+
+    # -- load / store ----------------------------------------------------------
+
+    def load(self, schema: SchemaLike):
+        """The persisted analysis for ``schema``, or ``None`` (never raises).
+
+        A verified record restores to a pre-populated
+        :class:`~repro.engine.analysis.AnalyzedSchema`; a missing record is
+        a miss; a corrupt record is quarantined and served as a miss; an
+        I/O failure degrades and is served as a miss.
+        """
+        database_schema = _as_database_schema(schema)
+        key = database_schema.relations
+        digest = self.key_digest(key)
+        path = os.path.join(self.directory, digest + self._RECORD_SUFFIX)
+        if self.disabled:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except OSError:
+            self._note_io_error()
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        self._note_io_success()
+        try:
+            payload = _unpack_single(data, KIND_ANALYSIS, path=path)
+            record = _loads(payload, path=path)
+            if not isinstance(record, dict) or record.get("kind") != "analysis":
+                raise CatalogCorruptionError(
+                    "analysis record has an unexpected structure", path=path
+                )
+        except CatalogCorruptionError as error:
+            self._quarantine(path, error)
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        if record["key"] != key:
+            with self._lock:
+                self.stats.key_mismatches += 1
+                self.stats.misses += 1
+            return None
+        try:
+            # The key matched the requested relation tuple exactly, so the
+            # caller's schema object is grafted in — it keeps the compiled
+            # backend's per-state identity fast path working for states the
+            # caller builds against its own schema.
+            restored = restore_analysis(record, schema=database_schema)
+        except Exception:
+            # A record that verified but whose artifacts misbehave on
+            # restore (e.g. written by a newer minor build): same defense.
+            self._quarantine(
+                path, CatalogCorruptionError("restore failed", path=path)
+            )
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+            self._fingerprints[digest] = record["artifacts"]
+        return restored
+
+    def store(self, analysis) -> bool:
+        """Persist an analysis's artifacts durably (never raises).
+
+        Returns True when the on-disk record is current after the call —
+        because it was written, or because it already held every artifact
+        the analysis has (the fingerprint skip, which is what keeps hot
+        serving paths from rewriting an unchanged record on every batch).
+        """
+        if self.disabled:
+            return False
+        record = snapshot_analysis(analysis)
+        digest = self.key_digest(record["key"])
+        with self._lock:
+            known = self._fingerprints.get(digest)
+            if known is not None and known >= record["artifacts"]:
+                self.stats.store_skips += 1
+                return True
+        path = os.path.join(self.directory, digest + self._RECORD_SUFFIX)
+        data = _pack_record(KIND_ANALYSIS, _dumps(record))
+        lock_descriptor = self._acquire_writer_lock()
+        try:
+            _atomic_write(path, data)
+        except OSError:
+            self._note_io_error()
+            return False
+        finally:
+            self._release_writer_lock(lock_descriptor)
+        self._note_io_success()
+        with self._lock:
+            self.stats.stores += 1
+            self._fingerprints[digest] = record["artifacts"]
+        return True
+
+    # -- inspection / maintenance ----------------------------------------------
+
+    def _record_names(self) -> List[str]:
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(self.directory)
+                if name.endswith(self._RECORD_SUFFIX)
+            )
+        except OSError:
+            self._note_io_error()
+            return []
+        self._note_io_success()
+        return names
+
+    def records(self) -> List[CatalogRecordInfo]:
+        """Inspect every record (read-only: corrupt entries are reported,
+        not quarantined — that is :meth:`verify`'s job)."""
+        infos: List[CatalogRecordInfo] = []
+        for name in self._record_names():
+            path = os.path.join(self.directory, name)
+            try:
+                size = os.path.getsize(path)
+                mtime = os.path.getmtime(path)
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                self._note_io_error()
+                continue
+            try:
+                payload = _unpack_single(data, KIND_ANALYSIS, path=path)
+                record = _loads(payload, path=path)
+                if not isinstance(record, dict) or record.get("kind") != "analysis":
+                    raise CatalogCorruptionError(
+                        "analysis record has an unexpected structure", path=path
+                    )
+                infos.append(
+                    CatalogRecordInfo(
+                        name=name,
+                        path=path,
+                        size=size,
+                        mtime=mtime,
+                        ok=True,
+                        schema=record["schema"].to_notation(),
+                        artifacts=record["artifacts"],
+                    )
+                )
+            except CatalogCorruptionError as error:
+                infos.append(
+                    CatalogRecordInfo(
+                        name=name,
+                        path=path,
+                        size=size,
+                        mtime=mtime,
+                        ok=False,
+                        error=str(error),
+                    )
+                )
+        return infos
+
+    def verify(self) -> Dict[str, Any]:
+        """Verify every record, quarantining the corrupt ones.
+
+        Returns ``{"checked", "ok", "quarantined": [names...]}``.  This is
+        the cold-start integrity sweep: run it after a crash (or from
+        ``repro catalog verify``) and the catalog is guaranteed to hold only
+        records that decode cleanly end to end.
+        """
+        checked = 0
+        ok = 0
+        quarantined: List[str] = []
+        for info in self.records():
+            checked += 1
+            if info.ok:
+                ok += 1
+            else:
+                self._quarantine(
+                    info.path, CatalogCorruptionError(info.error or "corrupt")
+                )
+                quarantined.append(info.name)
+        return {"checked": checked, "ok": ok, "quarantined": quarantined}
+
+    def gc(self, *, keep: Optional[int] = None) -> Dict[str, Any]:
+        """Collect quarantined records and orphaned temp files.
+
+        Removes ``*.corrupt`` files (they have served their diagnostic
+        purpose once inspected) and ``.tmp.*`` leftovers of writers that
+        died before renaming.  With ``keep=N`` the newest ``N`` records (by
+        mtime) are retained and the rest deleted — a size bound for
+        long-lived catalog directories.
+        """
+        removed_corrupt = 0
+        removed_temp = 0
+        removed_records = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            self._note_io_error()
+            return {
+                "removed_corrupt": 0,
+                "removed_temp": 0,
+                "removed_records": 0,
+            }
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if name.endswith(self._QUARANTINE_SUFFIX):
+                try:
+                    os.unlink(path)
+                    removed_corrupt += 1
+                except OSError:
+                    self._note_io_error()
+            elif name.startswith(".tmp.") and name.endswith(".part"):
+                try:
+                    os.unlink(path)
+                    removed_temp += 1
+                except OSError:
+                    self._note_io_error()
+        if keep is not None and keep >= 0:
+            records = []
+            for name in self._record_names():
+                path = os.path.join(self.directory, name)
+                try:
+                    records.append((os.path.getmtime(path), path))
+                except OSError:
+                    continue
+            records.sort(reverse=True)
+            for _, path in records[keep:]:
+                try:
+                    os.unlink(path)
+                    removed_records += 1
+                except OSError:
+                    self._note_io_error()
+        return {
+            "removed_corrupt": removed_corrupt,
+            "removed_temp": removed_temp,
+            "removed_records": removed_records,
+        }
+
+
+# -- the default catalog --------------------------------------------------------
+
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT_CATALOG: Optional[PlanCatalog] = None
+
+
+def default_catalog() -> Optional[PlanCatalog]:
+    """The process-wide catalog named by ``REPRO_CATALOG_DIR``, or ``None``.
+
+    Memoized per directory, so every ``analyze`` call shares one stats
+    object and one degraded-mode latch; changing the environment variable
+    mid-process switches to (and memoizes) the new directory.
+    """
+    global _DEFAULT_CATALOG
+    path = os.environ.get(ENV_CATALOG_DIR)
+    if not path:
+        return None
+    absolute = os.path.abspath(path)
+    with _DEFAULT_LOCK:
+        if _DEFAULT_CATALOG is None or _DEFAULT_CATALOG.directory != absolute:
+            _DEFAULT_CATALOG = PlanCatalog(absolute)
+        return _DEFAULT_CATALOG
+
+
+def resolve_catalog(
+    catalog: Union[PlanCatalog, str, None],
+) -> Optional[PlanCatalog]:
+    """Normalize a catalog argument: instance, directory path, or ``None``
+    (meaning the environment-configured default, which may itself be absent).
+    """
+    if catalog is None:
+        return default_catalog()
+    if isinstance(catalog, PlanCatalog):
+        return catalog
+    return PlanCatalog(str(catalog))

@@ -33,6 +33,23 @@ Fault points (all disabled unless their environment variable is set):
     ``os._exit`` (again worker-only, so the fallback succeeds), ``always``
     raises everywhere (the fallback fails too, so the state is quarantined).
 
+``REPRO_FAULT_TORN_WRITE=<times>[:kill]``
+    The first ``<times>`` durable catalog writes
+    (:mod:`repro.engine.catalog`) are *torn*: only a prefix of the record's
+    bytes reaches the file, the fsync is skipped, and the partial file is
+    renamed into place — the on-disk outcome of a process killed after the
+    rename but before its pages were flushed.  With the ``:kill`` flavor the
+    writing process additionally kills itself with ``SIGKILL`` immediately
+    after the rename, which is a literal ``kill -9`` mid-write for
+    crash-safety tests.  Fires in any process (catalog writers usually are
+    the serving process).
+
+``REPRO_FAULT_CORRUPT_RECORD=<times>``
+    The first ``<times>`` durable catalog writes land intact-length but with
+    one payload byte flipped *after* the checksum was computed, so the
+    stored checksum cannot match — the read path must detect the mismatch
+    and quarantine the record.
+
 **Process-safe counting.**  Counted faults (crash/hang/transient) must fire
 an exact total number of times across a pool of processes that share nothing
 but the filesystem, so firing slots are claimed via atomic
@@ -50,21 +67,27 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
 from typing import Optional, Tuple
 
 __all__ = [
+    "ENV_CORRUPT_RECORD",
     "ENV_CRASH",
     "ENV_FAULT_DIR",
     "ENV_HANG",
     "ENV_POISON",
+    "ENV_TORN_WRITE",
     "ENV_TRANSIENT",
     "POISON_VALUE",
     "InjectedFault",
     "any_active",
+    "catalog_faults_active",
     "check_state",
+    "corrupt_record",
     "on_shard_start",
     "state_is_poison",
+    "torn_write_mode",
 ]
 
 #: Directory for cross-process firing-slot accounting (counted faults).
@@ -83,6 +106,12 @@ ENV_TRANSIENT = "REPRO_FAULT_TRANSIENT"
 #: :data:`POISON_VALUE` fail deterministically per the mode.
 ENV_POISON = "REPRO_FAULT_POISON"
 
+#: ``<times>[:kill]`` — tear the next catalog write (``kill``: then SIGKILL).
+ENV_TORN_WRITE = "REPRO_FAULT_TORN_WRITE"
+
+#: ``<times>`` — flip one payload byte of the next catalog write.
+ENV_CORRUPT_RECORD = "REPRO_FAULT_CORRUPT_RECORD"
+
 #: Sentinel value marking a state as poison for :data:`ENV_POISON`.
 POISON_VALUE = "__repro-poison__"
 
@@ -92,7 +121,18 @@ CRASH_EXIT_STATUS = 17
 
 _POISON_MODES = ("worker", "crash", "always")
 
-_ENV_VARS = (ENV_CRASH, ENV_HANG, ENV_TRANSIENT, ENV_POISON)
+_ENV_VARS = (
+    ENV_CRASH,
+    ENV_HANG,
+    ENV_TRANSIENT,
+    ENV_POISON,
+    ENV_TORN_WRITE,
+    ENV_CORRUPT_RECORD,
+)
+
+_CATALOG_ENV_VARS = (ENV_TORN_WRITE, ENV_CORRUPT_RECORD)
+
+_TORN_FLAVORS = ("torn", "kill")
 
 
 class InjectedFault(RuntimeError):
@@ -223,3 +263,59 @@ def check_state(state) -> None:
     if mode == "crash":
         os._exit(CRASH_EXIT_STATUS)
     raise InjectedFault(f"injected poison-state failure ({ENV_POISON}={mode})")
+
+
+# -- catalog fault points (PR 10) -----------------------------------------------
+
+
+def catalog_faults_active() -> bool:
+    """True when a catalog fault point (torn write / corrupt record) is armed.
+
+    The catalog's durable-write path checks this once per write, so the
+    healthy path pays two environment lookups and nothing else.
+    """
+    environ = os.environ
+    return any(environ.get(name) for name in _CATALOG_ENV_VARS)
+
+
+def torn_write_mode() -> Optional[str]:
+    """Claim a torn-write firing slot; ``None``, ``"torn"`` or ``"kill"``.
+
+    ``"torn"``: the writer must write only a prefix of the record, skip the
+    fsync and rename the partial file into place — then carry on as if the
+    write had succeeded (the caller cannot know its pages were lost).
+    ``"kill"``: same torn rename, after which the writer calls
+    :func:`kill_self` — a real ``SIGKILL`` mid-write for crash tests.
+    """
+    text = os.environ.get(ENV_TORN_WRITE)
+    if not text:
+        return None
+    times_text, _, flavor = text.partition(":")
+    times = _parse_times(ENV_TORN_WRITE, times_text)
+    flavor = flavor or "torn"
+    if flavor not in _TORN_FLAVORS:
+        raise ValueError(
+            f"{ENV_TORN_WRITE} flavor must be one of "
+            f"{', '.join(_TORN_FLAVORS)}, got {flavor!r}"
+        )
+    if _claim_slot("torn-write", times):
+        return flavor
+    return None
+
+
+def corrupt_record() -> bool:
+    """Claim a corrupt-record firing slot.
+
+    True means the writer must flip one payload byte *after* computing the
+    record checksum, producing an intact-length record whose checksum cannot
+    verify.
+    """
+    text = os.environ.get(ENV_CORRUPT_RECORD)
+    if not text:
+        return False
+    return _claim_slot("corrupt-record", _parse_times(ENV_CORRUPT_RECORD, text))
+
+
+def kill_self() -> None:  # pragma: no cover - the process dies here
+    """Kill the current process with ``SIGKILL`` (no cleanup, no flush)."""
+    os.kill(os.getpid(), signal.SIGKILL)

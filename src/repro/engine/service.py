@@ -57,6 +57,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from ..exceptions import AdmissionError, ExecutionError
 from ..relational.database import DatabaseState
 from ..relational.yannakakis import YannakakisRun
+from .catalog import resolve_catalog
 from .parallel import (
     ParallelExecutor,
     execute_in_process,
@@ -176,6 +177,7 @@ class ServiceStats:
         "pool_evictions",
         "backends",
         "rules",
+        "catalog",
     )
 
     def __init__(self) -> None:
@@ -192,6 +194,11 @@ class ServiceStats:
         self.backends: Dict[str, int] = {}
         #: Batches per routing rule ("parallel-wins", "small-batch", ...).
         self.rules: Dict[str, int] = {}
+        #: The service's :class:`~repro.engine.catalog.CatalogStats`, or
+        #: ``None`` when no plan catalog is attached.  A live reference, not
+        #: a copy: the same counters the catalog mutates (under its own
+        #: lock), so hit/miss/quarantine/degraded are always current.
+        self.catalog = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly snapshot."""
@@ -205,6 +212,7 @@ class ServiceStats:
             "pool_evictions": self.pool_evictions,
             "backends": dict(self.backends),
             "rules": dict(self.rules),
+            "catalog": None if self.catalog is None else self.catalog.as_dict(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -322,6 +330,7 @@ class QueryService:
         max_retries: Optional[int] = None,
         failure_policy: str = "raise",
         stream_shards_per_worker: int = DEFAULT_STREAM_SHARDS_PER_WORKER,
+        catalog=None,
     ) -> None:
         if max_inflight_states is not None and max_inflight_states < 1:
             raise ValueError(
@@ -348,13 +357,27 @@ class QueryService:
         self._max_inflight_bytes = max_inflight_bytes
         self._max_pinned_pools = max_pinned_pools
         self._stream_shards = stream_shards_per_worker
+        #: The persistent plan catalog this service reports on (an instance,
+        #: a directory path, or ``None`` for the ``REPRO_CATALOG_DIR``
+        #: default).  The serving path itself never blocks on the catalog —
+        #: workers consult it through ``prepared_from_spec`` — but attaching
+        #: it here threads its hit/miss/quarantine/degraded counters through
+        #: :attr:`ServiceStats.catalog` so one stats snapshot tells the whole
+        #: serving story.
+        self._catalog = resolve_catalog(catalog)
         self.stats = ServiceStats()
+        if self._catalog is not None:
+            self.stats.catalog = self._catalog.stats
 
         self._lock = threading.Lock()
         self._admission = threading.Condition(self._lock)
         self._inflight_states = 0
         self._inflight_bytes = 0
         self._closed = False
+        #: True only inside close(drain=True), between refusing new
+        #: submissions and the dispatcher running dry: in-flight batches may
+        #: still acquire pinned pools during this window.
+        self._draining = False
         self._pools: "OrderedDict[object, _PinnedPool]" = OrderedDict()
         #: Serializes in-process (compiled/classic) batches: the compiled
         #: kernel's caches are guarded for encoding but batch execution is
@@ -376,17 +399,42 @@ class QueryService:
             pools = list(self._pools.values())
         return all(pool.executor.healthy for pool in pools)
 
-    def close(self) -> None:
-        """Drain the dispatcher and shut every pinned pool down (idempotent)."""
+    @property
+    def catalog(self):
+        """The attached :class:`~repro.engine.catalog.PlanCatalog`, or ``None``."""
+        return self._catalog
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the service down (idempotent).
+
+        ``drain=True`` (the default) finishes every in-flight batch and
+        stream shard before closing the pinned pools, so handles returned
+        earlier still resolve and already-dispatched stream shards still
+        yield — the graceful shutdown a serving process wants on SIGTERM.
+        ``drain=False`` cancels everything not yet executing and tears the
+        pools down immediately; in-flight handles may complete or may fail
+        with a pool-shutdown error.  Either way, submissions after ``close``
+        raise the typed closed-service error.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            pools = list(self._pools.values())
-            self._pools.clear()
+            self._draining = drain
             # Unblock admission waiters so they observe the closure.
             self._admission.notify_all()
-        self._dispatcher.shutdown(wait=True)
+        if drain:
+            # In-flight work may still acquire (even create) pinned pools
+            # while the dispatcher drains — _pinned_pool admits them via the
+            # draining flag — so the pools are collected and closed only
+            # after the last dispatched batch has finished.
+            self._dispatcher.shutdown(wait=True)
+        else:
+            self._dispatcher.shutdown(wait=False, cancel_futures=True)
+        with self._lock:
+            self._draining = False
+            pools = list(self._pools.values())
+            self._pools.clear()
         for pool in pools:
             with pool.lock:
                 pool.executor.close()
@@ -558,7 +606,7 @@ class QueryService:
         spec = prepared.plan_spec()
         evicted: List[_PinnedPool] = []
         with self._lock:
-            if self._closed:
+            if self._closed and not self._draining:
                 raise RuntimeError("QueryService is closed")
             pool = self._pools.get(spec)
             if pool is None:

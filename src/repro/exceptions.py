@@ -71,6 +71,35 @@ class SearchBudgetExceeded(ReproError):
     """
 
 
+class CatalogError(ReproError):
+    """Base class for persistent plan-catalog failures.
+
+    Raised only by the *explicit* persistence API (``save_state``,
+    ``load_state``, the append-log reader in strict mode, catalog
+    construction with ``create=False``).  The serving-path catalog methods
+    (:meth:`repro.engine.catalog.PlanCatalog.load` /
+    :meth:`~repro.engine.catalog.PlanCatalog.store`) never raise: disk
+    failures degrade to in-memory-only operation and corrupt records are
+    quarantined, both recorded in
+    :class:`~repro.engine.catalog.CatalogStats`.
+    """
+
+
+class CatalogCorruptionError(CatalogError):
+    """A persisted record failed verification.
+
+    Covers every defended failure shape: truncated header or payload, bad
+    magic, a format version this library does not speak, checksum mismatch,
+    trailing garbage, and payloads that do not deserialize to the expected
+    record structure.  ``path`` names the offending file when known.
+    """
+
+    def __init__(self, message: str, path: "str | None" = None) -> None:
+        super().__init__(message)
+        #: Filesystem path of the record that failed verification.
+        self.path = path
+
+
 class ExecutionError(ReproError):
     """Base class for runtime execution failures of the serving layer.
 

@@ -92,6 +92,15 @@ class Tableau:
         # to cache because tableaux are immutable.
         self._compiled = None
 
+    def __getstate__(self):
+        # The compiled form is a per-process cache (occurrence bitmasks,
+        # interning tables) that every consumer can rebuild lazily; shipping
+        # it with the tableau would bloat persisted catalog records and
+        # cross-process pickles for no benefit.
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
+
     # -- basic accessors -----------------------------------------------------------
 
     @property

@@ -1,0 +1,678 @@
+"""The persistent plan catalog: round-trips, corruption defense, crash safety.
+
+Three layers of guarantees are proven here:
+
+* **Round-trips** — ``load(save(x)) == x`` for schemas, database states and
+  analysis artifacts (acyclic and cyclic), property-tested with hypothesis;
+  a catalog-restored analysis must answer queries identically to a fresh
+  one (the classic-backend oracle discipline of PR 3/4).
+* **Corruption defense** — truncation, bit flips, stale format versions,
+  trailing garbage and undeserializable payloads are each detected,
+  quarantined (``*.corrupt``), counted, and served as misses; the query
+  still answers correctly through fresh analysis.
+* **Crash safety** — a writer SIGKILLed mid-write (the ``:kill`` flavor of
+  ``REPRO_FAULT_TORN_WRITE``) leaves a catalog that reopens clean: the
+  partial record is quarantined and counted, and the same query is
+  answer-equal to the oracle.
+
+Catalog fault environment variables are scrubbed by an autouse fixture:
+these tests must stay deterministic even when a chaos CI leg arms worker
+faults globally, and the dedicated fault tests arm their own fresh
+directories explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import struct
+import subprocess
+import sys
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.engine import analyze, clear_analysis_cache, prepared_from_spec
+from repro.engine import faults
+from repro.engine.catalog import (
+    FORMAT_VERSION,
+    MAGIC,
+    _HEADER,
+    CatalogStats,
+    PlanCatalog,
+    StateLogWriter,
+    iter_states,
+    load_schema,
+    load_state,
+    read_state_log,
+    resolve_catalog,
+    save_schema,
+    save_state,
+)
+from repro.exceptions import CatalogCorruptionError, CatalogError
+from repro.hypergraph import (
+    DatabaseSchema,
+    RelationSchema,
+    chain_schema,
+    parse_schema,
+    random_tree_schema,
+    star_schema,
+)
+from repro.relational import DatabaseState, Relation
+from repro.relational.universal import random_ur_database
+
+_SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+VALUES = st.one_of(
+    st.integers(-3, 6),
+    st.sampled_from([1.0, 2.5, -1.0, True, False, "a", "b", "v1", None]),
+)
+
+
+@pytest.fixture(autouse=True)
+def _scrub_catalog_environment(monkeypatch):
+    """Catalog faults and the env-default catalog never leak into tests."""
+    for name in (
+        "REPRO_CATALOG_DIR",
+        faults.ENV_TORN_WRITE,
+        faults.ENV_CORRUPT_RECORD,
+        faults.ENV_FAULT_DIR,
+    ):
+        monkeypatch.delenv(name, raising=False)
+
+
+def _state_for(schema, seed=0, rows=12):
+    return random_ur_database(schema, tuple_count=rows, domain_size=6, rng=seed)
+
+
+def _assert_oracle_equal(analysis, target, states):
+    """The analysis must answer like the classic object-tuple oracle."""
+    prepared = analysis.prepare(target)
+    runs = prepared.execute_many(states, backend="compiled")
+    oracle = prepared.execute_many(states, backend="classic")
+    for run, expected in zip(runs, oracle):
+        assert run.result == expected.result
+
+
+# -- record framing and interchange files ---------------------------------------
+
+
+class TestInterchange:
+    def test_schema_round_trip(self, tmp_path):
+        schema = parse_schema("abg,bcg,acf,ad,de,ea")
+        path = str(tmp_path / "schema.rps")
+        save_schema(path, schema)
+        assert load_schema(path) == schema
+
+    def test_state_round_trip(self, tmp_path, chain4):
+        state = _state_for(chain4, seed=3)
+        path = str(tmp_path / "one.state")
+        save_state(path, state)
+        assert load_state(path) == state
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_state_round_trip_property(self, data):
+        family = data.draw(st.sampled_from(["chain", "star", "random"]))
+        size = data.draw(st.integers(1, 4))
+        if family == "chain":
+            schema = chain_schema(size)
+        elif family == "star":
+            schema = star_schema(max(size, 2))
+        else:
+            schema = random_tree_schema(size, rng=data.draw(st.integers(0, 10**6)))
+        relations = []
+        for relation_schema in schema.relations:
+            width = len(relation_schema.sorted_attributes())
+            rows = data.draw(
+                st.lists(st.tuples(*([VALUES] * width)), min_size=0, max_size=5)
+            )
+            relations.append(Relation(relation_schema, rows))
+        state = DatabaseState(schema, relations)
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "x.state")
+            save_state(path, state)
+            assert load_state(path) == state
+            spath = os.path.join(directory, "x.schema")
+            save_schema(spath, schema)
+            assert load_schema(spath) == schema
+
+    def test_load_state_wrong_kind(self, tmp_path, chain4):
+        path = str(tmp_path / "mixed")
+        save_schema(path, chain4)
+        with pytest.raises(CatalogCorruptionError):
+            load_state(path)
+
+    def test_load_missing_file_raises_catalog_error(self, tmp_path):
+        with pytest.raises(CatalogError):
+            load_state(str(tmp_path / "absent.state"))
+
+    def test_trailing_garbage_is_corruption(self, tmp_path, chain4):
+        path = str(tmp_path / "s.state")
+        save_state(path, _state_for(chain4))
+        with open(path, "ab") as handle:
+            handle.write(b"extra")
+        with pytest.raises(CatalogCorruptionError):
+            load_state(path)
+
+
+class TestStateLog:
+    def test_append_log_round_trip(self, tmp_path, chain4):
+        states = [_state_for(chain4, seed=seed) for seed in range(4)]
+        path = str(tmp_path / "bulk.log")
+        with StateLogWriter(path) as writer:
+            for state in states:
+                writer.append(state)
+        assert writer.appended == 4
+        assert list(iter_states(path)) == states
+        recovered, clean = read_state_log(path)
+        assert recovered == states and clean
+
+    def test_torn_tail_recovers_prefix(self, tmp_path, chain4):
+        states = [_state_for(chain4, seed=seed) for seed in range(3)]
+        path = str(tmp_path / "bulk.log")
+        with StateLogWriter(path, sync=False) as writer:
+            for state in states:
+                writer.append(state)
+        size = os.path.getsize(path)
+        # Tear the last record in half — the crash-mid-append signature.
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 40)
+        recovered, clean = read_state_log(path)
+        assert recovered == states[:2]
+        assert not clean
+        # Non-strict iteration stops silently; strict raises.
+        assert list(iter_states(path)) == states[:2]
+        with pytest.raises(CatalogCorruptionError):
+            list(iter_states(path, strict=True))
+
+    def test_append_after_close_raises(self, tmp_path, chain4):
+        path = str(tmp_path / "bulk.log")
+        writer = StateLogWriter(path)
+        writer.close()
+        with pytest.raises(CatalogError):
+            writer.append(_state_for(chain4))
+
+
+# -- analysis round-trips --------------------------------------------------------
+
+
+class TestAnalysisRoundTrip:
+    def test_acyclic_artifacts_survive(self, tmp_path, chain4):
+        clear_analysis_cache()
+        analysis = analyze(chain4)
+        analysis.prepare(["a", "d"])
+        analysis.gyo_trace()
+        analysis.canonical_connection_result(["a", "d"])
+        analysis.join_plan(["a", "d"])
+        flags = analysis.classification()
+
+        catalog = PlanCatalog(str(tmp_path))
+        assert catalog.store(analysis)
+        assert catalog.stats.stores == 1
+        # A second store is fingerprint-skipped: nothing new to persist.
+        assert catalog.store(analysis)
+        assert catalog.stats.store_skips == 1
+
+        clear_analysis_cache()
+        restored = analyze(chain4, catalog=catalog)
+        assert catalog.stats.hits == 1
+        # The persisted artifacts are pre-populated, not recomputed.
+        assert restored.qual_tree is not None
+        assert restored.gyo_trace().result == analysis.gyo_trace().result
+        assert restored.classification() == flags
+        assert (
+            restored.canonical_connection(["a", "d"])
+            == analysis.canonical_connection(["a", "d"])
+        )
+        states = [_state_for(chain4, seed=seed) for seed in range(3)]
+        _assert_oracle_equal(restored, ["a", "d"], states)
+
+    def test_cyclic_artifacts_survive(self, tmp_path, triangle):
+        clear_analysis_cache()
+        analysis = analyze(triangle)
+        prepared = analysis.prepare_cyclic(["a", "b"])
+        choice = analysis.cyclic_projection(["a", "b"])
+
+        catalog = PlanCatalog(str(tmp_path))
+        assert catalog.store(analysis)
+
+        clear_analysis_cache()
+        restored = analyze(triangle, catalog=catalog)
+        assert catalog.stats.hits == 1
+        assert restored.is_cyclic
+        restored_choice = restored.cyclic_projection(["a", "b"])
+        assert restored_choice.projection == choice.projection
+        assert restored_choice.method == choice.method
+
+        state = _state_for(triangle, seed=7)
+        restored_prepared = restored.prepare_cyclic(["a", "b"])
+        expected = prepared.execute(state, backend="classic")
+        assert restored_prepared.execute(state).result == expected.result
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_analysis_round_trip_property(self, data):
+        size = data.draw(st.integers(1, 5))
+        schema = random_tree_schema(size, rng=data.draw(st.integers(0, 10**6)))
+        attrs = list(schema.attributes.sorted_attributes())
+        target = RelationSchema(
+            data.draw(st.sets(st.sampled_from(attrs), max_size=min(3, len(attrs))))
+        )
+        clear_analysis_cache()
+        analysis = analyze(schema)
+        analysis.prepare(target)
+        trace = analysis.gyo_trace()
+        connection = analysis.canonical_connection(target)
+        with tempfile.TemporaryDirectory() as directory:
+            catalog = PlanCatalog(directory)
+            assert catalog.store(analysis)
+            clear_analysis_cache()
+            restored = analyze(schema, catalog=catalog)
+            assert catalog.stats.hits == 1
+            assert restored.gyo_trace().result == trace.result
+            assert restored.canonical_connection(target) == connection
+            state = _state_for(schema, seed=5, rows=8)
+            _assert_oracle_equal(restored, target, [state])
+
+    def test_key_is_order_sensitive(self, tmp_path):
+        # The catalog inherits the LRU's key discipline: multiset-equal
+        # schemas in different orders are distinct entries.
+        forward = DatabaseSchema([RelationSchema("ab"), RelationSchema("bc")])
+        backward = DatabaseSchema([RelationSchema("bc"), RelationSchema("ab")])
+        catalog = PlanCatalog(str(tmp_path))
+        clear_analysis_cache()
+        catalog.store(analyze(forward))
+        clear_analysis_cache()
+        assert catalog.load(backward) is None
+        assert catalog.stats.misses == 1
+
+    def test_prepared_from_spec_stores_back(self, tmp_path, chain4):
+        clear_analysis_cache()
+        prepared = analyze(chain4).prepare(["a", "d"])
+        spec = prepared.plan_spec()
+        catalog = PlanCatalog(str(tmp_path))
+
+        clear_analysis_cache()
+        rebuilt = prepared_from_spec(spec, catalog=catalog)
+        # Cold rebuild: catalog miss, then the analysis is stored back.
+        assert catalog.stats.misses == 1
+        assert catalog.stats.stores == 1
+
+        clear_analysis_cache()
+        prepared_from_spec(spec, catalog=catalog)
+        # Simulated respawned worker: the analysis now comes from disk.
+        assert catalog.stats.hits == 1
+
+        state = _state_for(chain4, seed=11)
+        assert (
+            rebuilt.execute(state).result
+            == prepared.execute(state, backend="classic").result
+        )
+
+    def test_environment_default_catalog(self, tmp_path, chain4, monkeypatch):
+        monkeypatch.setenv("REPRO_CATALOG_DIR", str(tmp_path))
+        catalog = resolve_catalog(None)
+        assert catalog is not None and catalog.directory == str(tmp_path)
+        # Memoized: the same directory resolves to the same instance (one
+        # stats object, one degraded latch per process).
+        assert resolve_catalog(None) is catalog
+        clear_analysis_cache()
+        analysis = analyze(chain4)
+        analysis.prepare(["a", "d"])
+        catalog.store(analysis)
+        clear_analysis_cache()
+        analyze(chain4)  # no explicit catalog argument: env default consulted
+        assert catalog.stats.hits == 1
+
+
+# -- corruption defense ----------------------------------------------------------
+
+
+def _store_chain(tmp_path, schema, target=("a", "d")):
+    clear_analysis_cache()
+    analysis = analyze(schema)
+    analysis.prepare(list(target))
+    catalog = PlanCatalog(str(tmp_path))
+    assert catalog.store(analysis)
+    return catalog
+
+
+class TestCorruptionDefense:
+    def _assert_quarantined_then_answers(self, catalog, schema, tmp_path):
+        clear_analysis_cache()
+        assert catalog.load(schema) is None
+        assert catalog.stats.quarantined == 1
+        assert catalog.stats.misses == 1
+        corrupt = [
+            name
+            for name in os.listdir(str(tmp_path))
+            if name.endswith(".corrupt")
+        ]
+        assert len(corrupt) == 1
+        # After quarantine the record is gone: the next load is a plain miss
+        # and fresh analysis still answers oracle-equal.
+        assert catalog.load(schema) is None
+        assert catalog.stats.quarantined == 1
+        clear_analysis_cache()
+        fresh = analyze(schema, catalog=catalog)
+        _assert_oracle_equal(fresh, ["a", "d"], [_state_for(schema, seed=2)])
+
+    def test_truncated_record_quarantined(self, tmp_path, chain4):
+        catalog = _store_chain(tmp_path, chain4)
+        path = catalog.record_path(chain4)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        self._assert_quarantined_then_answers(catalog, chain4, tmp_path)
+
+    def test_bit_flip_quarantined(self, tmp_path, chain4):
+        catalog = _store_chain(tmp_path, chain4)
+        path = catalog.record_path(chain4)
+        with open(path, "r+b") as handle:
+            handle.seek(_HEADER.size + 5)
+            byte = handle.read(1)
+            handle.seek(_HEADER.size + 5)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        self._assert_quarantined_then_answers(catalog, chain4, tmp_path)
+
+    def test_stale_format_version_quarantined(self, tmp_path, chain4):
+        catalog = _store_chain(tmp_path, chain4)
+        path = catalog.record_path(chain4)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        magic, version, kind, checksum, length = _HEADER.unpack_from(data, 0)
+        assert version == FORMAT_VERSION
+        stale = _HEADER.pack(magic, version + 1, kind, checksum, length)
+        with open(path, "wb") as handle:
+            handle.write(stale + data[_HEADER.size :])
+        self._assert_quarantined_then_answers(catalog, chain4, tmp_path)
+
+    def test_bad_magic_quarantined(self, tmp_path, chain4):
+        catalog = _store_chain(tmp_path, chain4)
+        path = catalog.record_path(chain4)
+        with open(path, "r+b") as handle:
+            handle.write(b"NOTMAGIC")
+        self._assert_quarantined_then_answers(catalog, chain4, tmp_path)
+
+    def test_undeserializable_payload_quarantined(self, tmp_path, chain4):
+        catalog = _store_chain(tmp_path, chain4)
+        path = catalog.record_path(chain4)
+        # A checksum-valid record whose payload is not a pickle at all.
+        import zlib
+
+        payload = b"\x00garbage that is not a pickle"
+        record = _HEADER.pack(
+            MAGIC, FORMAT_VERSION, 1, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+        ) + payload
+        with open(path, "wb") as handle:
+            handle.write(record)
+        self._assert_quarantined_then_answers(catalog, chain4, tmp_path)
+
+    def test_verify_sweeps_corruption(self, tmp_path, chain4):
+        catalog = _store_chain(tmp_path, chain4)
+        path = catalog.record_path(chain4)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        report = catalog.verify()
+        assert report["checked"] == 1
+        assert report["ok"] == 0
+        assert len(report["quarantined"]) == 1
+        assert catalog.stats.quarantined == 1
+        # The swept catalog is clean.
+        assert catalog.verify() == {"checked": 0, "ok": 0, "quarantined": []}
+
+    def test_records_reports_without_quarantining(self, tmp_path, chain4):
+        catalog = _store_chain(tmp_path, chain4)
+        infos = catalog.records()
+        assert len(infos) == 1 and infos[0].ok
+        assert infos[0].schema == chain4.to_notation()
+        path = catalog.record_path(chain4)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        infos = catalog.records()
+        assert len(infos) == 1 and not infos[0].ok
+        assert infos[0].error
+        # Read-only: the corrupt record is still in place.
+        assert os.path.exists(path)
+        assert catalog.stats.quarantined == 0
+
+    def test_gc_removes_quarantine_and_temp(self, tmp_path, chain4):
+        catalog = _store_chain(tmp_path, chain4)
+        path = catalog.record_path(chain4)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        catalog.verify()
+        # Orphaned temp file, as a crashed writer would leave behind.
+        orphan = str(tmp_path / ".tmp.dead123.part")
+        with open(orphan, "wb") as handle:
+            handle.write(b"partial")
+        report = catalog.gc()
+        assert report["removed_corrupt"] == 1
+        assert report["removed_temp"] == 1
+        assert not os.path.exists(orphan)
+        assert not any(
+            name.endswith(".corrupt") for name in os.listdir(str(tmp_path))
+        )
+
+    def test_gc_keep_prunes_oldest(self, tmp_path):
+        catalog = PlanCatalog(str(tmp_path))
+        for size in (2, 3, 4):
+            clear_analysis_cache()
+            analysis = analyze(chain_schema(size))
+            analysis.gyo_trace()
+            catalog.store(analysis)
+            path = catalog.record_path(chain_schema(size))
+            os.utime(path, (size, size))  # deterministic mtime ordering
+        report = catalog.gc(keep=1)
+        assert report["removed_records"] == 2
+        infos = catalog.records()
+        assert len(infos) == 1
+        assert infos[0].schema == chain_schema(4).to_notation()
+
+
+# -- degraded mode ---------------------------------------------------------------
+
+
+class TestDegradedMode:
+    def test_store_degrades_on_missing_directory(self, tmp_path, chain4):
+        import shutil
+
+        directory = str(tmp_path / "cat")
+        catalog = PlanCatalog(directory)
+        clear_analysis_cache()
+        analysis = analyze(chain4)
+        analysis.gyo_trace()
+        shutil.rmtree(directory)
+        assert not catalog.store(analysis)
+        assert catalog.stats.degraded == 1
+        assert not catalog.stats.disabled
+
+    def test_repeated_io_failures_latch_disabled(self, tmp_path, chain4):
+        import shutil
+
+        from repro.engine.catalog import MAX_CONSECUTIVE_IO_ERRORS
+
+        directory = str(tmp_path / "cat")
+        catalog = PlanCatalog(directory)
+        clear_analysis_cache()
+        analysis = analyze(chain4)
+        analysis.gyo_trace()
+        shutil.rmtree(directory)
+        for _ in range(MAX_CONSECUTIVE_IO_ERRORS):
+            assert not catalog.store(analysis)
+        assert catalog.stats.disabled
+        assert catalog.disabled
+        # Disabled: loads are pure in-memory misses, stores are no-ops, and
+        # neither raises.
+        assert catalog.load(chain4) is None
+        assert not catalog.store(analysis)
+        assert catalog.stats.degraded == MAX_CONSECUTIVE_IO_ERRORS
+
+    def test_create_false_requires_directory(self, tmp_path):
+        with pytest.raises(CatalogError):
+            PlanCatalog(str(tmp_path / "absent"), create=False)
+
+    def test_serving_path_never_raises(self, tmp_path, chain4):
+        # Point the catalog at a *file*: every I/O fails, nothing raises.
+        blocker = str(tmp_path / "blocker")
+        with open(blocker, "w") as handle:
+            handle.write("x")
+        catalog = PlanCatalog.__new__(PlanCatalog)
+        catalog.directory = blocker
+        catalog.stats = CatalogStats()
+        import threading
+
+        catalog._lock = threading.Lock()
+        catalog._consecutive_errors = 0
+        catalog._fingerprints = {}
+        clear_analysis_cache()
+        analysis = analyze(chain4)
+        analysis.gyo_trace()
+        assert catalog.load(chain4) is None
+        assert not catalog.store(analysis)
+        assert catalog.records() == []
+        assert catalog.gc()["removed_corrupt"] == 0
+
+
+# -- injected faults and crash safety --------------------------------------------
+
+
+class TestInjectedFaults:
+    def test_corrupt_record_fault(self, tmp_path, chain4, monkeypatch):
+        fault_dir = tmp_path / "faults"
+        fault_dir.mkdir()
+        monkeypatch.setenv(faults.ENV_FAULT_DIR, str(fault_dir))
+        monkeypatch.setenv(faults.ENV_CORRUPT_RECORD, "1")
+        catalog = _store_chain(tmp_path / "cat", chain4)
+        # The write "succeeded" but one payload byte was flipped after the
+        # checksum: the read path must detect and quarantine it.
+        assert catalog.stats.stores == 1
+        catalog._fingerprints.clear()  # force a re-read, not a skip
+        clear_analysis_cache()
+        assert catalog.load(chain4) is None
+        assert catalog.stats.quarantined == 1
+        # The fault fired exactly once: the next store is healthy.
+        clear_analysis_cache()
+        analysis = analyze(chain4)
+        analysis.prepare(["a", "d"])
+        assert catalog.store(analysis)
+        clear_analysis_cache()
+        assert analyze(chain4, catalog=catalog) is not None
+        assert catalog.stats.hits == 1
+        _assert_oracle_equal(
+            analyze(chain4), ["a", "d"], [_state_for(chain4, seed=4)]
+        )
+
+    def test_torn_write_fault(self, tmp_path, chain4, monkeypatch):
+        fault_dir = tmp_path / "faults"
+        fault_dir.mkdir()
+        monkeypatch.setenv(faults.ENV_FAULT_DIR, str(fault_dir))
+        monkeypatch.setenv(faults.ENV_TORN_WRITE, "1")
+        catalog = _store_chain(tmp_path / "cat", chain4)
+        path = catalog.record_path(chain4)
+        # The torn write renamed a prefix into place.
+        full_size = os.path.getsize(path)
+        catalog._fingerprints.clear()
+        clear_analysis_cache()
+        assert catalog.load(chain4) is None
+        assert catalog.stats.quarantined == 1
+        corrupt_path = path + ".corrupt"
+        assert os.path.exists(corrupt_path)
+        assert os.path.getsize(corrupt_path) == full_size
+
+    def test_kill_mid_write_reopens_clean(self, tmp_path, chain4):
+        """The acceptance-criteria crash test: SIGKILL mid-catalog-write.
+
+        A child process arms ``REPRO_FAULT_TORN_WRITE=1:kill`` and stores an
+        analysis; the fault tears the write and SIGKILLs the child after the
+        rename.  The parent then reopens the catalog: verify() quarantines
+        exactly the partial record, and the same query answers oracle-equal
+        through fresh analysis.
+        """
+        catalog_dir = tmp_path / "cat"
+        fault_dir = tmp_path / "faults"
+        fault_dir.mkdir()
+        child = (
+            "import os\n"
+            "from repro.engine import analyze\n"
+            "from repro.engine.catalog import PlanCatalog\n"
+            "analysis = analyze('ab,bc,cd')\n"
+            "analysis.prepare(['a', 'd'])\n"
+            f"PlanCatalog({str(catalog_dir)!r}).store(analysis)\n"
+            "print('UNREACHABLE')\n"
+        )
+        environment = dict(os.environ)
+        environment.update(
+            {
+                "PYTHONPATH": _SRC,
+                faults.ENV_FAULT_DIR: str(fault_dir),
+                faults.ENV_TORN_WRITE: "1:kill",
+            }
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", child],
+            env=environment,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == -signal.SIGKILL
+        assert "UNREACHABLE" not in completed.stdout
+
+        # Reopen: the torn record is on disk, verification quarantines it.
+        catalog = PlanCatalog(str(catalog_dir))
+        report = catalog.verify()
+        assert report["checked"] == 1
+        assert report["ok"] == 0
+        assert len(report["quarantined"]) == 1
+        assert catalog.stats.quarantined == 1
+
+        # The serving path recovers: miss, fresh analysis, oracle-equal.
+        clear_analysis_cache()
+        analysis = analyze(chain4, catalog=catalog)
+        assert catalog.stats.hits == 0
+        _assert_oracle_equal(analysis, ["a", "d"], [_state_for(chain4, seed=9)])
+
+        # And the healed catalog serves hits again.
+        analysis.prepare(["a", "d"])
+        assert catalog.store(analysis)
+        clear_analysis_cache()
+        analyze(chain4, catalog=catalog)
+        assert catalog.stats.hits == 1
+
+    def test_counted_catalog_fault_requires_fault_dir(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_TORN_WRITE, "1")
+        with pytest.raises(ValueError):
+            faults.torn_write_mode()
+        monkeypatch.setenv(faults.ENV_TORN_WRITE, "1:bogus")
+        with pytest.raises(ValueError):
+            faults.torn_write_mode()
+
+
+# -- concurrency -----------------------------------------------------------------
+
+
+class TestSharedDirectory:
+    def test_two_catalogs_share_one_directory(self, tmp_path, chain4):
+        first = PlanCatalog(str(tmp_path))
+        second = PlanCatalog(str(tmp_path))
+        clear_analysis_cache()
+        analysis = analyze(chain4)
+        analysis.prepare(["a", "d"])
+        assert first.store(analysis)
+        clear_analysis_cache()
+        restored = second.load(chain4)
+        assert restored is not None
+        assert second.stats.hits == 1
+
+    def test_writer_lock_file_created(self, tmp_path, chain4):
+        fcntl = pytest.importorskip("fcntl")
+        catalog = PlanCatalog(str(tmp_path))
+        clear_analysis_cache()
+        analysis = analyze(chain4)
+        analysis.gyo_trace()
+        assert catalog.store(analysis)
+        assert os.path.exists(str(tmp_path / ".lock"))

@@ -424,3 +424,86 @@ class TestLifecycle:
         assert item.ok
         failed = StreamItem(index=1, error=RuntimeError("x"))
         assert not failed.ok
+
+
+class TestDrainingClose:
+    def test_close_drain_finishes_inflight_handles(self, prepared):
+        svc = QueryService(workers=2)
+        states = _states(prepared.schema, 6)
+        handles = [
+            svc.submit(prepared, states, backend="classic") for _ in range(4)
+        ]
+        svc.close(drain=True)
+        expected = prepared.execute_many(states, backend="classic")
+        for handle in handles:
+            runs = handle.result(timeout=30)
+            assert [run.result for run in runs] == [
+                run.result for run in expected
+            ]
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(prepared, states)
+
+    def test_close_drain_finishes_inflight_parallel_batch(self, prepared):
+        svc = QueryService(workers=2)
+        states = _states(prepared.schema, 4)
+        handle = svc.submit(prepared, states, backend="parallel")
+        svc.close(drain=True)
+        runs = handle.result(timeout=60)
+        expected = prepared.execute_many(states, backend="classic")
+        assert [run.result for run in runs] == [run.result for run in expected]
+
+    def test_close_without_drain_cancels_pending(self, prepared):
+        svc = QueryService(workers=2)
+        states = _states(prepared.schema, 2)
+        handles = [
+            svc.submit(prepared, states, backend="classic") for _ in range(16)
+        ]
+        svc.close(drain=False)
+        from concurrent.futures import CancelledError
+
+        finished = cancelled = 0
+        for handle in handles:
+            try:
+                error = handle.exception(timeout=30)
+            except CancelledError:
+                cancelled += 1
+                continue
+            if error is None:
+                finished += 1
+            else:
+                cancelled += 1
+        # Every handle resolves one way or the other; nothing hangs.
+        assert finished + cancelled == len(handles)
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(prepared, states)
+
+    def test_close_default_is_drain(self, prepared):
+        svc = QueryService(workers=2)
+        handle = svc.submit(
+            prepared, _states(prepared.schema, 3), backend="classic"
+        )
+        svc.close()
+        assert handle.result(timeout=30) is not None
+
+
+class TestCatalogIntegration:
+    def test_catalog_stats_threaded_through_service_stats(self, tmp_path, prepared):
+        from repro.engine.catalog import PlanCatalog
+
+        catalog = PlanCatalog(str(tmp_path))
+        with QueryService(workers=2, catalog=catalog) as svc:
+            assert svc.catalog is catalog
+            assert svc.stats.catalog is catalog.stats
+            snapshot = svc.stats.as_dict()["catalog"]
+            assert snapshot == catalog.stats.as_dict()
+            assert set(snapshot) >= {"hits", "misses", "quarantined", "degraded"}
+
+    def test_no_catalog_reports_none(self, prepared):
+        with QueryService(workers=2) as svc:
+            assert svc.catalog is None
+            assert svc.stats.as_dict()["catalog"] is None
+
+    def test_catalog_accepts_directory_path(self, tmp_path):
+        with QueryService(workers=2, catalog=str(tmp_path / "cat")) as svc:
+            assert svc.catalog is not None
+            assert svc.catalog.directory == str(tmp_path / "cat")

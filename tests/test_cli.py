@@ -312,3 +312,106 @@ class TestQueryRobustnessFlags:
         assert payload["answer_rows"] and all(
             rows is not None for rows in payload["answer_rows"]
         )
+
+
+class TestCatalogCommand:
+    @pytest.fixture(autouse=True)
+    def _no_env_catalog(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CATALOG_DIR", raising=False)
+
+    def _seed(self, directory, capsys):
+        from repro.engine import clear_analysis_cache
+
+        clear_analysis_cache()
+        assert main(
+            [
+                "query", "ab,bc,cd", "ad",
+                "--random", "10", "--catalog", str(directory), "--json",
+            ]
+        ) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_query_catalog_miss_then_hit(self, tmp_path, capsys):
+        from repro.engine import clear_analysis_cache
+
+        first = self._seed(tmp_path / "cat", capsys)
+        assert first["catalog_stats"]["misses"] == 1
+        assert first["catalog_stats"]["stores"] == 1
+        clear_analysis_cache()
+        second = self._seed(tmp_path / "cat", capsys)
+        assert second["catalog_stats"]["hits"] == 1
+        assert second["catalog_stats"]["quarantined"] == 0
+        assert second["answer_rows"] == first["answer_rows"]
+        assert second["result"] == first["result"]
+
+    def test_query_text_mode_prints_catalog_line(self, tmp_path, capsys):
+        from repro.engine import clear_analysis_cache
+
+        clear_analysis_cache()
+        assert main(
+            [
+                "query", "ab,bc,cd", "ad",
+                "--random", "10", "--catalog", str(tmp_path / "cat"),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "catalog:" in output
+        assert "1 store(s)" in output
+
+    def test_env_default_catalog_surfaces_stats(self, tmp_path, capsys, monkeypatch):
+        from repro.engine import clear_analysis_cache
+
+        monkeypatch.setenv("REPRO_CATALOG_DIR", str(tmp_path / "envcat"))
+        clear_analysis_cache()
+        assert main(
+            ["query", "ab,bc,cd", "ad", "--random", "10", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "catalog_stats" in payload
+        assert payload["catalog_stats"]["stores"] >= 1
+
+    def test_catalog_ls_verify_gc_cycle(self, tmp_path, capsys):
+        directory = tmp_path / "cat"
+        self._seed(directory, capsys)
+
+        assert main(["catalog", "ls", str(directory), "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert len(listing["records"]) == 1
+        assert listing["records"][0]["ok"] is True
+        assert listing["records"][0]["schema"] == "ab,bc,cd"
+
+        assert main(["catalog", "verify", str(directory)]) == 0
+        assert "1 ok" in capsys.readouterr().out
+
+        # Corrupt the record: verify flags (exit 1) and quarantines it.
+        import os as _os
+
+        record = next(
+            name
+            for name in _os.listdir(str(directory))
+            if name.endswith(".plan")
+        )
+        path = str(directory / record)
+        with open(path, "r+b") as handle:
+            handle.truncate(12)
+        assert main(["catalog", "verify", str(directory), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["quarantined"] == [record]
+
+        assert main(["catalog", "gc", str(directory), "--json"]) == 0
+        cleaned = json.loads(capsys.readouterr().out)
+        assert cleaned["removed_corrupt"] == 1
+
+    def test_catalog_requires_existing_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["catalog", "ls", str(tmp_path / "absent")])
+
+    def test_catalog_parser_accepts_actions(self):
+        parser = build_parser()
+        for argv in (
+            ["catalog", "ls", "d"],
+            ["catalog", "verify", "d", "--json"],
+            ["catalog", "gc", "d", "--keep", "3"],
+        ):
+            arguments = parser.parse_args(argv)
+            assert arguments.command == "catalog"
